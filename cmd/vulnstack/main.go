@@ -1,0 +1,179 @@
+// Command vulnstack regenerates the paper's tables and figures and runs
+// ad-hoc vulnerability measurements.
+//
+// Usage:
+//
+//	vulnstack list
+//	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S]
+//	vulnstack run -bench sha [-config A72] [-harden]
+//	vulnstack campaign -bench sha -config A72 -struct L2 -n 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vulnstack"
+	"vulnstack/internal/micro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "experiment", "exp":
+		err = cmdExperiment(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "campaign":
+		err = cmdCampaign(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vulnstack:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vulnstack list                          benchmarks, configs, experiments
+  vulnstack experiment <id> [flags]       regenerate a paper table/figure
+  vulnstack run [flags]                   run one benchmark on a core model
+  vulnstack campaign [flags]              one fault-injection campaign`)
+}
+
+func cmdList() error {
+	fmt.Println("benchmarks:")
+	for _, b := range vulnstack.Benchmarks() {
+		fmt.Printf("  %s\n", b)
+	}
+	fmt.Println("microarchitectures:")
+	for _, c := range vulnstack.Configs() {
+		fmt.Printf("  %-4s (%v)\n", c.Name, c.ISA)
+	}
+	fmt.Println("experiments:")
+	fmt.Printf("  %s\n", strings.Join(vulnstack.Experiments(), " "))
+	return nil
+}
+
+func expFlags(args []string) (*flag.FlagSet, *vulnstack.Options) {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	o := vulnstack.DefaultOptions()
+	fs.IntVar(&o.NAVF, "navf", o.NAVF, "microarchitectural injections per structure")
+	fs.IntVar(&o.NPVF, "npvf", o.NPVF, "architecture-level injections per FPM")
+	fs.IntVar(&o.NSVF, "nsvf", o.NSVF, "software-level injections")
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "input and sampling seed")
+	fs.IntVar(&o.Snapshots, "snapshots", o.Snapshots, "golden-run snapshots")
+	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	fs.Parse(args)
+	if *benches != "" {
+		o.Benches = strings.Split(*benches, ",")
+	}
+	return fs, &o
+}
+
+func cmdExperiment(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("experiment id required (one of %s)", strings.Join(vulnstack.Experiments(), ", "))
+	}
+	id := args[0]
+	_, o := expFlags(args[1:])
+	start := time.Now()
+	r, err := vulnstack.RunExperiment(id, *o)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+	fmt.Printf("\n[%s regenerated in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", "sha", "benchmark name")
+	cfgName := fs.String("config", "A72", "microarchitecture (A9, A15, A57, A72)")
+	seed := fs.Int64("seed", 1, "input seed")
+	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
+	fs.Parse(args)
+
+	cfg, err := micro.ConfigByName(*cfgName)
+	if err != nil {
+		return err
+	}
+	sys, err := vulnstack.Build(vulnstack.Target{Bench: *bench, Seed: *seed, Harden: *hard}, cfg.ISA)
+	if err != nil {
+		return err
+	}
+	core := micro.New(cfg, sys.Image.NewMemory(), sys.Image.Entry)
+	start := time.Now()
+	if !core.Run(1 << 30) {
+		return fmt.Errorf("did not halt: %v", core)
+	}
+	fmt.Printf("benchmark  %s (seed %d, harden=%v) on %s (%v)\n", *bench, *seed, *hard, cfg.Name, cfg.ISA)
+	fmt.Printf("halt       %v (exit %d)\n", core.Bus.Halt, core.Bus.ExitCode)
+	fmt.Printf("instrs     %d (kernel %d, %.2f%%)\n", core.Instret, core.KInstr,
+		100*float64(core.KInstr)/float64(core.Instret))
+	fmt.Printf("cycles     %d (IPC %.2f)\n", core.Cycle, float64(core.Instret)/float64(core.Cycle))
+	fmt.Printf("output     %d bytes\n", len(core.Bus.Out))
+	fmt.Printf("simulated in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	bench := fs.String("bench", "sha", "benchmark name")
+	cfgName := fs.String("config", "A72", "microarchitecture")
+	stName := fs.String("struct", "RF", "structure (RF, LSQ, L1i, L1d, L2)")
+	n := fs.Int("n", 200, "number of injections")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
+	fs.Parse(args)
+
+	cfg, err := micro.ConfigByName(*cfgName)
+	if err != nil {
+		return err
+	}
+	st, err := micro.ParseStructure(*stName)
+	if err != nil {
+		return err
+	}
+	sys, err := vulnstack.Build(vulnstack.Target{Bench: *bench, Seed: 1, Harden: *hard}, cfg.ISA)
+	if err != nil {
+		return err
+	}
+	cp, err := sys.MicroCampaign(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	tally := cp.RunCampaign(st, *n, *seed, nil)
+	elapsed := time.Since(start)
+
+	fmt.Printf("%s on %s, %d faults into %s (golden: %d cycles)\n",
+		*bench, cfg.Name, tally.N, st, cp.Golden.Cycles)
+	fmt.Printf("  Masked   %6.2f%%\n", 100*tally.Frac(0))
+	fmt.Printf("  SDC      %6.2f%%\n", 100*tally.Frac(1))
+	fmt.Printf("  Crash    %6.2f%%\n", 100*tally.Frac(2))
+	fmt.Printf("  Detected %6.2f%%\n", 100*tally.Frac(3))
+	fmt.Printf("  AVF %.2f%%  HVF %.2f%%  (±%.2f%% at 99%%)\n",
+		100*tally.AVF(), 100*tally.HVF(), 100*vulnstackMargin(tally.N))
+	fmt.Printf("  FPM of visible: WD %.0f%% WI %.0f%% WOI %.0f%% ESC %.0f%%\n",
+		100*tally.FPMShare(micro.FPMWD), 100*tally.FPMShare(micro.FPMWI),
+		100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
+	fmt.Printf("  %d injections in %v (%.1f/s)\n", tally.N, elapsed.Round(time.Millisecond),
+		float64(tally.N)/elapsed.Seconds())
+	return nil
+}
+
+func vulnstackMargin(n int) float64 { return vulnstack.Margin(n) }

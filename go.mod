@@ -1,0 +1,3 @@
+module vulnstack
+
+go 1.22

@@ -1,0 +1,283 @@
+// Package arch implements architecture-level (PVF) fault injection on
+// the functional emulator. Faults originate in architecturally visible
+// resources of the dynamic program flow — register operands, loaded
+// memory words, and instruction words — and, unlike software-level
+// (SVF) injection, the flow includes the kernel instructions executed
+// on the program's behalf. Following the paper, injections are
+// performed per fault-propagation model: WD (operand data), WOI
+// (operand/immediate encoding fields) and WI (operation encoding
+// fields).
+package arch
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"vulnstack/internal/dev"
+	"vulnstack/internal/emu"
+	"vulnstack/internal/inject"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/mem"
+	"vulnstack/internal/micro"
+)
+
+// Campaign prepares PVF injections for one image.
+type Campaign struct {
+	Img *kernel.Image
+
+	GoldenOut  []byte
+	GoldenExit uint64
+	// GoldenInstr is the dynamic instruction count (user + kernel).
+	GoldenInstr uint64
+	KInstr      uint64
+
+	snaps   []emu.Snapshot
+	snapMem []*mem.Memory
+	Limit   uint64
+}
+
+// Prepare runs the golden execution and captures snapshots.
+func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
+	bus := dev.NewBus(img.NewMemory())
+	c := emu.New(img.ISA, bus, img.Entry)
+	if !c.Run(1 << 30) {
+		return nil, fmt.Errorf("arch: golden run did not finish")
+	}
+	if bus.Halt != dev.HaltClean {
+		return nil, fmt.Errorf("arch: golden run ended %v", bus.Halt)
+	}
+	cp := &Campaign{
+		Img:         img,
+		GoldenOut:   append([]byte(nil), bus.Out...),
+		GoldenExit:  bus.ExitCode,
+		GoldenInstr: c.Instret,
+		KInstr:      c.KernelInstret,
+	}
+	cp.Limit = 3*cp.GoldenInstr + 100000
+
+	if nsnaps > 1 {
+		step := cp.GoldenInstr / uint64(nsnaps)
+		if step == 0 {
+			step = 1
+		}
+		bus2 := dev.NewBus(img.NewMemory())
+		c2 := emu.New(img.ISA, bus2, img.Entry)
+		for next := uint64(0); next < cp.GoldenInstr; next += step {
+			for c2.Instret < next {
+				if !c2.Step() {
+					break
+				}
+			}
+			cp.snaps = append(cp.snaps, c2.Save())
+			cp.snapMem = append(cp.snapMem, bus2.Mem.Clone())
+		}
+	}
+	return cp, nil
+}
+
+// cpuAt returns an emulator advanced to dynamic instruction k.
+func (cp *Campaign) cpuAt(k uint64) (*emu.CPU, *dev.Bus) {
+	bus := dev.NewBus(cp.Img.NewMemory())
+	c := emu.New(cp.Img.ISA, bus, cp.Img.Entry)
+	best := -1
+	for i := range cp.snaps {
+		if cp.snaps[i].Instret <= k {
+			best = i
+		}
+	}
+	if best >= 0 {
+		bus.Mem.CopyFrom(cp.snapMem[best])
+		c.Restore(cp.snaps[best])
+	}
+	for c.Instret < k {
+		if !c.Step() {
+			break
+		}
+	}
+	return c, bus
+}
+
+// Fault is one architecture-level injection.
+type Fault struct {
+	FPM micro.FPM // WD, WOI or WI
+	K   uint64    // dynamic instruction index
+	Bit int
+	// Slot selects among an instruction's operand locations for WD.
+	Slot int
+}
+
+// Sample draws a fault for the given FPM, uniform over the dynamic
+// instruction stream.
+func (cp *Campaign) Sample(r *rand.Rand, fpm micro.FPM) Fault {
+	return Fault{
+		FPM:  fpm,
+		K:    1 + uint64(r.Int63n(int64(cp.GoldenInstr-1))),
+		Bit:  r.Intn(64),
+		Slot: r.Intn(4),
+	}
+}
+
+// Run performs one injection and classifies the program-level outcome.
+func (cp *Campaign) Run(f Fault) inject.Outcome {
+	c, bus := cp.cpuAt(f.K)
+	if bus.Halted() {
+		return inject.Masked
+	}
+	cp.apply(c, f)
+	for c.Instret < cp.Limit {
+		if !c.Step() {
+			break
+		}
+	}
+	switch {
+	case !bus.Halted():
+		return inject.Crash // live/deadlock under the fault
+	case bus.Halt == dev.HaltPanic:
+		return inject.Crash
+	case bus.Halt == dev.HaltDetected:
+		return inject.Detected
+	default:
+		if bus.ExitCode == cp.GoldenExit && bytes.Equal(bus.Out, cp.GoldenOut) {
+			return inject.Masked
+		}
+		return inject.SDC
+	}
+}
+
+// apply injects the fault just before the next instruction executes.
+// For WD it corrupts one of the instruction's source operands in
+// architectural storage (register or loaded memory word); for WOI/WI it
+// flips an operand-field or operation-field bit of the instruction word
+// in memory (persistent, like a corrupted architectural code copy).
+func (cp *Campaign) apply(c *emu.CPU, f Fault) {
+	is := c.ISA
+	// Find the next instruction with a suitable target, executing
+	// forward when the current one has none (keeps sampling total).
+	for steps := 0; steps < 4096; steps++ {
+		w, ok := c.Bus.Mem.Word32(c.PC)
+		if !ok {
+			return
+		}
+		in, ok := isa.Decode(w, is)
+		if !ok {
+			return
+		}
+		switch f.FPM {
+		case micro.FPMWD:
+			type loc struct {
+				isReg bool
+				reg   int
+				addr  uint64
+				width int
+			}
+			var locs []loc
+			if in.Op.ReadsRs1() && in.Rs1 != 0 {
+				locs = append(locs, loc{isReg: true, reg: in.Rs1, width: is.XLen()})
+			}
+			if in.Op.ReadsRs2() && in.Rs2 != 0 {
+				locs = append(locs, loc{isReg: true, reg: in.Rs2, width: is.XLen()})
+			}
+			if in.Op.IsLoad() {
+				addr := (c.Reg(in.Rs1) + uint64(in.Imm)) & is.Mask()
+				if c.Bus.Mem.Valid(addr, in.Op.MemBytes()) {
+					locs = append(locs, loc{addr: addr, width: 8 * in.Op.MemBytes()})
+				}
+			}
+			if len(locs) == 0 {
+				if !c.Step() {
+					return
+				}
+				continue
+			}
+			l := locs[f.Slot%len(locs)]
+			bit := f.Bit % l.width
+			if l.isReg {
+				c.SetReg(l.reg, c.Reg(l.reg)^(1<<uint(bit)))
+			} else {
+				c.Bus.Mem.FlipBit(l.addr+uint64(bit/8), uint(bit%8))
+			}
+			return
+		case micro.FPMWI, micro.FPMWOI:
+			opMask := isa.OperationMask(w, is)
+			want := opMask
+			if f.FPM == micro.FPMWOI {
+				want = ^opMask
+			}
+			if want == 0 {
+				if !c.Step() {
+					return
+				}
+				continue
+			}
+			// Pick the f.Bit-th set bit of the field mask (wrapping).
+			n := popcount(want)
+			idx := f.Bit % n
+			bit := nthSetBit(want, idx)
+			c.Bus.Mem.FlipBit(c.PC+uint64(bit/8), uint(bit%8))
+			return
+		default:
+			return
+		}
+	}
+}
+
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+func nthSetBit(m uint32, n int) int {
+	for i := 0; i < 32; i++ {
+		if m&(1<<uint(i)) != 0 {
+			if n == 0 {
+				return i
+			}
+			n--
+		}
+	}
+	return 0
+}
+
+// Tally aggregates PVF outcomes for one FPM.
+type Tally struct {
+	N        int
+	Outcomes [inject.NumOutcomes]int
+}
+
+// Add accumulates one outcome.
+func (t *Tally) Add(o inject.Outcome) {
+	t.N++
+	t.Outcomes[o]++
+}
+
+// Frac returns the fraction of outcome o.
+func (t *Tally) Frac(o inject.Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Outcomes[o]) / float64(t.N)
+}
+
+// PVF is 1 - software masking: the fraction of injected faults that
+// produced a failure (SDC or Crash).
+func (t *Tally) PVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
+
+// RunCampaign performs n injections under the given FPM.
+func (cp *Campaign) RunCampaign(fpm micro.FPM, n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
+	r := rand.New(rand.NewSource(seed))
+	var t Tally
+	for i := 0; i < n; i++ {
+		o := cp.Run(cp.Sample(r, fpm))
+		t.Add(o)
+		if progress != nil {
+			progress(i, o)
+		}
+	}
+	return t
+}

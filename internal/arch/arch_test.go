@@ -1,0 +1,103 @@
+package arch
+
+import (
+	"testing"
+
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/inject"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/micro"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/workload"
+)
+
+func prep(t *testing.T, bench string, is isa.ISA) *Campaign {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := minic.Compile(spec.Gen(3, 1), is.XLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Build(m, is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kernel.BuildImage(prog, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Prepare(img, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestGoldenIncludesKernel(t *testing.T) {
+	cp := prep(t, "sha", isa.VSA64)
+	if cp.KInstr == 0 {
+		t.Fatal("PVF program flow must include kernel instructions")
+	}
+	if cp.KInstr >= cp.GoldenInstr {
+		t.Fatal("kernel subset")
+	}
+	if len(cp.GoldenOut) != 20 {
+		t.Fatalf("golden output %d bytes", len(cp.GoldenOut))
+	}
+}
+
+func TestWDInjections(t *testing.T) {
+	cp := prep(t, "sha", isa.VSA64)
+	tl := cp.RunCampaign(micro.FPMWD, 80, 1, nil)
+	if tl.N != 80 {
+		t.Fatal("count")
+	}
+	if tl.Outcomes[inject.Masked] == 0 {
+		t.Error("some WD faults should mask")
+	}
+	if tl.Outcomes[inject.SDC]+tl.Outcomes[inject.Crash] == 0 {
+		t.Error("some WD faults should fail: sha consumes nearly all operand bits")
+	}
+	if tl.Outcomes[inject.Detected] != 0 {
+		t.Error("unhardened code cannot detect")
+	}
+	pvf := tl.PVF()
+	if pvf <= 0 || pvf >= 1 {
+		t.Errorf("degenerate PVF %.2f", pvf)
+	}
+}
+
+func TestWIMostlyCrashes(t *testing.T) {
+	cp := prep(t, "qsort", isa.VSA64)
+	tl := cp.RunCampaign(micro.FPMWI, 60, 2, nil)
+	if tl.Outcomes[inject.Crash] == 0 {
+		t.Error("operation-field flips should often crash")
+	}
+	// WI and WOI must behave differently from WD on average: compare
+	// crash shares qualitatively.
+	wd := cp.RunCampaign(micro.FPMWD, 60, 3, nil)
+	t.Logf("qsort PVF: WI crash=%.2f sdc=%.2f | WD crash=%.2f sdc=%.2f",
+		tl.Frac(inject.Crash), tl.Frac(inject.SDC), wd.Frac(inject.Crash), wd.Frac(inject.SDC))
+}
+
+func TestPVFSimilarAcrossISAs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// The paper: PVF is (assumed) microarchitecture independent, and
+	// measured to be close across same-family ISAs. Sanity: both ISAs
+	// give non-degenerate results for the same source.
+	a := prep(t, "crc32", isa.VSA32).RunCampaign(micro.FPMWD, 60, 4, nil)
+	b := prep(t, "crc32", isa.VSA64).RunCampaign(micro.FPMWD, 60, 4, nil)
+	if a.N != b.N {
+		t.Fatal("counts")
+	}
+	if a.PVF() == 0 && b.PVF() == 0 {
+		t.Error("degenerate PVFs")
+	}
+	t.Logf("crc32 PVF(WD): VSA32 %.2f, VSA64 %.2f", a.PVF(), b.PVF())
+}

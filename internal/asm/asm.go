@@ -1,0 +1,438 @@
+// Package asm provides a programmatic assembler for VSA code: a builder
+// DSL with labels, symbol relocation and a data segment. The in-sim
+// kernel and the compiler back end both emit code through it.
+package asm
+
+import (
+	"fmt"
+	"sort"
+
+	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
+)
+
+// relocKind describes how an instruction's immediate is patched once
+// symbol addresses are known.
+type relocKind int
+
+const (
+	relocNone   relocKind = iota
+	relocBranch           // PC-relative conditional branch
+	relocJAL              // PC-relative jump
+	relocHi               // LUI with the high 20 bits of a symbol
+	relocLo               // ADDI with the low 12 bits of a symbol
+)
+
+type entry struct {
+	in    isa.Instr
+	reloc relocKind
+	sym   string
+}
+
+// Builder assembles one program image (text followed by data).
+type Builder struct {
+	is       isa.ISA
+	textBase uint64
+	text     []entry
+	labels   map[string]int // text label -> instruction index
+	data     []byte
+	dataLbl  map[string]uint64 // data label -> offset in data
+	errs     []string
+}
+
+// NewBuilder creates a builder for ISA variant is with the text segment
+// based at textBase.
+func NewBuilder(is isa.ISA, textBase uint64) *Builder {
+	return &Builder{
+		is:       is,
+		textBase: textBase,
+		labels:   make(map[string]int),
+		dataLbl:  make(map[string]uint64),
+	}
+}
+
+// ISA returns the target ISA variant.
+func (b *Builder) ISA() isa.ISA { return b.is }
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Sprintf(format, args...))
+}
+
+// PC returns the address of the next emitted instruction.
+func (b *Builder) PC() uint64 { return b.textBase + uint64(len(b.text))*4 }
+
+// Label defines a text label at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+	}
+	b.labels[name] = len(b.text)
+}
+
+func (b *Builder) emit(in isa.Instr) { b.text = append(b.text, entry{in: in}) }
+
+func (b *Builder) emitReloc(in isa.Instr, k relocKind, sym string) {
+	b.text = append(b.text, entry{in: in, reloc: k, sym: sym})
+}
+
+// --- R-type ---
+
+func (b *Builder) rtype(op isa.Op, rd, rs1, rs2 int) {
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Inst emits an arbitrary R-type instruction (testing convenience).
+func (b *Builder) Inst(op isa.Op, rd, rs1, rs2 int) { b.rtype(op, rd, rs1, rs2) }
+
+func (b *Builder) Add(rd, rs1, rs2 int)  { b.rtype(isa.ADD, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 int)  { b.rtype(isa.SUB, rd, rs1, rs2) }
+func (b *Builder) Sll(rd, rs1, rs2 int)  { b.rtype(isa.SLL, rd, rs1, rs2) }
+func (b *Builder) Slt(rd, rs1, rs2 int)  { b.rtype(isa.SLT, rd, rs1, rs2) }
+func (b *Builder) Sltu(rd, rs1, rs2 int) { b.rtype(isa.SLTU, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 int)  { b.rtype(isa.XOR, rd, rs1, rs2) }
+func (b *Builder) Srl(rd, rs1, rs2 int)  { b.rtype(isa.SRL, rd, rs1, rs2) }
+func (b *Builder) Sra(rd, rs1, rs2 int)  { b.rtype(isa.SRA, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 int)   { b.rtype(isa.OR, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 int)  { b.rtype(isa.AND, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 int)  { b.rtype(isa.MUL, rd, rs1, rs2) }
+func (b *Builder) Div(rd, rs1, rs2 int)  { b.rtype(isa.DIV, rd, rs1, rs2) }
+func (b *Builder) Divu(rd, rs1, rs2 int) { b.rtype(isa.DIVU, rd, rs1, rs2) }
+func (b *Builder) Rem(rd, rs1, rs2 int)  { b.rtype(isa.REM, rd, rs1, rs2) }
+func (b *Builder) Remu(rd, rs1, rs2 int) { b.rtype(isa.REMU, rd, rs1, rs2) }
+
+// --- I-type ALU ---
+
+func (b *Builder) itype(op isa.Op, rd, rs1 int, imm int64) {
+	if op != isa.SLLI && op != isa.SRLI && op != isa.SRAI && (imm < -2048 || imm > 2047) {
+		b.errf("%v: immediate %d out of range", op, imm)
+		imm = 0
+	}
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (b *Builder) Addi(rd, rs1 int, imm int64)  { b.itype(isa.ADDI, rd, rs1, imm) }
+func (b *Builder) Slti(rd, rs1 int, imm int64)  { b.itype(isa.SLTI, rd, rs1, imm) }
+func (b *Builder) Sltiu(rd, rs1 int, imm int64) { b.itype(isa.SLTIU, rd, rs1, imm) }
+func (b *Builder) Xori(rd, rs1 int, imm int64)  { b.itype(isa.XORI, rd, rs1, imm) }
+func (b *Builder) Ori(rd, rs1 int, imm int64)   { b.itype(isa.ORI, rd, rs1, imm) }
+func (b *Builder) Andi(rd, rs1 int, imm int64)  { b.itype(isa.ANDI, rd, rs1, imm) }
+
+func (b *Builder) shift(op isa.Op, rd, rs1 int, sh int64) {
+	if sh < 0 || sh >= int64(b.is.XLen()) {
+		b.errf("%v: shift amount %d out of range", op, sh)
+		sh = 0
+	}
+	b.emit(isa.Instr{Op: op, Rd: rd, Rs1: rs1, Imm: sh})
+}
+
+func (b *Builder) Slli(rd, rs1 int, sh int64) { b.shift(isa.SLLI, rd, rs1, sh) }
+func (b *Builder) Srli(rd, rs1 int, sh int64) { b.shift(isa.SRLI, rd, rs1, sh) }
+func (b *Builder) Srai(rd, rs1 int, sh int64) { b.shift(isa.SRAI, rd, rs1, sh) }
+
+// --- memory ---
+
+func (b *Builder) memop(op isa.Op, r, rs1 int, off int64) {
+	if off < -2048 || off > 2047 {
+		b.errf("%v: offset %d out of range", op, off)
+		off = 0
+	}
+	if b.is == isa.VSA32 && (op == isa.LD || op == isa.SD || op == isa.LWU) {
+		b.errf("%v not available on VSA32", op)
+		return
+	}
+	in := isa.Instr{Op: op, Rs1: rs1, Imm: off}
+	if op.IsStore() {
+		in.Rs2 = r
+	} else {
+		in.Rd = r
+	}
+	b.emit(in)
+}
+
+func (b *Builder) Lb(rd int, off int64, rs1 int)  { b.memop(isa.LB, rd, rs1, off) }
+func (b *Builder) Lh(rd int, off int64, rs1 int)  { b.memop(isa.LH, rd, rs1, off) }
+func (b *Builder) Lw(rd int, off int64, rs1 int)  { b.memop(isa.LW, rd, rs1, off) }
+func (b *Builder) Ld(rd int, off int64, rs1 int)  { b.memop(isa.LD, rd, rs1, off) }
+func (b *Builder) Lbu(rd int, off int64, rs1 int) { b.memop(isa.LBU, rd, rs1, off) }
+func (b *Builder) Lhu(rd int, off int64, rs1 int) { b.memop(isa.LHU, rd, rs1, off) }
+func (b *Builder) Lwu(rd int, off int64, rs1 int) { b.memop(isa.LWU, rd, rs1, off) }
+func (b *Builder) Sb(rs2 int, off int64, rs1 int) { b.memop(isa.SB, rs2, rs1, off) }
+func (b *Builder) Sh(rs2 int, off int64, rs1 int) { b.memop(isa.SH, rs2, rs1, off) }
+func (b *Builder) Sw(rs2 int, off int64, rs1 int) { b.memop(isa.SW, rs2, rs1, off) }
+func (b *Builder) Sd(rs2 int, off int64, rs1 int) { b.memop(isa.SD, rs2, rs1, off) }
+
+// Lword/Sword are word-size (XLen) accesses: LW/SW on VSA32, LD/SD on
+// VSA64. Portable kernel and runtime code uses these.
+func (b *Builder) Lword(rd int, off int64, rs1 int) {
+	if b.is == isa.VSA32 {
+		b.Lw(rd, off, rs1)
+	} else {
+		b.Ld(rd, off, rs1)
+	}
+}
+
+func (b *Builder) Sword(rs2 int, off int64, rs1 int) {
+	if b.is == isa.VSA32 {
+		b.Sw(rs2, off, rs1)
+	} else {
+		b.Sd(rs2, off, rs1)
+	}
+}
+
+// --- control flow ---
+
+func (b *Builder) branch(op isa.Op, rs1, rs2 int, label string) {
+	b.emitReloc(isa.Instr{Op: op, Rs1: rs1, Rs2: rs2}, relocBranch, label)
+}
+
+func (b *Builder) Beq(rs1, rs2 int, l string)  { b.branch(isa.BEQ, rs1, rs2, l) }
+func (b *Builder) Bne(rs1, rs2 int, l string)  { b.branch(isa.BNE, rs1, rs2, l) }
+func (b *Builder) Blt(rs1, rs2 int, l string)  { b.branch(isa.BLT, rs1, rs2, l) }
+func (b *Builder) Bge(rs1, rs2 int, l string)  { b.branch(isa.BGE, rs1, rs2, l) }
+func (b *Builder) Bltu(rs1, rs2 int, l string) { b.branch(isa.BLTU, rs1, rs2, l) }
+func (b *Builder) Bgeu(rs1, rs2 int, l string) { b.branch(isa.BGEU, rs1, rs2, l) }
+
+// Jal emits a jump-and-link to a label.
+func (b *Builder) Jal(rd int, label string) {
+	b.emitReloc(isa.Instr{Op: isa.JAL, Rd: rd}, relocJAL, label)
+}
+
+// Jmp is an unconditional jump to a label.
+func (b *Builder) Jmp(label string) { b.Jal(isa.RegZero, label) }
+
+// Call jumps to label storing the return address in ra.
+func (b *Builder) Call(label string) { b.Jal(isa.RegRA, label) }
+
+// Jalr emits an indirect jump.
+func (b *Builder) Jalr(rd, rs1 int, off int64) {
+	b.itype(isa.JALR, rd, rs1, off)
+}
+
+// Ret returns via ra.
+func (b *Builder) Ret() { b.Jalr(isa.RegZero, isa.RegRA, 0) }
+
+// --- misc ---
+
+func (b *Builder) Lui(rd int, imm int64) {
+	b.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: imm})
+}
+
+func (b *Builder) Nop()   { b.Addi(isa.RegZero, isa.RegZero, 0) }
+func (b *Builder) Ecall() { b.emit(isa.Instr{Op: isa.ECALL}) }
+func (b *Builder) Eret()  { b.emit(isa.Instr{Op: isa.ERET}) }
+
+func (b *Builder) Csrw(csr int, rs1 int) {
+	b.emit(isa.Instr{Op: isa.CSRW, Rs1: rs1, Imm: int64(csr)})
+}
+
+func (b *Builder) Csrr(rd int, csr int) {
+	b.emit(isa.Instr{Op: isa.CSRR, Rd: rd, Imm: int64(csr)})
+}
+
+// Mv copies rs into rd.
+func (b *Builder) Mv(rd, rs int) { b.Addi(rd, rs, 0) }
+
+// La materializes the address of a symbol (text or data label) into rd
+// using a LUI+ADDI pair.
+func (b *Builder) La(rd int, sym string) {
+	b.emitReloc(isa.Instr{Op: isa.LUI, Rd: rd}, relocHi, sym)
+	b.emitReloc(isa.Instr{Op: isa.ADDI, Rd: rd, Rs1: rd}, relocLo, sym)
+}
+
+// Li materializes an arbitrary constant into rd. Constants representable
+// as a sign-extended 32-bit value take at most two instructions; full
+// 64-bit constants use rd plus the TMP scratch register.
+func (b *Builder) Li(rd int, v int64) {
+	if v >= -2048 && v <= 2047 {
+		b.Addi(rd, isa.RegZero, v)
+		return
+	}
+	if int64(int32(v)) == v {
+		b.li32(rd, int32(v))
+		return
+	}
+	if b.is == isa.VSA32 {
+		// Only the low 32 bits are architecturally meaningful.
+		b.li32(rd, int32(uint32(v)))
+		return
+	}
+	// 64-bit: hi32 << 32 | zero-extended lo32, via the scratch register.
+	b.li32(rd, int32(v>>32))
+	b.Slli(rd, rd, 32)
+	b.li32(isa.RegTMP, int32(uint32(v)))
+	b.Slli(isa.RegTMP, isa.RegTMP, 32)
+	b.Srli(isa.RegTMP, isa.RegTMP, 32)
+	b.Or(rd, rd, isa.RegTMP)
+}
+
+func (b *Builder) li32(rd int, v int32) {
+	hi := (int64(v) + 0x800) >> 12 << 12
+	lo := int64(v) - hi
+	if int64(int32(hi)) != hi {
+		// v in (0x7FFFF7FF, 0x7FFFFFFF]: hi would be +2^31, which LUI
+		// cannot encode. Wrap it modulo 2^32 — correct on VSA32; on
+		// VSA64 the upper bits must then be re-zeroed.
+		b.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: int64(int32(uint32(hi)))})
+		if lo != 0 {
+			b.Addi(rd, rd, lo)
+		}
+		if b.is == isa.VSA64 {
+			b.Slli(rd, rd, 32)
+			b.Srli(rd, rd, 32)
+		}
+		return
+	}
+	b.emit(isa.Instr{Op: isa.LUI, Rd: rd, Imm: hi})
+	if lo != 0 {
+		b.Addi(rd, rd, lo)
+	}
+}
+
+// --- data segment ---
+
+// DataLabel defines a label at the current end of the data segment.
+func (b *Builder) DataLabel(name string) {
+	if _, dup := b.dataLbl[name]; dup {
+		b.errf("duplicate data label %q", name)
+	}
+	b.dataLbl[name] = uint64(len(b.data))
+}
+
+// Bytes appends raw bytes to the data segment.
+func (b *Builder) Bytes(p []byte) { b.data = append(b.data, p...) }
+
+// Zero appends n zero bytes.
+func (b *Builder) Zero(n int) { b.data = append(b.data, make([]byte, n)...) }
+
+// Align pads the data segment to an n-byte boundary.
+func (b *Builder) Align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Words appends word-size (XLen) little-endian values.
+func (b *Builder) Words(vs []uint64) {
+	wb := b.is.WordBytes()
+	for _, v := range vs {
+		for i := 0; i < wb; i++ {
+			b.data = append(b.data, byte(v>>(8*i)))
+		}
+	}
+}
+
+// Words32 appends 32-bit little-endian values regardless of ISA.
+func (b *Builder) Words32(vs []uint32) {
+	for _, v := range vs {
+		b.data = append(b.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+}
+
+// Program is a fully assembled, loadable image.
+type Program struct {
+	ISA      isa.ISA
+	Entry    uint64
+	TextAddr uint64
+	Text     []byte // encoded instructions
+	DataAddr uint64
+	Data     []byte
+	Symbols  map[string]uint64
+}
+
+// Load copies the image into RAM.
+func (p *Program) Load(m *mem.Memory) error {
+	if !m.WriteBytes(p.TextAddr, p.Text) {
+		return fmt.Errorf("asm: text segment [%#x,+%d) does not fit in RAM", p.TextAddr, len(p.Text))
+	}
+	if !m.WriteBytes(p.DataAddr, p.Data) {
+		return fmt.Errorf("asm: data segment [%#x,+%d) does not fit in RAM", p.DataAddr, len(p.Data))
+	}
+	return nil
+}
+
+// End returns the first address past the image (heap start).
+func (p *Program) End() uint64 { return p.DataAddr + uint64(len(p.Data)) }
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint64 { return p.TextAddr + uint64(len(p.Text)) }
+
+// NumInstrs returns the static instruction count.
+func (p *Program) NumInstrs() int { return len(p.Text) / 4 }
+
+// Symbol returns the address of a symbol, with ok reporting existence.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// Finish resolves all labels and returns the assembled program. The
+// entry point is the label "_start" if present, else the text base.
+func (b *Builder) Finish() (*Program, error) {
+	dataAddr := (b.PC() + 15) &^ 15
+	syms := make(map[string]uint64, len(b.labels)+len(b.dataLbl))
+	for name, idx := range b.labels {
+		syms[name] = b.textBase + uint64(idx)*4
+	}
+	for name, off := range b.dataLbl {
+		if _, dup := syms[name]; dup {
+			b.errf("label %q defined in both text and data", name)
+		}
+		syms[name] = dataAddr + off
+	}
+
+	text := make([]byte, 0, len(b.text)*4)
+	for i, e := range b.text {
+		pc := b.textBase + uint64(i)*4
+		in := e.in
+		if e.reloc != relocNone {
+			target, ok := syms[e.sym]
+			if !ok {
+				b.errf("undefined symbol %q", e.sym)
+				target = pc
+			}
+			switch e.reloc {
+			case relocBranch:
+				off := int64(target) - int64(pc)
+				if off < -2048*4 || off > 2047*4 {
+					b.errf("branch to %q out of range (%d bytes)", e.sym, off)
+					off = 0
+				}
+				in.Imm = off
+			case relocJAL:
+				off := int64(target) - int64(pc)
+				if off < -(1<<21) || off >= 1<<21 {
+					b.errf("jump to %q out of range (%d bytes)", e.sym, off)
+					off = 0
+				}
+				in.Imm = off
+			case relocHi:
+				hi := (int64(target) + 0x800) >> 12 << 12
+				in.Imm = int64(int32(uint32(hi)))
+			case relocLo:
+				hi := (int64(target) + 0x800) >> 12 << 12
+				in.Imm = int64(target) - hi
+			}
+		}
+		w := isa.Encode(in)
+		text = append(text, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+
+	if len(b.errs) > 0 {
+		sort.Strings(b.errs)
+		return nil, fmt.Errorf("asm: %d errors; first: %s", len(b.errs), b.errs[0])
+	}
+
+	entry := b.textBase
+	if a, ok := syms["_start"]; ok {
+		entry = a
+	}
+	return &Program{
+		ISA:      b.is,
+		Entry:    entry,
+		TextAddr: b.textBase,
+		Text:     text,
+		DataAddr: dataAddr,
+		Data:     append([]byte(nil), b.data...),
+		Symbols:  syms,
+	}, nil
+}

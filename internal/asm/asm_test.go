@@ -1,0 +1,175 @@
+package asm
+
+import (
+	"testing"
+
+	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("_start")
+	b.Addi(4, 0, 10)
+	b.Label("loop")
+	b.Addi(4, 4, -1)
+	b.Bne(4, 0, "loop")
+	b.Ret()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != mem.UserBase {
+		t.Fatalf("entry %#x", p.Entry)
+	}
+	if p.NumInstrs() != 4 {
+		t.Fatalf("instrs: %d", p.NumInstrs())
+	}
+	// Instruction 2 is the bne back to instruction 1: offset -4.
+	w := uint32(p.Text[8]) | uint32(p.Text[9])<<8 | uint32(p.Text[10])<<16 | uint32(p.Text[11])<<24
+	in, ok := isa.Decode(w, isa.VSA64)
+	if !ok || in.Op != isa.BNE || in.Imm != -4 {
+		t.Fatalf("branch reloc: %v imm=%d", in.Op, in.Imm)
+	}
+}
+
+func TestUndefinedAndDuplicateSymbols(t *testing.T) {
+	b := NewBuilder(isa.VSA64, mem.UserBase)
+	b.Jmp("nowhere")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("undefined symbol must error")
+	}
+	b = NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("x")
+	b.Label("x")
+	b.Nop()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("duplicate label must error")
+	}
+	b = NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("y")
+	b.Nop()
+	b.DataLabel("y")
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("text/data label clash must error")
+	}
+}
+
+func TestImmediateRangeErrors(t *testing.T) {
+	b := NewBuilder(isa.VSA64, mem.UserBase)
+	b.Addi(4, 4, 4096)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("oversized immediate must error")
+	}
+	b = NewBuilder(isa.VSA32, mem.UserBase)
+	b.Ld(4, 0, 5)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("LD on VSA32 must error")
+	}
+	b = NewBuilder(isa.VSA32, mem.UserBase)
+	b.Slli(4, 4, 40)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("shift 40 on VSA32 must error")
+	}
+}
+
+func TestDataSegmentLayout(t *testing.T) {
+	b := NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("_start")
+	b.Nop()
+	b.DataLabel("tbl")
+	b.Words32([]uint32{1, 2, 3})
+	b.Align(8)
+	b.DataLabel("buf")
+	b.Zero(16)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := p.Symbol("tbl")
+	if !ok {
+		t.Fatal("tbl symbol missing")
+	}
+	if tbl%16 != 0 || tbl < p.TextEnd() {
+		t.Fatalf("data base %#x (text end %#x)", tbl, p.TextEnd())
+	}
+	buf, _ := p.Symbol("buf")
+	if buf != tbl+16 { // 12 bytes of words + 4 alignment
+		t.Fatalf("buf at %#x, tbl at %#x", buf, tbl)
+	}
+	if p.End() != buf+16 {
+		t.Fatalf("end %#x", p.End())
+	}
+	m := mem.New(0)
+	if err := p.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Read(tbl+4, 4)
+	if v != 2 {
+		t.Fatalf("loaded data: %d", v)
+	}
+}
+
+func TestWordsRespectISAWidth(t *testing.T) {
+	b32 := NewBuilder(isa.VSA32, mem.UserBase)
+	b32.Nop()
+	b32.DataLabel("w")
+	b32.Words([]uint64{0x1122334455667788})
+	p32, err := b32.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p32.Data) != 4 {
+		t.Fatalf("VSA32 word size: %d", len(p32.Data))
+	}
+	b64 := NewBuilder(isa.VSA64, mem.UserBase)
+	b64.Nop()
+	b64.DataLabel("w")
+	b64.Words([]uint64{0x1122334455667788})
+	p64, _ := b64.Finish()
+	if len(p64.Data) != 8 {
+		t.Fatalf("VSA64 word size: %d", len(p64.Data))
+	}
+}
+
+func TestLaResolvesDataSymbols(t *testing.T) {
+	b := NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("_start")
+	b.La(4, "blob")
+	b.Ret()
+	b.DataLabel("blob")
+	b.Zero(8)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := p.Symbol("blob")
+	// Decode the LUI+ADDI pair and recompute the address.
+	w0 := uint32(p.Text[0]) | uint32(p.Text[1])<<8 | uint32(p.Text[2])<<16 | uint32(p.Text[3])<<24
+	w1 := uint32(p.Text[4]) | uint32(p.Text[5])<<8 | uint32(p.Text[6])<<16 | uint32(p.Text[7])<<24
+	lui, _ := isa.Decode(w0, isa.VSA64)
+	addi, _ := isa.Decode(w1, isa.VSA64)
+	if got := uint64(lui.Imm + addi.Imm); got != want {
+		t.Fatalf("La materialized %#x want %#x", got, want)
+	}
+}
+
+func TestLwordSwordPortability(t *testing.T) {
+	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+		b := NewBuilder(is, mem.UserBase)
+		b.Lword(4, 0, 5)
+		b.Sword(4, 8, 5)
+		p, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := uint32(p.Text[0]) | uint32(p.Text[1])<<8 | uint32(p.Text[2])<<16 | uint32(p.Text[3])<<24
+		in, _ := isa.Decode(w, is)
+		if is == isa.VSA32 && in.Op != isa.LW {
+			t.Fatalf("VSA32 Lword: %v", in.Op)
+		}
+		if is == isa.VSA64 && in.Op != isa.LD {
+			t.Fatalf("VSA64 Lword: %v", in.Op)
+		}
+	}
+}

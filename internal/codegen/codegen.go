@@ -1,0 +1,459 @@
+// Package codegen lowers IR modules to VSA machine code. It performs a
+// simple per-block register allocation: virtual registers live in frame
+// slots, and a block-local register cache keeps hot values in physical
+// registers, writing dirty values back at block boundaries and calls.
+package codegen
+
+import (
+	"fmt"
+
+	"vulnstack/internal/asm"
+	"vulnstack/internal/ir"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
+)
+
+// Build compiles an IR module into a loadable VSA program for the given
+// ISA variant. The module must have been generated for the matching
+// word width (32 for VSA32, 64 for VSA64).
+func Build(m *ir.Module, is isa.ISA) (*asm.Program, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("codegen: %w", err)
+	}
+	b := asm.NewBuilder(is, mem.UserBase)
+	g := &gen{m: m, b: b, is: is, wb: is.WordBytes()}
+
+	// _start first so the image entry point is the program start.
+	if start, ok := m.Lookup("_start"); ok {
+		b.Label("_start")
+		g.genFunc(start)
+	} else {
+		return nil, fmt.Errorf("codegen: module has no _start")
+	}
+	for _, f := range m.Funcs {
+		if f.Name == "_start" {
+			continue
+		}
+		g.genFunc(f)
+	}
+	for _, gl := range m.Globals {
+		b.Align(8)
+		b.DataLabel("g_" + gl.Name)
+		pad := make([]byte, gl.Size)
+		copy(pad, gl.Init)
+		b.Bytes(pad)
+	}
+	return b.Finish()
+}
+
+type gen struct {
+	m  *ir.Module
+	b  *asm.Builder
+	is isa.ISA
+	wb int
+
+	f         *ir.Func
+	frameSize int64
+	raOff     int64
+	slotOff   []int64 // frame-slot offsets
+
+	// Register cache state.
+	pool  []int
+	bound map[int]int  // vreg -> phys reg
+	owner map[int]int  // phys reg -> vreg
+	dirty map[int]bool // phys reg dirty
+	stamp map[int]int64
+	tick  int64
+}
+
+const (
+	regA0 = isa.RegA0
+	regA1 = isa.RegA1
+	regA2 = isa.RegA2
+	tmp   = isa.RegTMP
+	sp    = isa.RegSP
+	ra    = isa.RegRA
+)
+
+func (g *gen) funcLabel(name string) string { return "f_" + name }
+
+func (g *gen) blockLabel(fn string, b int) string {
+	return fmt.Sprintf("f_%s_b%d", fn, b)
+}
+
+// vregOff returns the frame offset of a vreg's home slot.
+func (g *gen) vregOff(v int) int64 { return int64(v) * int64(g.wb) }
+
+func (g *gen) genFunc(f *ir.Func) {
+	g.f = f
+	// Frame layout: [vreg slots][saved ra][frame slots], 16-aligned.
+	off := int64(f.NumVReg) * int64(g.wb)
+	g.raOff = off
+	off += int64(g.wb)
+	g.slotOff = g.slotOff[:0]
+	for _, s := range f.Slots {
+		align := int64(s.Align)
+		if align < 1 {
+			align = 1
+		}
+		off = (off + align - 1) &^ (align - 1)
+		g.slotOff = append(g.slotOff, off)
+		off += int64(s.Size)
+	}
+	g.frameSize = (off + 15) &^ 15
+
+	// Allocatable pool: r8 and up (r0-r7 are zero/ra/sp/tmp/args).
+	g.pool = g.pool[:0]
+	for r := 8; r < g.is.NumRegs(); r++ {
+		g.pool = append(g.pool, r)
+	}
+
+	b := g.b
+	b.Label(g.funcLabel(f.Name))
+	g.addSP(-g.frameSize)
+	g.storeSP(ra, g.raOff)
+	// Copy incoming arguments (caller-pushed above our frame) into the
+	// parameter vregs' home slots.
+	for i := 0; i < f.NumArgs; i++ {
+		g.loadSP(tmp, g.frameSize+int64(i)*int64(g.wb))
+		g.storeSP(tmp, g.vregOff(i))
+	}
+
+	for bi, blk := range f.Blocks {
+		b.Label(g.blockLabel(f.Name, bi))
+		g.resetCache()
+		for ii := range blk.Instrs {
+			g.genInstr(&blk.Instrs[ii])
+		}
+	}
+}
+
+// addSP adjusts the stack pointer by delta (may exceed 12-bit range).
+func (g *gen) addSP(delta int64) {
+	if delta == 0 {
+		return
+	}
+	if delta >= -2048 && delta <= 2047 {
+		g.b.Addi(sp, sp, delta)
+		return
+	}
+	g.b.Li(tmp, delta)
+	g.b.Add(sp, sp, tmp)
+}
+
+// loadSP loads a word from sp+off into reg, handling large offsets.
+func (g *gen) loadSP(reg int, off int64) {
+	if off >= -2048 && off <= 2047 {
+		g.b.Lword(reg, off, sp)
+		return
+	}
+	g.b.Li(tmp, off)
+	g.b.Add(tmp, sp, tmp)
+	g.b.Lword(reg, 0, tmp)
+}
+
+// storeSP stores reg to sp+off, handling large offsets. reg must not be
+// tmp when the offset is large.
+func (g *gen) storeSP(reg int, off int64) {
+	if off >= -2048 && off <= 2047 {
+		g.b.Sword(reg, off, sp)
+		return
+	}
+	if reg == tmp {
+		// Move the value aside first: tmp is needed for the address.
+		panic("codegen: storeSP(tmp) with large offset")
+	}
+	g.b.Li(tmp, off)
+	g.b.Add(tmp, sp, tmp)
+	g.b.Sword(reg, 0, tmp)
+}
+
+// --- register cache ---
+
+func (g *gen) resetCache() {
+	g.bound = make(map[int]int)
+	g.owner = make(map[int]int)
+	g.dirty = make(map[int]bool)
+	g.stamp = make(map[int]int64)
+}
+
+// alloc returns a free physical register, spilling the least recently
+// used one if necessary. Registers in pinned are not evicted.
+func (g *gen) alloc(pinned map[int]bool) int {
+	for _, r := range g.pool {
+		if _, used := g.owner[r]; !used {
+			return r
+		}
+	}
+	victim, best := -1, int64(1<<62)
+	for _, r := range g.pool {
+		if pinned[r] {
+			continue
+		}
+		if g.stamp[r] < best {
+			victim, best = r, g.stamp[r]
+		}
+	}
+	if victim < 0 {
+		panic("codegen: register pool exhausted")
+	}
+	g.spill(victim)
+	return victim
+}
+
+func (g *gen) spill(r int) {
+	v, ok := g.owner[r]
+	if !ok {
+		return
+	}
+	if g.dirty[r] {
+		g.storeSP(r, g.vregOff(v))
+	}
+	delete(g.owner, r)
+	delete(g.bound, v)
+	delete(g.dirty, r)
+}
+
+// use returns a register holding vreg v's current value.
+func (g *gen) use(v int, pinned map[int]bool) int {
+	if r, ok := g.bound[v]; ok {
+		g.tick++
+		g.stamp[r] = g.tick
+		return r
+	}
+	r := g.alloc(pinned)
+	g.loadSP(r, g.vregOff(v))
+	g.bind(v, r, false)
+	return r
+}
+
+// def returns a register for defining vreg v (no load).
+func (g *gen) def(v int, pinned map[int]bool) int {
+	if r, ok := g.bound[v]; ok {
+		g.tick++
+		g.stamp[r] = g.tick
+		g.dirty[r] = true
+		return r
+	}
+	r := g.alloc(pinned)
+	g.bind(v, r, true)
+	return r
+}
+
+func (g *gen) bind(v, r int, dirty bool) {
+	g.bound[v] = r
+	g.owner[r] = v
+	g.dirty[r] = dirty
+	g.tick++
+	g.stamp[r] = g.tick
+}
+
+// flush writes every dirty binding back and clears the cache.
+func (g *gen) flush() {
+	// Deterministic order: iterate the pool.
+	for _, r := range g.pool {
+		if _, ok := g.owner[r]; ok {
+			g.spill(r)
+		}
+	}
+}
+
+func pin(rs ...int) map[int]bool {
+	m := make(map[int]bool, len(rs))
+	for _, r := range rs {
+		m[r] = true
+	}
+	return m
+}
+
+// --- instruction lowering ---
+
+func (g *gen) genInstr(in *ir.Instr) {
+	b := g.b
+	switch in.Op {
+	case ir.OpConst:
+		d := g.def(in.Dst, nil)
+		b.Li(d, in.Imm)
+
+	case ir.OpCopy:
+		a := g.use(in.A, nil)
+		d := g.def(in.Dst, pin(a))
+		b.Mv(d, a)
+
+	case ir.OpBin:
+		g.genBin(in)
+
+	case ir.OpLoad:
+		a := g.use(in.A, nil)
+		d := g.def(in.Dst, pin(a))
+		switch {
+		case in.Size == 1 && in.Unsigned:
+			b.Lbu(d, 0, a)
+		case in.Size == 1:
+			b.Lb(d, 0, a)
+		case in.Size == 2 && in.Unsigned:
+			b.Lhu(d, 0, a)
+		case in.Size == 2:
+			b.Lh(d, 0, a)
+		case in.Size == 4 && g.is == isa.VSA64 && in.Unsigned:
+			b.Lwu(d, 0, a)
+		case in.Size == 4 && g.is == isa.VSA64:
+			b.Lw(d, 0, a)
+		case in.Size == 4:
+			b.Lw(d, 0, a)
+		default:
+			b.Ld(d, 0, a)
+		}
+
+	case ir.OpStore:
+		a := g.use(in.A, nil)
+		v := g.use(in.B, pin(a))
+		switch in.Size {
+		case 1:
+			b.Sb(v, 0, a)
+		case 2:
+			b.Sh(v, 0, a)
+		case 4:
+			b.Sw(v, 0, a)
+		default:
+			b.Sd(v, 0, a)
+		}
+
+	case ir.OpGlobal:
+		d := g.def(in.Dst, nil)
+		b.La(d, "g_"+in.Sym)
+
+	case ir.OpFrame:
+		d := g.def(in.Dst, nil)
+		off := g.slotOff[in.Slot]
+		if off <= 2047 {
+			b.Addi(d, sp, off)
+		} else {
+			b.Li(d, off)
+			b.Add(d, sp, d)
+		}
+
+	case ir.OpCall:
+		g.genCall(in)
+
+	case ir.OpSyscall:
+		g.genSyscall(in)
+
+	case ir.OpRet:
+		if in.A >= 0 {
+			r := g.use(in.A, nil)
+			b.Mv(regA0, r)
+		}
+		g.loadSP(ra, g.raOff)
+		g.addSP(g.frameSize)
+		b.Ret()
+		g.resetCache()
+
+	case ir.OpBr:
+		g.flush()
+		b.Jmp(g.blockLabel(g.f.Name, in.Target))
+
+	case ir.OpCondBr:
+		c := g.use(in.A, nil)
+		g.flush()
+		b.Bne(c, isa.RegZero, g.blockLabel(g.f.Name, in.Target))
+		b.Jmp(g.blockLabel(g.f.Name, in.Else))
+	}
+}
+
+func (g *gen) genBin(in *ir.Instr) {
+	b := g.b
+	a := g.use(in.A, nil)
+	r2 := g.use(in.B, pin(a))
+	d := g.def(in.Dst, pin(a, r2))
+	switch in.Bin {
+	case ir.Add:
+		b.Add(d, a, r2)
+	case ir.Sub:
+		b.Sub(d, a, r2)
+	case ir.Mul:
+		b.Mul(d, a, r2)
+	case ir.Div:
+		b.Div(d, a, r2)
+	case ir.Rem:
+		b.Rem(d, a, r2)
+	case ir.And:
+		b.And(d, a, r2)
+	case ir.Or:
+		b.Or(d, a, r2)
+	case ir.Xor:
+		b.Xor(d, a, r2)
+	case ir.Shl:
+		b.Sll(d, a, r2)
+	case ir.LShr:
+		b.Srl(d, a, r2)
+	case ir.AShr:
+		b.Sra(d, a, r2)
+	case ir.Eq:
+		b.Xor(tmp, a, r2)
+		b.Sltiu(d, tmp, 1)
+	case ir.Ne:
+		b.Xor(tmp, a, r2)
+		b.Sltu(d, isa.RegZero, tmp)
+	case ir.Lt:
+		b.Slt(d, a, r2)
+	case ir.Le:
+		b.Slt(d, r2, a)
+		b.Xori(d, d, 1)
+	case ir.Gt:
+		b.Slt(d, r2, a)
+	case ir.Ge:
+		b.Slt(d, a, r2)
+		b.Xori(d, d, 1)
+	case ir.LtU:
+		b.Sltu(d, a, r2)
+	case ir.GeU:
+		b.Sltu(d, a, r2)
+		b.Xori(d, d, 1)
+	}
+}
+
+func (g *gen) genCall(in *ir.Instr) {
+	b := g.b
+	wb := int64(g.wb)
+	argBytes := (int64(len(in.Args))*wb + 15) &^ 15
+	// Stage arguments below the current stack pointer, then adjust sp.
+	for i, av := range in.Args {
+		r := g.use(av, nil)
+		off := -argBytes + int64(i)*wb
+		b.Sword(r, off, sp)
+	}
+	g.flush()
+	g.addSP(-argBytes)
+	b.Call(g.funcLabel(in.Sym))
+	g.addSP(argBytes)
+	if in.HasDst() {
+		d := g.def(in.Dst, nil)
+		b.Mv(d, regA0)
+	}
+}
+
+func (g *gen) genSyscall(in *ir.Instr) {
+	b := g.b
+	// Load values, then move into the argument registers (which are
+	// outside the allocatable pool), then flush and trap.
+	n := g.use(in.A, nil)
+	var args []int
+	pins := pin(n)
+	for _, av := range in.Args {
+		r := g.use(av, pins)
+		pins[r] = true
+		args = append(args, r)
+	}
+	b.Mv(regA0, n)
+	if len(args) > 0 {
+		b.Mv(regA1, args[0])
+	}
+	if len(args) > 1 {
+		b.Mv(regA2, args[1])
+	}
+	g.flush()
+	b.Ecall()
+	d := g.def(in.Dst, nil)
+	b.Mv(d, regA0)
+}

@@ -1,0 +1,116 @@
+package dev
+
+import (
+	"bytes"
+	"testing"
+
+	"vulnstack/internal/mem"
+)
+
+func newBus(t *testing.T) *Bus {
+	t.Helper()
+	return NewBus(mem.New(1 << 16))
+}
+
+func TestHaltPorts(t *testing.T) {
+	b := newBus(t)
+	if b.Halted() {
+		t.Fatal("fresh bus must not be halted")
+	}
+	b.Store(mem.MMIOBase+RegHalt, 8, 42)
+	if b.Halt != HaltClean || b.ExitCode != 42 || !b.Halted() {
+		t.Fatalf("halt: %v %d", b.Halt, b.ExitCode)
+	}
+
+	b = newBus(t)
+	b.Store(mem.MMIOBase+RegDetect, 8, 7)
+	if b.Halt != HaltDetected || b.DetectCode != 7 {
+		t.Fatal("detect port")
+	}
+
+	b = newBus(t)
+	b.Store(mem.MMIOBase+RegPanic, 8, 2)
+	if b.Halt != HaltPanic || b.PanicCode != 2 {
+		t.Fatal("panic port")
+	}
+}
+
+func TestDMATransfer(t *testing.T) {
+	b := newBus(t)
+	payload := []byte("escaped fault path")
+	b.Mem.WriteBytes(0x2000, payload)
+	b.Store(mem.MMIOBase+RegDMASrc, 8, 0x2000)
+	b.Store(mem.MMIOBase+RegDMALen, 8, uint64(len(payload)))
+	b.Store(mem.MMIOBase+RegDMACtrl, 8, 1)
+	if !bytes.Equal(b.Out, payload) {
+		t.Fatalf("DMA out: %q", b.Out)
+	}
+	if b.DMAErr {
+		t.Fatal("unexpected DMA error")
+	}
+	// Control writes with bit 0 clear do nothing.
+	b.Store(mem.MMIOBase+RegDMACtrl, 8, 2)
+	if len(b.Out) != len(payload) {
+		t.Fatal("ctrl=2 must not trigger")
+	}
+}
+
+func TestDMAInvalidRange(t *testing.T) {
+	b := newBus(t)
+	b.Store(mem.MMIOBase+RegDMASrc, 8, 0x10) // guard page
+	b.Store(mem.MMIOBase+RegDMALen, 8, 8)
+	b.Store(mem.MMIOBase+RegDMACtrl, 8, 1)
+	if !b.DMAErr {
+		t.Fatal("DMA from guard page must error")
+	}
+	b = newBus(t)
+	b.Store(mem.MMIOBase+RegDMASrc, 8, 0x2000)
+	b.Store(mem.MMIOBase+RegDMALen, 8, 1<<30) // corrupted length
+	b.Store(mem.MMIOBase+RegDMACtrl, 8, 1)
+	if !b.DMAErr {
+		t.Fatal("oversized DMA must flag error")
+	}
+}
+
+func TestMMIOWindow(t *testing.T) {
+	b := newBus(t)
+	if b.Store(mem.MMIOBase-8, 8, 1) {
+		t.Fatal("store below window")
+	}
+	if b.Store(mem.MMIOBase+mem.MMIOSize, 8, 1) {
+		t.Fatal("store above window")
+	}
+	if _, ok := b.Load(mem.MMIOBase+RegDMACtrl, 8); !ok {
+		t.Fatal("in-window load must succeed")
+	}
+	v, _ := b.Load(mem.MMIOBase+RegDMACtrl, 8)
+	if v != 0 {
+		t.Fatal("device registers read as zero")
+	}
+	// Unknown register stores are tolerated.
+	if !b.Store(mem.MMIOBase+0x40, 8, 1) {
+		t.Fatal("unknown register store")
+	}
+}
+
+func TestDebugConsoleAndReset(t *testing.T) {
+	b := newBus(t)
+	b.Store(mem.MMIOBase+RegPutc, 1, 'x')
+	b.Store(mem.MMIOBase+RegPutc, 1, 'y')
+	if string(b.Dbg) != "xy" {
+		t.Fatalf("dbg: %q", b.Dbg)
+	}
+	b.Store(mem.MMIOBase+RegHalt, 8, 1)
+	b.Reset()
+	if b.Halted() || len(b.Dbg) != 0 || len(b.Out) != 0 {
+		t.Fatal("reset must clear state")
+	}
+}
+
+func TestHaltKindString(t *testing.T) {
+	for k, want := range map[HaltKind]string{HaltNone: "running", HaltClean: "clean", HaltPanic: "panic", HaltDetected: "detected"} {
+		if k.String() != want {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+}

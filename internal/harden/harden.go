@@ -1,0 +1,217 @@
+// Package harden implements the software-based fault-tolerance
+// transform of the paper's case study (Section VI.B): an IR-level pass
+// in the spirit of the AN-encoding + instruction-duplication technique
+// it reproduces. Every computation in user functions is duplicated into
+// a shadow data flow, and shadow/primary comparisons feed a detection
+// routine before stores, branches, calls and returns; a mismatch
+// invokes the detect syscall (classified as the Detected outcome).
+//
+// Deliberately — and faithfully to the technique — the transform does
+// NOT protect the runtime library (out/exit/flush), the kernel, or
+// anything outside the program flow, which is precisely why the paper
+// finds the cross-layer AVF of "protected" code can get worse while
+// PVF/SVF report large improvements.
+package harden
+
+import (
+	"fmt"
+
+	"vulnstack/internal/ir"
+)
+
+// CheckFunc is the synthesized detection routine's name.
+const CheckFunc = "__ftcheck"
+
+// unprotected lists runtime functions the transform must not touch
+// (the "library calls" that remain unprotected in the paper's study).
+var unprotected = map[string]bool{
+	"_start": true, "exit": true, "detect": true, "out": true,
+	"out16": true, "out32": true, "__flush": true, CheckFunc: true,
+}
+
+// Options tunes the transform.
+type Options struct {
+	// CheckStores inserts comparisons before every store (default
+	// protection point for SDC-oriented schemes).
+	CheckStores bool
+	// CheckBranches verifies branch conditions.
+	CheckBranches bool
+	// CheckCalls verifies call/syscall arguments and returns.
+	CheckCalls bool
+}
+
+// DefaultOptions mirrors the reproduced technique.
+func DefaultOptions() Options {
+	return Options{CheckStores: true, CheckBranches: true, CheckCalls: true}
+}
+
+// Transform returns a hardened deep copy of the module.
+func Transform(m *ir.Module, opts Options) (*ir.Module, error) {
+	out := cloneModule(m)
+	for _, f := range out.Funcs {
+		if unprotected[f.Name] {
+			continue
+		}
+		hardenFunc(f, opts)
+	}
+	out.Funcs = append(out.Funcs, buildCheckFunc())
+	if err := out.Verify(); err != nil {
+		return nil, fmt.Errorf("harden: produced invalid IR: %w", err)
+	}
+	return out, nil
+}
+
+// buildCheckFunc synthesizes:
+//
+//	func __ftcheck(d) { if d != 0 { syscall(detect, 1) } }
+func buildCheckFunc() *ir.Func {
+	f := &ir.Func{Name: CheckFunc, NumArgs: 1, NumVReg: 4}
+	// b0: condbr %0 -> b1, b2
+	b0 := &ir.Block{Instrs: []ir.Instr{
+		{Op: ir.OpCondBr, Dst: -1, A: 0, Target: 1, Else: 2},
+	}}
+	// b1: %1 = const SysDetect(4); %2 = const 1; %3 = syscall %1(%2); ret
+	b1 := &ir.Block{Instrs: []ir.Instr{
+		{Op: ir.OpConst, Dst: 1, Imm: 4},
+		{Op: ir.OpConst, Dst: 2, Imm: 1},
+		{Op: ir.OpSyscall, Dst: 3, A: 1, Args: []int{2}},
+		{Op: ir.OpRet, Dst: -1, A: -1},
+	}}
+	// b2: ret
+	b2 := &ir.Block{Instrs: []ir.Instr{{Op: ir.OpRet, Dst: -1, A: -1}}}
+	f.Blocks = []*ir.Block{b0, b1, b2}
+	return f
+}
+
+// hardenFunc rewrites one function with a duplicated shadow data flow.
+func hardenFunc(f *ir.Func, opts Options) {
+	n := f.NumVReg
+	shadow := func(v int) int { return v + n }
+	f.NumVReg = 2 * n
+	next := f.NumVReg
+	newReg := func() int {
+		next++
+		return next - 1
+	}
+
+	for _, b := range f.Blocks {
+		var out []ir.Instr
+		emit := func(in ir.Instr) { out = append(out, in) }
+		// check emits a primary/shadow comparison feeding __ftcheck.
+		check := func(vs ...int) {
+			acc := -1
+			for _, v := range vs {
+				d := newReg()
+				emit(ir.Instr{Op: ir.OpBin, Bin: ir.Xor, Dst: d, A: v, B: shadow(v)})
+				if acc < 0 {
+					acc = d
+				} else {
+					o := newReg()
+					emit(ir.Instr{Op: ir.OpBin, Bin: ir.Or, Dst: o, A: acc, B: d})
+					acc = o
+				}
+			}
+			if acc >= 0 {
+				emit(ir.Instr{Op: ir.OpCall, Dst: -1, Sym: CheckFunc, Args: []int{acc}})
+			}
+		}
+
+		// Shadow function arguments at entry of block 0.
+		if b == f.Blocks[0] {
+			for a := 0; a < f.NumArgs; a++ {
+				emit(ir.Instr{Op: ir.OpCopy, Dst: shadow(a), A: a})
+			}
+		}
+
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpConst:
+				emit(in)
+				dup := in
+				dup.Dst = shadow(in.Dst)
+				emit(dup)
+			case ir.OpCopy:
+				emit(in)
+				emit(ir.Instr{Op: ir.OpCopy, Dst: shadow(in.Dst), A: shadow(in.A)})
+			case ir.OpBin:
+				emit(in)
+				emit(ir.Instr{Op: ir.OpBin, Bin: in.Bin, Dst: shadow(in.Dst), A: shadow(in.A), B: shadow(in.B)})
+			case ir.OpGlobal, ir.OpFrame:
+				emit(in)
+				dup := in
+				dup.Dst = shadow(in.Dst)
+				emit(dup)
+			case ir.OpLoad:
+				// Memory is single-copy: verify the address, load,
+				// then mirror the value into the shadow flow.
+				if opts.CheckStores {
+					check(in.A)
+				}
+				emit(in)
+				emit(ir.Instr{Op: ir.OpCopy, Dst: shadow(in.Dst), A: in.Dst})
+			case ir.OpStore:
+				if opts.CheckStores {
+					check(in.A, in.B)
+				}
+				emit(in)
+			case ir.OpCall:
+				if opts.CheckCalls && len(in.Args) > 0 {
+					check(in.Args...)
+				}
+				emit(in)
+				if in.HasDst() {
+					emit(ir.Instr{Op: ir.OpCopy, Dst: shadow(in.Dst), A: in.Dst})
+				}
+			case ir.OpSyscall:
+				if opts.CheckCalls {
+					check(append([]int{in.A}, in.Args...)...)
+				}
+				emit(in)
+				emit(ir.Instr{Op: ir.OpCopy, Dst: shadow(in.Dst), A: in.Dst})
+			case ir.OpCondBr:
+				if opts.CheckBranches {
+					check(in.A)
+				}
+				emit(in)
+			case ir.OpRet:
+				if opts.CheckCalls && in.A >= 0 {
+					check(in.A)
+				}
+				emit(in)
+			default: // OpBr
+				emit(in)
+			}
+		}
+		b.Instrs = out
+	}
+	f.NumVReg = next
+}
+
+// cloneModule deep-copies an IR module.
+func cloneModule(m *ir.Module) *ir.Module {
+	out := &ir.Module{}
+	for _, g := range m.Globals {
+		out.Globals = append(out.Globals, &ir.Global{
+			Name: g.Name, Size: g.Size, Init: append([]byte(nil), g.Init...),
+		})
+	}
+	for _, f := range m.Funcs {
+		nf := &ir.Func{
+			Name: f.Name, NumArgs: f.NumArgs, NumVReg: f.NumVReg,
+			HasRet: f.HasRet, Slots: append([]ir.FrameSlot(nil), f.Slots...),
+		}
+		for _, b := range f.Blocks {
+			nb := &ir.Block{Instrs: make([]ir.Instr, len(b.Instrs))}
+			for i, in := range b.Instrs {
+				ni := in
+				if in.Args != nil {
+					ni.Args = append([]int(nil), in.Args...)
+				}
+				nb.Instrs[i] = ni
+			}
+			nf.Blocks = append(nf.Blocks, nb)
+		}
+		out.Funcs = append(out.Funcs, nf)
+	}
+	return out
+}

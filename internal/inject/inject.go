@@ -1,0 +1,257 @@
+// Package inject drives microarchitecture-level fault-injection
+// campaigns (the GeFIN analogue): statistical single-bit-flip sampling
+// per Leveugle et al., snapshot-accelerated faulty runs, and outcome
+// classification into the paper's fault-effect classes (Masked, SDC,
+// Crash, Detected) plus the HVF fault-propagation models.
+package inject
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"vulnstack/internal/dev"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/micro"
+)
+
+// Outcome is the end-to-end fault effect class.
+type Outcome int
+
+const (
+	Masked Outcome = iota
+	SDC
+	Crash
+	Detected
+	NumOutcomes
+)
+
+var outcomeNames = [...]string{"Masked", "SDC", "Crash", "Detected"}
+
+func (o Outcome) String() string { return outcomeNames[o] }
+
+// Fault is one sampled single-bit transient fault.
+type Fault struct {
+	Struct micro.Structure
+	Entry  int
+	Bit    int
+	Cycle  uint64
+}
+
+// Result is the classified effect of one injection.
+type Result struct {
+	Fault   Fault
+	Outcome Outcome
+	// Visible reports architectural contact (the HVF numerator); FPM
+	// classifies it.
+	Visible bool
+	FPM     micro.FPM
+	// ContactCycle is when the fault first became visible.
+	ContactCycle uint64
+	// Live is false when the flip was provably dead at injection time.
+	Live bool
+}
+
+// Golden describes the fault-free reference run.
+type Golden struct {
+	Out      []byte
+	ExitCode uint64
+	Cycles   uint64
+	Instret  uint64
+	KInstr   uint64
+}
+
+// Campaign holds everything needed to run injections for one
+// (program image, microarchitecture) pair.
+type Campaign struct {
+	Img    *kernel.Image
+	Cfg    micro.Config
+	Golden Golden
+
+	snaps  []*micro.Core
+	snapAt []uint64
+	// Limit is the faulty-run watchdog in cycles.
+	Limit uint64
+}
+
+// Prepare runs the golden execution (twice: once to learn its length,
+// once to capture evenly spaced snapshots) and returns a ready
+// campaign. nsnaps <= 1 disables snapshotting.
+func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) (*Campaign, error) {
+	if cfg.ISA != img.ISA {
+		return nil, fmt.Errorf("inject: config %s is %v but image is %v", cfg.Name, cfg.ISA, img.ISA)
+	}
+	if maxCycles == 0 {
+		maxCycles = 1 << 28
+	}
+	core := micro.New(cfg, img.NewMemory(), img.Entry)
+	if !core.Run(maxCycles) {
+		return nil, fmt.Errorf("inject: golden run did not finish in %d cycles", maxCycles)
+	}
+	if core.Bus.Halt != dev.HaltClean {
+		return nil, fmt.Errorf("inject: golden run ended %v (panic code %d)", core.Bus.Halt, core.Bus.PanicCode)
+	}
+	cp := &Campaign{
+		Img: img,
+		Cfg: cfg,
+		Golden: Golden{
+			Out:      append([]byte(nil), core.Bus.Out...),
+			ExitCode: core.Bus.ExitCode,
+			Cycles:   core.Cycle,
+			Instret:  core.Instret,
+			KInstr:   core.KInstr,
+		},
+	}
+	cp.Limit = 3*cp.Golden.Cycles + 50000
+
+	if nsnaps > 1 {
+		step := cp.Golden.Cycles / uint64(nsnaps)
+		if step == 0 {
+			step = 1
+		}
+		c2 := micro.New(cfg, img.NewMemory(), img.Entry)
+		for next := uint64(0); next < cp.Golden.Cycles; next += step {
+			for c2.Cycle < next {
+				if !c2.Step() {
+					break
+				}
+			}
+			cp.snaps = append(cp.snaps, c2.Clone())
+			cp.snapAt = append(cp.snapAt, c2.Cycle)
+		}
+	}
+	return cp, nil
+}
+
+// coreAt returns a fresh machine advanced to the given cycle.
+func (cp *Campaign) coreAt(cycle uint64) *micro.Core {
+	var core *micro.Core
+	best := -1
+	for i, at := range cp.snapAt {
+		if at <= cycle {
+			best = i
+		}
+	}
+	if best >= 0 {
+		core = cp.snaps[best].Clone()
+	} else {
+		core = micro.New(cp.Cfg, cp.Img.NewMemory(), cp.Img.Entry)
+	}
+	for core.Cycle < cycle {
+		if !core.Step() {
+			break
+		}
+	}
+	return core
+}
+
+// Sample draws a fault uniformly over (entry, bit, cycle), following
+// the statistical fault sampling of the paper's reference [21].
+func (cp *Campaign) Sample(r *rand.Rand, s micro.Structure) Fault {
+	entries, bitsPer := cp.Cfg.StructDims(s)
+	return Fault{
+		Struct: s,
+		Entry:  r.Intn(entries),
+		Bit:    r.Intn(bitsPer),
+		Cycle:  1 + uint64(r.Int63n(int64(cp.Golden.Cycles-1))),
+	}
+}
+
+// Run performs one injection and classifies its effect.
+func (cp *Campaign) Run(f Fault) Result {
+	core := cp.coreAt(f.Cycle)
+	if core.Bus.Halted() {
+		// Injection cycle raced with the halt: nothing to corrupt.
+		return Result{Fault: f, Outcome: Masked}
+	}
+	info := core.Inject(f.Struct, f.Entry, f.Bit)
+	res := Result{Fault: f, Live: info.Live}
+	if !info.Live {
+		res.Outcome = Masked
+		return res
+	}
+	halted := core.Run(cp.Limit)
+	switch {
+	case !halted:
+		res.Outcome = Crash // deadlock / livelock
+	case core.Bus.Halt == dev.HaltPanic:
+		res.Outcome = Crash
+	case core.Bus.Halt == dev.HaltDetected:
+		res.Outcome = Detected
+	default:
+		if core.Bus.ExitCode == cp.Golden.ExitCode && bytes.Equal(core.Bus.Out, cp.Golden.Out) {
+			res.Outcome = Masked
+		} else {
+			res.Outcome = SDC
+		}
+	}
+	res.Visible = core.Taint.Contacted()
+	res.FPM = core.Taint.Class()
+	res.ContactCycle = core.Taint.ContactCycle()
+	return res
+}
+
+// Tally aggregates campaign results.
+type Tally struct {
+	N        int
+	Outcomes [NumOutcomes]int
+	FPM      [micro.NumFPM]int
+	Visible  int
+}
+
+// Add accumulates one result.
+func (t *Tally) Add(r Result) {
+	t.N++
+	t.Outcomes[r.Outcome]++
+	if r.Visible {
+		t.Visible++
+		t.FPM[r.FPM]++
+	}
+}
+
+// Frac returns the fraction of outcome o.
+func (t *Tally) Frac(o Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Outcomes[o]) / float64(t.N)
+}
+
+// AVF is the architectural vulnerability factor: the probability a
+// fault produces a program-visible failure (SDC or Crash). Detected
+// faults are excluded, following the paper's case-study accounting.
+func (t *Tally) AVF() float64 {
+	return t.Frac(SDC) + t.Frac(Crash)
+}
+
+// HVF is the fraction of faults that reached architectural visibility.
+func (t *Tally) HVF() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Visible) / float64(t.N)
+}
+
+// FPMShare returns the share of propagation model m among visible
+// faults.
+func (t *Tally) FPMShare(m micro.FPM) float64 {
+	if t.Visible == 0 {
+		return 0
+	}
+	return float64(t.FPM[m]) / float64(t.Visible)
+}
+
+// RunCampaign performs n sampled injections into structure s.
+// progress, when non-nil, is called after every injection.
+func (cp *Campaign) RunCampaign(s micro.Structure, n int, seed int64, progress func(i int, r Result)) Tally {
+	r := rand.New(rand.NewSource(seed))
+	var t Tally
+	for i := 0; i < n; i++ {
+		res := cp.Run(cp.Sample(r, s))
+		t.Add(res)
+		if progress != nil {
+			progress(i, res)
+		}
+	}
+	return t
+}

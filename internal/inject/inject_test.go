@@ -1,0 +1,206 @@
+package inject
+
+import (
+	"math/rand"
+	"testing"
+
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/micro"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/workload"
+)
+
+func image(t *testing.T, src string, cfg micro.Config) *kernel.Image {
+	t.Helper()
+	m, err := minic.Compile(src, cfg.ISA.XLen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := codegen.Build(m, cfg.ISA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kernel.BuildImage(prog, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func shaCampaign(t *testing.T, cfg micro.Config, snaps int) *Campaign {
+	t.Helper()
+	spec, _ := workload.Get("sha")
+	img := image(t, spec.Gen(3, 1), cfg)
+	cp, err := Prepare(img, cfg, snaps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestGoldenRun(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 8)
+	if len(cp.Golden.Out) != 20 {
+		t.Fatalf("sha digest length %d", len(cp.Golden.Out))
+	}
+	if cp.Golden.Cycles == 0 || cp.Golden.Instret == 0 || cp.Golden.KInstr == 0 {
+		t.Fatal("golden counters")
+	}
+	if cp.Golden.KInstr >= cp.Golden.Instret {
+		t.Fatal("kernel instructions must be a strict subset")
+	}
+}
+
+// TestSnapshotDeterminism: a run resumed from any snapshot must finish
+// with the golden output.
+func TestSnapshotDeterminism(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA9(), 6)
+	for i, at := range cp.snapAt {
+		core := cp.coreAt(at)
+		if !core.Run(cp.Limit) {
+			t.Fatalf("snapshot %d did not complete", i)
+		}
+		if string(core.Bus.Out) != string(cp.Golden.Out) {
+			t.Fatalf("snapshot %d: output diverged", i)
+		}
+		if core.Cycle != cp.Golden.Cycles {
+			t.Fatalf("snapshot %d: %d cycles, golden %d", i, core.Cycle, cp.Golden.Cycles)
+		}
+	}
+}
+
+// TestInjectionNoFlipIsGolden: injecting a bit and flipping it back via
+// a double-run sanity path — here we simply check cycle-0-free runs.
+func TestFaultFreeRunFromMidpoint(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 4)
+	core := cp.coreAt(cp.Golden.Cycles / 2)
+	if !core.Run(cp.Limit) {
+		t.Fatal("midpoint run did not complete")
+	}
+	if string(core.Bus.Out) != string(cp.Golden.Out) {
+		t.Fatal("midpoint resume diverged")
+	}
+}
+
+func TestCampaignRF(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 8)
+	tally := cp.RunCampaign(micro.StructRF, 60, 1, nil)
+	if tally.N != 60 {
+		t.Fatal("sample count")
+	}
+	total := 0
+	for _, c := range tally.Outcomes {
+		total += c
+	}
+	if total != tally.N {
+		t.Fatal("outcome counts must partition samples")
+	}
+	if tally.Outcomes[Masked] == 0 {
+		t.Error("expected some masked faults in the register file")
+	}
+	if tally.Outcomes[Detected] != 0 {
+		t.Error("unhardened binary cannot detect faults")
+	}
+	// Visible (HVF) must be at least the non-masked outcomes.
+	if tally.Visible < tally.Outcomes[SDC]+tally.Outcomes[Crash] {
+		t.Errorf("HVF contact (%d) below failures (%d SDC + %d Crash)",
+			tally.Visible, tally.Outcomes[SDC], tally.Outcomes[Crash])
+	}
+	if tally.AVF() < 0 || tally.AVF() > 1 {
+		t.Fatal("AVF out of range")
+	}
+}
+
+func TestCampaignL2MostlyMasked(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 8)
+	tally := cp.RunCampaign(micro.StructL2, 50, 2, nil)
+	if tally.Frac(Masked) < 0.5 {
+		t.Errorf("L2 faults should be mostly masked (tiny footprint in 2MB): masked=%.2f", tally.Frac(Masked))
+	}
+}
+
+func TestFPMClassificationAppears(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 8)
+	var seenWD, seenVis bool
+	for seed := int64(1); seed <= 3 && !(seenWD && seenVis); seed++ {
+		tl := cp.RunCampaign(micro.StructRF, 40, seed, nil)
+		if tl.FPM[micro.FPMWD] > 0 {
+			seenWD = true
+		}
+		if tl.Visible > 0 {
+			seenVis = true
+		}
+	}
+	if !seenVis {
+		t.Fatal("no visible faults in 120 RF injections")
+	}
+	if !seenWD {
+		t.Error("register-file faults should classify overwhelmingly as WD")
+	}
+}
+
+func TestSamplingUniform(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 2)
+	r := newRand()
+	seenEarly, seenLate := false, false
+	for i := 0; i < 200; i++ {
+		f := cp.Sample(r, micro.StructL1D)
+		if f.Cycle < cp.Golden.Cycles/4 {
+			seenEarly = true
+		}
+		if f.Cycle > 3*cp.Golden.Cycles/4 {
+			seenLate = true
+		}
+		entries, bitsPer := cp.Cfg.StructDims(micro.StructL1D)
+		if f.Entry >= entries || f.Bit >= bitsPer {
+			t.Fatal("sample out of range")
+		}
+	}
+	if !seenEarly || !seenLate {
+		t.Error("cycle sampling not spanning the run")
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestCampaignDeterministic(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA9(), 6)
+	a := cp.RunCampaign(micro.StructLSQ, 30, 11, nil)
+	b := cp.RunCampaign(micro.StructLSQ, 30, 11, nil)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestL1IFaultsClassifyAsInstructionModels(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA9(), 6)
+	// Pool several seeds to gather enough visible L1i faults.
+	var wiWoi, wd, visible int
+	for seed := int64(1); seed <= 4; seed++ {
+		tl := cp.RunCampaign(micro.StructL1I, 60, seed, nil)
+		wiWoi += tl.FPM[micro.FPMWI] + tl.FPM[micro.FPMWOI]
+		wd += tl.FPM[micro.FPMWD]
+		visible += tl.Visible
+	}
+	if visible == 0 {
+		t.Skip("no visible L1i faults at this sample size")
+	}
+	if wiWoi == 0 {
+		t.Errorf("visible instruction-cache faults should classify as WI/WOI (got %d WD, %d visible)", wd, visible)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA9(), 4)
+	calls := 0
+	cp.RunCampaign(micro.StructRF, 5, 1, func(i int, r Result) {
+		if i != calls {
+			t.Fatalf("progress index %d at call %d", i, calls)
+		}
+		calls++
+	})
+	if calls != 5 {
+		t.Fatalf("progress calls: %d", calls)
+	}
+}

@@ -1,0 +1,369 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpreter errors classified as abnormal termination (the software-
+// level equivalent of a Crash outcome).
+var (
+	ErrBadAddress    = errors.New("ir: memory access out of range")
+	ErrMisaligned    = errors.New("ir: misaligned access")
+	ErrStackOverflow = errors.New("ir: stack overflow")
+	ErrWatchdog      = errors.New("ir: watchdog expired")
+	ErrNoEntry       = errors.New("ir: entry function not found")
+)
+
+// guardTop mirrors the platform null guard: addresses below it fault.
+const guardTop = 0x1000
+
+// DefHook observes (and may modify) every defined value. seq counts
+// value-defining dynamic instructions from 0; the returned value replaces
+// v. This is the LLFI-style software fault injection point.
+type DefHook func(seq uint64, in *Instr, v int64) int64
+
+// Interp executes an IR module with a flat byte-addressable memory.
+type Interp struct {
+	M     *Module
+	Width int // 32 or 64: the target word width
+
+	Mem        []byte
+	globalAddr map[string]int64
+	heapEnd    int64
+	sp         int64
+
+	Out []byte
+
+	Exited     bool
+	ExitCode   int64
+	Detected   bool
+	DetectCode int64
+
+	// Steps counts every executed IR instruction; DefSeq counts only
+	// value-defining ones (the SVF injection space).
+	Steps    uint64
+	DefSeq   uint64
+	MaxSteps uint64
+
+	Hook DefHook
+
+	mask uint64
+}
+
+// NewInterp prepares an interpreter with the given memory size (0
+// selects 1 MiB). Globals are laid out from the bottom; the stack grows
+// down from the top.
+func NewInterp(m *Module, width int, memSize int) *Interp {
+	if memSize == 0 {
+		memSize = 1 << 20
+	}
+	ip := &Interp{
+		M:        m,
+		Width:    width,
+		Mem:      make([]byte, memSize),
+		MaxSteps: 1 << 32,
+	}
+	if width == 32 {
+		ip.mask = 0xFFFFFFFF
+	} else {
+		ip.mask = ^uint64(0)
+	}
+	ip.globalAddr = make(map[string]int64, len(m.Globals))
+	addr := int64(guardTop)
+	for _, g := range m.Globals {
+		addr = (addr + 7) &^ 7
+		ip.globalAddr[g.Name] = addr
+		copy(ip.Mem[addr:], g.Init)
+		addr += int64(g.Size)
+	}
+	ip.heapEnd = (addr + 7) &^ 7
+	ip.sp = int64(memSize)
+	return ip
+}
+
+// GlobalAddr returns the interpreter-assigned address of a global.
+func (ip *Interp) GlobalAddr(name string) (int64, bool) {
+	a, ok := ip.globalAddr[name]
+	return a, ok
+}
+
+// wrap reduces a value to the target word width, sign-extended.
+func (ip *Interp) wrap(v int64) int64 {
+	if ip.Width == 32 {
+		return int64(int32(uint32(uint64(v))))
+	}
+	return v
+}
+
+// Run executes the entry function (no arguments) to completion.
+func (ip *Interp) Run(entry string) error {
+	f, ok := ip.M.Lookup(entry)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoEntry, entry)
+	}
+	ret, err := ip.call(f, nil)
+	if err != nil {
+		return err
+	}
+	if !ip.Exited && !ip.Detected {
+		// Falling off main is an implicit exit with main's return code.
+		ip.Exited = true
+		ip.ExitCode = ret
+	}
+	return nil
+}
+
+func (ip *Interp) call(f *Func, args []int64) (int64, error) {
+	regs := make([]int64, f.NumVReg)
+	copy(regs, args)
+
+	// Allocate frame slots on the descending stack.
+	savedSP := ip.sp
+	defer func() { ip.sp = savedSP }()
+	slotAddr := make([]int64, len(f.Slots))
+	for i := range f.Slots {
+		s := &f.Slots[i]
+		a := int64(8)
+		if s.Align > 8 {
+			a = int64(s.Align)
+		}
+		ip.sp = (ip.sp - int64(s.Size)) &^ (a - 1)
+		slotAddr[i] = ip.sp
+	}
+	if ip.sp < ip.heapEnd {
+		return 0, ErrStackOverflow
+	}
+
+	bi := 0
+	ii := 0
+	for {
+		if ip.Steps >= ip.MaxSteps {
+			return 0, ErrWatchdog
+		}
+		in := &f.Blocks[bi].Instrs[ii]
+		ip.Steps++
+		ii++
+		var def int64
+		hasDef := false
+
+		switch in.Op {
+		case OpConst:
+			def, hasDef = ip.wrap(in.Imm), true
+		case OpCopy:
+			def, hasDef = regs[in.A], true
+		case OpBin:
+			def, hasDef = ip.binop(in.Bin, regs[in.A], regs[in.B]), true
+		case OpGlobal:
+			def, hasDef = ip.globalAddr[in.Sym], true
+		case OpFrame:
+			def, hasDef = slotAddr[in.Slot], true
+		case OpLoad:
+			v, err := ip.load(regs[in.A], in.Size, in.Unsigned)
+			if err != nil {
+				return 0, err
+			}
+			def, hasDef = v, true
+		case OpStore:
+			if err := ip.store(regs[in.A], in.Size, regs[in.B]); err != nil {
+				return 0, err
+			}
+		case OpCall:
+			callee, _ := ip.M.Lookup(in.Sym)
+			cargs := make([]int64, len(in.Args))
+			for i, a := range in.Args {
+				cargs[i] = regs[a]
+			}
+			v, err := ip.call(callee, cargs)
+			if err != nil {
+				return 0, err
+			}
+			if ip.Exited || ip.Detected {
+				return 0, nil
+			}
+			if in.HasDst() {
+				def, hasDef = v, true
+			}
+		case OpSyscall:
+			v, err := ip.syscall(regs[in.A], in.Args, regs)
+			if err != nil {
+				return 0, err
+			}
+			if ip.Exited || ip.Detected {
+				return 0, nil
+			}
+			def, hasDef = v, true
+		case OpRet:
+			if in.A >= 0 {
+				return regs[in.A], nil
+			}
+			return 0, nil
+		case OpBr:
+			bi, ii = in.Target, 0
+			continue
+		case OpCondBr:
+			if regs[in.A] != 0 {
+				bi, ii = in.Target, 0
+			} else {
+				bi, ii = in.Else, 0
+			}
+			continue
+		}
+
+		if hasDef {
+			if ip.Hook != nil {
+				def = ip.wrap(ip.Hook(ip.DefSeq, in, def))
+			}
+			ip.DefSeq++
+			if in.HasDst() {
+				regs[in.Dst] = def
+			}
+		}
+	}
+}
+
+func (ip *Interp) binop(k BinKind, a, b int64) int64 {
+	sh := uint64(b) & uint64(ip.Width-1)
+	var v int64
+	switch k {
+	case Add:
+		v = a + b
+	case Sub:
+		v = a - b
+	case Mul:
+		v = a * b
+	case Div:
+		switch {
+		case b == 0:
+			v = -1
+		case a == -1<<63 && b == -1:
+			v = a
+		default:
+			v = a / b
+		}
+	case Rem:
+		switch {
+		case b == 0:
+			v = a
+		case a == -1<<63 && b == -1:
+			v = 0
+		default:
+			v = a % b
+		}
+	case And:
+		v = a & b
+	case Or:
+		v = a | b
+	case Xor:
+		v = a ^ b
+	case Shl:
+		v = int64(uint64(a) << sh)
+	case LShr:
+		v = int64((uint64(a) & ip.mask) >> sh)
+	case AShr:
+		v = a >> sh
+	case Eq:
+		v = b2i(a == b)
+	case Ne:
+		v = b2i(a != b)
+	case Lt:
+		v = b2i(a < b)
+	case Le:
+		v = b2i(a <= b)
+	case Gt:
+		v = b2i(a > b)
+	case Ge:
+		v = b2i(a >= b)
+	case LtU:
+		v = b2i(uint64(a)&ip.mask < uint64(b)&ip.mask)
+	case GeU:
+		v = b2i(uint64(a)&ip.mask >= uint64(b)&ip.mask)
+	}
+	return ip.wrap(v)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ip *Interp) checkAddr(addr int64, n int) error {
+	a := int64(uint64(addr) & ip.mask)
+	if a < guardTop || a+int64(n) > int64(len(ip.Mem)) || a+int64(n) < a {
+		return fmt.Errorf("%w: %#x", ErrBadAddress, uint64(addr))
+	}
+	if a%int64(n) != 0 {
+		return fmt.Errorf("%w: %#x size %d", ErrMisaligned, uint64(addr), n)
+	}
+	return nil
+}
+
+func (ip *Interp) load(addr int64, n int, unsigned bool) (int64, error) {
+	if err := ip.checkAddr(addr, n); err != nil {
+		return 0, err
+	}
+	a := uint64(addr) & ip.mask
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(ip.Mem[a+uint64(i)])
+	}
+	if !unsigned {
+		shift := uint(64 - 8*n)
+		return ip.wrap(int64(v<<shift) >> shift), nil
+	}
+	return ip.wrap(int64(v)), nil
+}
+
+func (ip *Interp) store(addr int64, n int, val int64) error {
+	if err := ip.checkAddr(addr, n); err != nil {
+		return err
+	}
+	a := uint64(addr) & ip.mask
+	for i := 0; i < n; i++ {
+		ip.Mem[a+uint64(i)] = byte(uint64(val) >> (8 * i))
+	}
+	return nil
+}
+
+// syscall mirrors the platform kernel ABI at the IR level. Note what is
+// intentionally absent: no kernel instructions execute, and output bytes
+// are copied out instantly — the software-level view has no ESC window
+// and no kernel residency, exactly the blindness the paper ascribes to
+// SVF tooling.
+func (ip *Interp) syscall(num int64, argRegs []int, regs []int64) (int64, error) {
+	arg := func(i int) int64 {
+		if i < len(argRegs) {
+			return regs[argRegs[i]]
+		}
+		return 0
+	}
+	switch num {
+	case 1: // exit
+		ip.Exited = true
+		ip.ExitCode = arg(0)
+		return 0, nil
+	case 2: // write(buf, len)
+		buf := uint64(arg(0)) & ip.mask
+		n := arg(1)
+		if n < 0 || n > 1<<20 {
+			return -1, nil
+		}
+		if int64(buf) < guardTop || int64(buf)+n > int64(len(ip.Mem)) {
+			return 0, fmt.Errorf("%w: write(%#x, %d)", ErrBadAddress, buf, n)
+		}
+		ip.Out = append(ip.Out, ip.Mem[buf:int64(buf)+n]...)
+		return n, nil
+	case 3: // read
+		return 0, nil
+	case 4: // detect
+		ip.Detected = true
+		ip.DetectCode = arg(0)
+		return 0, nil
+	case 5: // brk
+		return ip.heapEnd, nil
+	default:
+		return -1, nil
+	}
+}

@@ -1,0 +1,350 @@
+// Package ir defines the MiniC compiler's intermediate representation: a
+// typed-width, three-address, virtual-register IR organized in basic
+// blocks. The IR serves two roles: it is the code generator's input, and
+// it is the injection substrate for the software-level (SVF) fault
+// injector, mirroring how LLFI injects at the LLVM IR level.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BinKind enumerates binary operators. Comparison operators produce 0/1.
+type BinKind int
+
+const (
+	Add BinKind = iota
+	Sub
+	Mul
+	Div // signed, RISC edge semantics (x/0 = -1, MinInt/-1 = MinInt)
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+	Eq
+	Ne
+	Lt // signed
+	Le
+	Gt
+	Ge
+	LtU
+	GeU
+	NumBinKinds
+)
+
+var binNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	And: "and", Or: "or", Xor: "xor", Shl: "shl", LShr: "lshr", AShr: "ashr",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+	LtU: "ltu", GeU: "geu",
+}
+
+func (k BinKind) String() string { return binNames[k] }
+
+// IsCompare reports whether k produces a boolean (0/1) result.
+func (k BinKind) IsCompare() bool { return k >= Eq }
+
+// Opcode enumerates IR instruction kinds.
+type Opcode int
+
+const (
+	OpConst   Opcode = iota // dst = Imm
+	OpCopy                  // dst = A
+	OpBin                   // dst = Bin(A, B)
+	OpLoad                  // dst = mem[A] (Size bytes, zero/sign per Unsigned)
+	OpStore                 // mem[A] = B (Size bytes)
+	OpGlobal                // dst = address of Sym
+	OpFrame                 // dst = address of frame slot Slot
+	OpCall                  // dst = Sym(Args...)
+	OpSyscall               // dst = syscall(A=num, Args...)
+	OpRet                   // return A (or void if A < 0)
+	OpBr                    // goto Target
+	OpCondBr                // if A != 0 goto Target else Else
+)
+
+var opcodeNames = [...]string{
+	OpConst: "const", OpCopy: "copy", OpBin: "bin", OpLoad: "load", OpStore: "store",
+	OpGlobal: "global", OpFrame: "frame", OpCall: "call",
+	OpSyscall: "syscall", OpRet: "ret", OpBr: "br", OpCondBr: "condbr",
+}
+
+func (o Opcode) String() string { return opcodeNames[o] }
+
+// Instr is one IR instruction. Operand meaning depends on Op; unused
+// register operands are -1.
+type Instr struct {
+	Op       Opcode
+	Dst      int // destination vreg, -1 if none
+	A, B     int // vreg operands (OpConst/OpRet: A may be -1)
+	Bin      BinKind
+	Imm      int64
+	Size     int  // load/store width in bytes
+	Unsigned bool // loads: zero-extend
+	Sym      string
+	Slot     int   // OpFrame slot index
+	Args     []int // call/syscall argument vregs
+	Target   int   // branch target block
+	Else     int   // condbr fall-through block
+}
+
+// HasDst reports whether the instruction defines a value. Void calls
+// have Dst == -1 even though OpCall can define one.
+func (in *Instr) HasDst() bool { return in.Dst >= 0 }
+
+// Block is a basic block: straight-line instructions ending in a
+// terminator (ret/br/condbr).
+type Block struct {
+	Instrs []Instr
+}
+
+// FrameSlot describes stack-allocated storage (arrays and
+// address-taken locals).
+type FrameSlot struct {
+	Name  string
+	Size  int // bytes
+	Align int
+}
+
+// Func is one IR function.
+type Func struct {
+	Name    string
+	NumArgs int // args are vregs 0..NumArgs-1
+	NumVReg int
+	Blocks  []*Block
+	Slots   []FrameSlot
+	// HasRet records whether the function returns a value.
+	HasRet bool
+}
+
+// Global is a module-level variable.
+type Global struct {
+	Name string
+	Size int // bytes
+	Init []byte
+}
+
+// Module is a complete IR program.
+type Module struct {
+	Funcs   []*Func
+	Globals []*Global
+	funcIdx map[string]int
+}
+
+// Lookup returns the function with the given name.
+func (m *Module) Lookup(name string) (*Func, bool) {
+	if m.funcIdx == nil {
+		m.funcIdx = make(map[string]int, len(m.Funcs))
+		for i, f := range m.Funcs {
+			m.funcIdx[f.Name] = i
+		}
+	}
+	i, ok := m.funcIdx[name]
+	if !ok {
+		return nil, false
+	}
+	return m.Funcs[i], true
+}
+
+// String renders the module in a readable assembly-like form.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "global %s [%d]\n", g.Name, g.Size)
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&sb, "func %s(%d args) vregs=%d\n", f.Name, f.NumArgs, f.NumVReg)
+		for _, s := range f.Slots {
+			fmt.Fprintf(&sb, "  slot %s [%d]\n", s.Name, s.Size)
+		}
+		for bi, b := range f.Blocks {
+			fmt.Fprintf(&sb, " b%d:\n", bi)
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "   %s\n", in.String())
+			}
+		}
+	}
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	v := func(r int) string { return fmt.Sprintf("%%%d", r) }
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", v(in.Dst), in.Imm)
+	case OpCopy:
+		return fmt.Sprintf("%s = copy %s", v(in.Dst), v(in.A))
+	case OpBin:
+		return fmt.Sprintf("%s = %s %s, %s", v(in.Dst), in.Bin, v(in.A), v(in.B))
+	case OpLoad:
+		u := ""
+		if in.Unsigned {
+			u = "u"
+		}
+		return fmt.Sprintf("%s = load%d%s [%s]", v(in.Dst), in.Size, u, v(in.A))
+	case OpStore:
+		return fmt.Sprintf("store%d [%s], %s", in.Size, v(in.A), v(in.B))
+	case OpGlobal:
+		return fmt.Sprintf("%s = global &%s", v(in.Dst), in.Sym)
+	case OpFrame:
+		return fmt.Sprintf("%s = frame #%d", v(in.Dst), in.Slot)
+	case OpCall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = v(a)
+		}
+		call := fmt.Sprintf("call %s(%s)", in.Sym, strings.Join(args, ", "))
+		if in.HasDst() {
+			return fmt.Sprintf("%s = %s", v(in.Dst), call)
+		}
+		return call
+	case OpSyscall:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = v(a)
+		}
+		return fmt.Sprintf("%s = syscall %s(%s)", v(in.Dst), v(in.A), strings.Join(args, ", "))
+	case OpRet:
+		if in.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret %s", v(in.A))
+	case OpBr:
+		return fmt.Sprintf("br b%d", in.Target)
+	case OpCondBr:
+		return fmt.Sprintf("condbr %s, b%d, b%d", v(in.A), in.Target, in.Else)
+	}
+	return "?"
+}
+
+// Verify checks structural invariants: every block ends in exactly one
+// terminator, branch targets exist, vreg and slot indices are in range,
+// and called functions exist with matching arity.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("ir: func %s has no blocks", f.Name)
+		}
+		for bi, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				return fmt.Errorf("ir: %s b%d is empty", f.Name, bi)
+			}
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				last := ii == len(b.Instrs)-1
+				term := in.Op == OpRet || in.Op == OpBr || in.Op == OpCondBr
+				if term != last {
+					return fmt.Errorf("ir: %s b%d i%d: terminator placement (%v)", f.Name, bi, ii, in.Op)
+				}
+				if err := m.verifyInstr(f, in); err != nil {
+					return fmt.Errorf("ir: %s b%d i%d: %w", f.Name, bi, ii, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Module) verifyInstr(f *Func, in *Instr) error {
+	ckReg := func(r int, need bool) error {
+		if need && (r < 0 || r >= f.NumVReg) {
+			return fmt.Errorf("vreg %d out of range (%d)", r, f.NumVReg)
+		}
+		return nil
+	}
+	ckBlock := func(t int) error {
+		if t < 0 || t >= len(f.Blocks) {
+			return fmt.Errorf("block b%d out of range", t)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpConst, OpGlobal:
+		return ckReg(in.Dst, true)
+	case OpCopy:
+		return firstErr(ckReg(in.Dst, true), ckReg(in.A, true))
+	case OpFrame:
+		if in.Slot < 0 || in.Slot >= len(f.Slots) {
+			return fmt.Errorf("slot %d out of range", in.Slot)
+		}
+		return ckReg(in.Dst, true)
+	case OpBin:
+		if in.Bin < 0 || in.Bin >= NumBinKinds {
+			return fmt.Errorf("bad bin kind %d", in.Bin)
+		}
+		return firstErr(ckReg(in.Dst, true), ckReg(in.A, true), ckReg(in.B, true))
+	case OpLoad:
+		if !validSize(in.Size) {
+			return fmt.Errorf("load size %d", in.Size)
+		}
+		return firstErr(ckReg(in.Dst, true), ckReg(in.A, true))
+	case OpStore:
+		if !validSize(in.Size) {
+			return fmt.Errorf("store size %d", in.Size)
+		}
+		return firstErr(ckReg(in.A, true), ckReg(in.B, true))
+	case OpCall:
+		callee, ok := m.Lookup(in.Sym)
+		if !ok {
+			return fmt.Errorf("call to unknown func %q", in.Sym)
+		}
+		if len(in.Args) != callee.NumArgs {
+			return fmt.Errorf("call %s: %d args, want %d", in.Sym, len(in.Args), callee.NumArgs)
+		}
+		if in.HasDst() && !callee.HasRet {
+			return fmt.Errorf("call %s: uses result of void function", in.Sym)
+		}
+		for _, a := range in.Args {
+			if err := ckReg(a, true); err != nil {
+				return err
+			}
+		}
+		return ckReg(in.Dst, in.HasDst())
+	case OpSyscall:
+		if len(in.Args) > 2 {
+			return fmt.Errorf("syscall: at most 2 args")
+		}
+		for _, a := range in.Args {
+			if err := ckReg(a, true); err != nil {
+				return err
+			}
+		}
+		return firstErr(ckReg(in.Dst, true), ckReg(in.A, true))
+	case OpRet:
+		if f.HasRet && in.A < 0 {
+			return fmt.Errorf("ret without value in value-returning func")
+		}
+		return ckReg(in.A, in.A >= 0)
+	case OpBr:
+		return ckBlock(in.Target)
+	case OpCondBr:
+		return firstErr(ckReg(in.A, true), ckBlock(in.Target), ckBlock(in.Else))
+	}
+	return fmt.Errorf("unknown opcode %d", in.Op)
+}
+
+func validSize(n int) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the static instruction count of the module.
+func (m *Module) NumInstrs() int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			n += len(b.Instrs)
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package ir
+
+// Optimize applies conservative scalar optimizations to a module, in
+// place: block-local constant folding and copy propagation, followed by
+// global dead-definition elimination. The study's default pipeline
+// leaves modules unoptimized (like the -O0 baselines many injection
+// studies use, and so that each measured IR instruction maps to emitted
+// machine code); Optimize exists for the codegen-quality ablation and
+// for users who want tighter binaries.
+//
+// The IR is not SSA — virtual registers are mutable — so both passes
+// are deliberately local:
+//
+//   - Within one block, a vreg's value is known constant from an
+//     OpConst/folded definition until its next redefinition.
+//   - A definition is dead only if its vreg is never read anywhere in
+//     the function (reads include all operand positions).
+func Optimize(m *Module) (changed int) {
+	for _, f := range m.Funcs {
+		for {
+			n := foldFunc(f) + eliminateDead(m, f)
+			changed += n
+			if n == 0 {
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// foldFunc performs block-local constant folding and copy propagation.
+func foldFunc(f *Func) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		known := make(map[int]int64) // vreg -> constant value
+		copies := make(map[int]int)  // vreg -> source vreg (still valid)
+
+		invalidate := func(def int) {
+			delete(known, def)
+			delete(copies, def)
+			// Any copy whose source was redefined is stale.
+			for d, s := range copies {
+				if s == def {
+					delete(copies, d)
+				}
+			}
+		}
+		resolve := func(v int) int {
+			if s, ok := copies[v]; ok {
+				return s
+			}
+			return v
+		}
+
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Propagate copies into operand positions first.
+			switch in.Op {
+			case OpBin:
+				in.A, in.B = resolve(in.A), resolve(in.B)
+			case OpCopy, OpRet, OpCondBr:
+				if in.A >= 0 {
+					in.A = resolve(in.A)
+				}
+			case OpLoad:
+				in.A = resolve(in.A)
+			case OpStore:
+				in.A, in.B = resolve(in.A), resolve(in.B)
+			case OpCall:
+				for k, a := range in.Args {
+					in.Args[k] = resolve(a)
+				}
+			case OpSyscall:
+				in.A = resolve(in.A)
+				for k, a := range in.Args {
+					in.Args[k] = resolve(a)
+				}
+			}
+
+			switch in.Op {
+			case OpConst:
+				invalidate(in.Dst)
+				known[in.Dst] = in.Imm
+			case OpCopy:
+				invalidate(in.Dst)
+				if v, ok := known[in.A]; ok {
+					// Copy of a constant becomes a constant.
+					*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v}
+					known[in.Dst] = v
+					changed++
+				} else {
+					copies[in.Dst] = in.A
+				}
+			case OpBin:
+				a, okA := known[in.A]
+				bv, okB := known[in.B]
+				invalidate(in.Dst)
+				if okA && okB {
+					if v, ok := foldBin(in.Bin, a, bv); ok {
+						*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v}
+						known[in.Dst] = v
+						changed++
+					}
+				}
+			default:
+				if in.HasDst() {
+					invalidate(in.Dst)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// foldBin evaluates a binary op on 64-bit constants. Width-sensitive
+// results are safe because the interpreter and codegen both re-wrap
+// (folding happens in 64-bit, matching the interpreter for values that
+// fit; ops whose folding would differ on 32-bit targets are skipped).
+func foldBin(k BinKind, a, b int64) (int64, bool) {
+	// Shifts and products can differ between widths; fold only the
+	// width-agnostic cases and small values.
+	fits32 := func(v int64) bool { return int64(int32(v)) == v }
+	switch k {
+	case Add, Sub, Mul:
+		var v int64
+		switch k {
+		case Add:
+			v = a + b
+		case Sub:
+			v = a - b
+		default:
+			v = a * b
+		}
+		if fits32(a) && fits32(b) && fits32(v) {
+			return v, true
+		}
+		return 0, false
+	case And:
+		return a & b, true
+	case Or:
+		return a | b, true
+	case Xor:
+		return a ^ b, true
+	case Eq:
+		return b2i(a == b), true
+	case Ne:
+		return b2i(a != b), true
+	case Lt:
+		return b2i(a < b), true
+	case Le:
+		return b2i(a <= b), true
+	case Gt:
+		return b2i(a > b), true
+	case Ge:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+// eliminateDead removes pure definitions of vregs that are never read
+// anywhere in the function.
+func eliminateDead(m *Module, f *Func) int {
+	read := make([]bool, f.NumVReg)
+	mark := func(v int) {
+		if v >= 0 && v < len(read) {
+			read[v] = true
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case OpBin:
+				mark(in.A)
+				mark(in.B)
+			case OpCopy, OpLoad:
+				mark(in.A)
+			case OpStore:
+				mark(in.A)
+				mark(in.B)
+			case OpCondBr, OpRet:
+				mark(in.A)
+			case OpCall:
+				for _, a := range in.Args {
+					mark(a)
+				}
+			case OpSyscall:
+				mark(in.A)
+				for _, a := range in.Args {
+					mark(a)
+				}
+			}
+		}
+	}
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			dead := false
+			switch in.Op {
+			case OpConst, OpCopy, OpBin, OpGlobal, OpFrame:
+				dead = in.HasDst() && !read[in.Dst]
+			case OpCall:
+				// Calls have side effects; only drop the unused result
+				// binding, never the call.
+				if in.HasDst() && !read[in.Dst] {
+					in.Dst = -1
+					removed++
+				}
+			}
+			if dead {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	_ = m
+	return removed
+}

@@ -1,0 +1,112 @@
+package ir
+
+import "testing"
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	f := &Func{Name: "main", NumVReg: 4, HasRet: true}
+	f.Blocks = []*Block{{Instrs: []Instr{
+		{Op: OpConst, Dst: 0, Imm: 6},
+		{Op: OpConst, Dst: 1, Imm: 7},
+		{Op: OpBin, Bin: Mul, Dst: 2, A: 0, B: 1},
+		{Op: OpCopy, Dst: 3, A: 2},
+		{Op: OpRet, Dst: -1, A: 3},
+	}}}
+	m := &Module{Funcs: []*Func{f}}
+	if Optimize(m) == 0 {
+		t.Fatal("expected folds")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ip := NewInterp(m, 64, 1<<16)
+	ip.MaxSteps = 100
+	if err := ip.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if ip.ExitCode != 42 {
+		t.Fatalf("optimized result %d", ip.ExitCode)
+	}
+	// The multiply and the consts feeding it should be gone or folded:
+	// fewer instructions than before.
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	if n >= 5 {
+		t.Fatalf("no shrink: %d instrs", n)
+	}
+}
+
+func TestOptimizePreservesSideEffects(t *testing.T) {
+	// A call with an unused result keeps its side effects.
+	callee := &Func{Name: "eff", NumVReg: 2, HasRet: true}
+	callee.Blocks = []*Block{{Instrs: []Instr{
+		{Op: OpConst, Dst: 0, Imm: 4}, // SysDetect num unused; just compute
+		{Op: OpConst, Dst: 1, Imm: 1},
+		{Op: OpRet, Dst: -1, A: 1},
+	}}}
+	f := &Func{Name: "main", NumVReg: 2, HasRet: true}
+	f.Blocks = []*Block{{Instrs: []Instr{
+		{Op: OpCall, Dst: 0, Sym: "eff"},
+		{Op: OpConst, Dst: 1, Imm: 0},
+		{Op: OpRet, Dst: -1, A: 1},
+	}}}
+	m := &Module{Funcs: []*Func{callee, f}}
+	Optimize(m)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	foundCall := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				foundCall = true
+				if in.HasDst() {
+					t.Fatal("unused call result should be unbound")
+				}
+			}
+		}
+	}
+	if !foundCall {
+		t.Fatal("call must survive dead-code elimination")
+	}
+}
+
+func TestOptimizeDoesNotChangeBehaviour(t *testing.T) {
+	// Redefinition across a loop boundary must not be folded away:
+	// b0: %0=1; br b1
+	// b1: %1 = %0+%0; %0 = %1; condbr (%1 < 8) b1 else b2
+	// b2: ret %0        -> 1,2,4,8: returns 8
+	f := &Func{Name: "main", NumVReg: 3, HasRet: true}
+	f.Blocks = []*Block{
+		{Instrs: []Instr{
+			{Op: OpConst, Dst: 0, Imm: 1},
+			{Op: OpBr, Dst: -1, Target: 1},
+		}},
+		{Instrs: []Instr{
+			{Op: OpBin, Bin: Add, Dst: 1, A: 0, B: 0},
+			{Op: OpCopy, Dst: 0, A: 1},
+			{Op: OpConst, Dst: 2, Imm: 8},
+			{Op: OpBin, Bin: Lt, Dst: 2, A: 1, B: 2},
+			{Op: OpCondBr, Dst: -1, A: 2, Target: 1, Else: 2},
+		}},
+		{Instrs: []Instr{{Op: OpRet, Dst: -1, A: 0}}},
+	}
+	m := &Module{Funcs: []*Func{f}}
+	run := func() int64 {
+		ip := NewInterp(m, 64, 1<<16)
+		ip.MaxSteps = 1000
+		if err := ip.Run("main"); err != nil {
+			t.Fatal(err)
+		}
+		return ip.ExitCode
+	}
+	before := run()
+	Optimize(m)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if after := run(); after != before {
+		t.Fatalf("optimization changed behaviour: %d -> %d", before, after)
+	}
+}

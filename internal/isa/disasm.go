@@ -1,0 +1,45 @@
+package isa
+
+import "fmt"
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	switch in.Op.Fmt() {
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	case FmtI:
+		if in.Op.IsLoad() {
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		}
+		if in.Op == JALR {
+			return fmt.Sprintf("jalr %s, %d(%s)", RegName(in.Rd), in.Imm, RegName(in.Rs1))
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	case FmtS:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, RegName(in.Rs2), in.Imm, RegName(in.Rs1))
+	case FmtB:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case FmtU:
+		return fmt.Sprintf("lui %s, %#x", RegName(in.Rd), uint64(in.Imm))
+	case FmtJ:
+		return fmt.Sprintf("jal %s, %d", RegName(in.Rd), in.Imm)
+	default:
+		switch in.Op {
+		case CSRW:
+			return fmt.Sprintf("csrw %s, %s", CsrName(int(in.Imm)), RegName(in.Rs1))
+		case CSRR:
+			return fmt.Sprintf("csrr %s, %s", RegName(in.Rd), CsrName(int(in.Imm)))
+		}
+		return in.Op.String()
+	}
+}
+
+// Disasm decodes and renders the word w, or returns a placeholder for
+// illegal encodings.
+func Disasm(w uint32, is ISA) string {
+	in, ok := Decode(w, is)
+	if !ok {
+		return fmt.Sprintf(".word %#08x (illegal)", w)
+	}
+	return in.String()
+}

@@ -1,0 +1,196 @@
+// Package isa defines the VSA instruction set architecture in its two
+// variants: VSA32 (32-bit words, 16 architectural registers) and VSA64
+// (64-bit words, 32 architectural registers). VSA is the reproduction
+// stand-in for the paper's two Arm ISAs (Armv7 and Armv8): what the study
+// needs from an ISA pair is that the same source program compiles to
+// binaries with different register counts, word widths and instruction
+// mixes, and that instruction encodings cleanly separate operation bits
+// (whose corruption yields the Wrong Instruction FPM) from operand bits
+// (Wrong Operand/Immediate FPM).
+//
+// Instructions are fixed 32-bit words with a RISC-style field layout.
+package isa
+
+import "fmt"
+
+// ISA selects one of the two architecture variants.
+type ISA int
+
+const (
+	// VSA32 is the 32-bit variant: 16 architectural registers, 32-bit
+	// integer operations and addresses (the Armv7 stand-in).
+	VSA32 ISA = iota
+	// VSA64 is the 64-bit variant: 32 architectural registers, 64-bit
+	// integer operations (the Armv8 stand-in).
+	VSA64
+)
+
+func (i ISA) String() string {
+	switch i {
+	case VSA32:
+		return "VSA32"
+	case VSA64:
+		return "VSA64"
+	default:
+		return fmt.Sprintf("ISA(%d)", int(i))
+	}
+}
+
+// NumRegs returns the number of architectural integer registers.
+func (i ISA) NumRegs() int {
+	if i == VSA32 {
+		return 16
+	}
+	return 32
+}
+
+// XLen returns the register width in bits.
+func (i ISA) XLen() int {
+	if i == VSA32 {
+		return 32
+	}
+	return 64
+}
+
+// WordBytes returns the natural word size in bytes.
+func (i ISA) WordBytes() int { return i.XLen() / 8 }
+
+// Mask returns the value mask for the register width.
+func (i ISA) Mask() uint64 {
+	if i == VSA32 {
+		return 0xFFFFFFFF
+	}
+	return ^uint64(0)
+}
+
+// SignExtend sign-extends v from the ISA's register width to 64 bits.
+// For VSA64 this is the identity.
+func (i ISA) SignExtend(v uint64) uint64 {
+	if i == VSA32 {
+		return uint64(int64(int32(uint32(v))))
+	}
+	return v
+}
+
+// Architectural register conventions, shared by both variants. All
+// registers except Zero and SP are caller-saved in the VSA ABI, which the
+// kernel preserves in full across traps.
+const (
+	RegZero = 0 // hardwired zero
+	RegRA   = 1 // return address (link)
+	RegSP   = 2 // stack pointer
+	RegTMP  = 3 // assembler/kernel scratch
+	RegA0   = 4 // first argument / return value / syscall number
+	RegA1   = 5
+	RegA2   = 6
+	RegA3   = 7
+)
+
+// RegName returns the conventional assembly name of register r.
+func RegName(r int) string {
+	switch r {
+	case RegZero:
+		return "zero"
+	case RegRA:
+		return "ra"
+	case RegSP:
+		return "sp"
+	case RegTMP:
+		return "tp"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Control and status registers (CSRs) used by the trap architecture.
+const (
+	CsrSEPC   = 0 // saved PC at trap entry; ERET target
+	CsrSCAUSE = 1 // trap cause
+	CsrSTVAL  = 2 // trap value (e.g. faulting address or opcode word)
+	CsrTVEC   = 3 // trap vector: PC loaded on any trap
+	CsrKSP    = 4 // kernel scratch (kernel stack pointer save slot)
+	CsrUSP    = 5 // user stack pointer save slot during kernel execution
+	NumCSRs   = 6
+)
+
+// CsrName returns the name of CSR c.
+func CsrName(c int) string {
+	switch c {
+	case CsrSEPC:
+		return "sepc"
+	case CsrSCAUSE:
+		return "scause"
+	case CsrSTVAL:
+		return "stval"
+	case CsrTVEC:
+		return "tvec"
+	case CsrKSP:
+		return "ksp"
+	case CsrUSP:
+		return "usp"
+	}
+	return fmt.Sprintf("csr%d", c)
+}
+
+// Trap causes, recorded in SCAUSE when control transfers to TVEC.
+const (
+	CauseIllegal       = 2  // illegal or undecodable instruction
+	CauseMisalignFetch = 3  // PC not 4-byte aligned
+	CauseMisalignLoad  = 4  // misaligned data load
+	CauseMisalignStore = 6  // misaligned data store
+	CauseLoadFault     = 5  // load access outside valid memory
+	CauseStoreFault    = 7  // store access outside valid memory
+	CauseSyscall       = 8  // ECALL from user mode
+	CauseFetchFault    = 12 // instruction fetch outside valid memory
+	CausePrivilege     = 13 // user-mode access to a privileged resource
+)
+
+// CauseName returns a human-readable name for a trap cause.
+func CauseName(c uint64) string {
+	switch c {
+	case CauseIllegal:
+		return "illegal-instruction"
+	case CauseMisalignFetch:
+		return "misaligned-fetch"
+	case CauseMisalignLoad:
+		return "misaligned-load"
+	case CauseMisalignStore:
+		return "misaligned-store"
+	case CauseLoadFault:
+		return "load-access-fault"
+	case CauseStoreFault:
+		return "store-access-fault"
+	case CauseSyscall:
+		return "syscall"
+	case CauseFetchFault:
+		return "fetch-access-fault"
+	case CausePrivilege:
+		return "privilege-violation"
+	}
+	return fmt.Sprintf("cause(%d)", c)
+}
+
+// System call numbers (passed in RegA0).
+const (
+	SysExit   = 1 // exit(code): clean program termination
+	SysWrite  = 2 // write(buf, len): emit bytes to the output device
+	SysRead   = 3 // read(buf, len): read from the input device (returns 0)
+	SysDetect = 4 // detect(code): software fault-tolerance detection signal
+	SysBrk    = 5 // brk(addr): extend the heap; returns the new break
+)
+
+// Mode is the processor privilege mode.
+type Mode int
+
+const (
+	// User mode runs the application.
+	User Mode = iota
+	// Kernel mode runs trap handlers and system calls.
+	Kernel
+)
+
+func (m Mode) String() string {
+	if m == Kernel {
+		return "kernel"
+	}
+	return "user"
+}

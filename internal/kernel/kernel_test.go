@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"vulnstack/internal/asm"
+	"vulnstack/internal/dev"
+	"vulnstack/internal/emu"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
+)
+
+func userProg(t *testing.T, is isa.ISA, build func(b *asm.Builder)) *Image {
+	t.Helper()
+	b := asm.NewBuilder(is, mem.UserBase)
+	build(b)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := BuildImage(p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func boot(t *testing.T, img *Image) (*emu.CPU, *dev.Bus) {
+	t.Helper()
+	bus := dev.NewBus(img.NewMemory())
+	c := emu.New(img.ISA, bus, img.Entry)
+	if !c.Run(1 << 22) {
+		t.Fatalf("watchdog (pc=%#x)", c.PC)
+	}
+	return c, bus
+}
+
+func TestKernelFitsReservedRegion(t *testing.T) {
+	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+		k, err := Build(is, Params{UserEntry: mem.UserBase, UserSP: 1 << 20, HeapStart: mem.UserBase + 4096})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k.TextAddr != mem.KernBase {
+			t.Fatalf("%v: kernel at %#x", is, k.TextAddr)
+		}
+		if k.End() >= mem.KernStackTop-1024 {
+			t.Fatalf("%v: kernel image too large (%#x)", is, k.End())
+		}
+		if _, ok := k.Symbol("trap_entry"); !ok {
+			t.Fatal("trap_entry symbol missing")
+		}
+	}
+}
+
+func TestStagedWritePreservesOrder(t *testing.T) {
+	// Two small writes must appear in order via the staging buffer.
+	img := userProg(t, isa.VSA64, func(b *asm.Builder) {
+		b.Label("_start")
+		for _, sym := range []string{"m1", "m2"} {
+			b.Li(isa.RegA0, isa.SysWrite)
+			b.La(isa.RegA1, sym)
+			b.Li(isa.RegA2, 3)
+			b.Ecall()
+		}
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 0)
+		b.Ecall()
+		b.DataLabel("m1")
+		b.Bytes([]byte("ab\n"))
+		b.DataLabel("m2")
+		b.Bytes([]byte("cd\n"))
+	})
+	_, bus := boot(t, img)
+	if !bytes.Equal(bus.Out, []byte("ab\ncd\n")) {
+		t.Fatalf("out %q", bus.Out)
+	}
+}
+
+func TestWriteRejectsHugeLength(t *testing.T) {
+	img := userProg(t, isa.VSA64, func(b *asm.Builder) {
+		b.Label("_start")
+		b.Li(isa.RegA0, isa.SysWrite)
+		b.La(isa.RegA1, "buf")
+		b.Li(isa.RegA2, 1<<21) // > 1 MiB cap
+		b.Ecall()
+		// Return value must be -1.
+		b.Li(5, -1)
+		b.Bne(isa.RegA0, 5, "bad")
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 0)
+		b.Ecall()
+		b.Label("bad")
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 1)
+		b.Ecall()
+		b.DataLabel("buf")
+		b.Zero(8)
+	})
+	_, bus := boot(t, img)
+	if bus.Halt != dev.HaltClean || bus.ExitCode != 0 {
+		t.Fatalf("halt=%v code=%d out=%d bytes", bus.Halt, bus.ExitCode, len(bus.Out))
+	}
+	if len(bus.Out) != 0 {
+		t.Fatal("rejected write must not emit output")
+	}
+}
+
+func TestKernelPreservesUserRegisters(t *testing.T) {
+	// Every user register except A0 (the return value) must survive a
+	// syscall.
+	img := userProg(t, isa.VSA64, func(b *asm.Builder) {
+		b.Label("_start")
+		for r := 5; r < 32; r++ {
+			b.Li(r, int64(r*1000+7))
+		}
+		b.Li(isa.RegA0, isa.SysRead)
+		b.Li(isa.RegA1, 0)
+		b.Li(isa.RegA2, 0)
+		b.Ecall()
+		for r := 8; r < 32; r++ { // r5-r7 were syscall args
+			b.Li(isa.RegTMP, int64(r*1000+7))
+			b.Bne(isa.RegTMP, r, "clobbered")
+		}
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 0)
+		b.Ecall()
+		b.Label("clobbered")
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 1)
+		b.Ecall()
+	})
+	_, bus := boot(t, img)
+	if bus.ExitCode != 0 {
+		t.Fatal("kernel clobbered user registers")
+	}
+}
+
+func TestBuildImageValidation(t *testing.T) {
+	b := asm.NewBuilder(isa.VSA64, mem.KernBase) // overlaps kernel space
+	b.Label("_start")
+	b.Nop()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildImage(p, 1<<20); err == nil {
+		t.Fatal("user text below UserBase must be rejected")
+	}
+}
+
+func TestImageMemoryIsolation(t *testing.T) {
+	img := userProg(t, isa.VSA64, func(b *asm.Builder) {
+		b.Label("_start")
+		b.La(5, "g")
+		b.Li(6, 99)
+		b.Sd(6, 0, 5)
+		b.Li(isa.RegA0, isa.SysExit)
+		b.Li(isa.RegA1, 0)
+		b.Ecall()
+		b.DataLabel("g")
+		b.Zero(8)
+	})
+	m1 := img.NewMemory()
+	bus := dev.NewBus(m1)
+	c := emu.New(img.ISA, bus, img.Entry)
+	c.Run(1 << 20)
+	// The pristine image must be untouched by the run.
+	addr, _ := img.User.Symbol("g")
+	v, _ := img.RAM.Read(addr, 8)
+	if v != 0 {
+		t.Fatal("pristine RAM mutated by a run")
+	}
+	v, _ = m1.Read(addr, 8)
+	if v != 99 {
+		t.Fatal("run memory missing the store")
+	}
+}

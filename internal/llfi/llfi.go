@@ -1,0 +1,132 @@
+// Package llfi implements software-level (SVF) fault injection at the
+// compiler-IR level, mirroring the LLFI tool the paper uses: faults are
+// instantaneous single-bit flips in the destination value of a dynamic
+// IR instruction, in user code only (the IR has no kernel), and — like
+// LLFI, which supports only 64-bit ISAs — the injector runs the 64-bit
+// word width exclusively.
+package llfi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"vulnstack/internal/inject"
+	"vulnstack/internal/ir"
+)
+
+// Width is the only word width LLFI-style injection supports (the
+// paper notes LLFI cannot target 32-bit ISAs).
+const Width = 64
+
+// Campaign prepares SVF injections for one IR module.
+type Campaign struct {
+	M *ir.Module
+
+	GoldenOut  []byte
+	GoldenExit int64
+	// GoldenDefs is the number of value-defining dynamic IR
+	// instructions: the injection space.
+	GoldenDefs uint64
+	// GoldenSteps is the total dynamic IR instruction count.
+	GoldenSteps uint64
+
+	MemSize int
+	Limit   uint64
+}
+
+// Prepare runs the golden execution.
+func Prepare(m *ir.Module, memSize int) (*Campaign, error) {
+	ip := ir.NewInterp(m, Width, memSize)
+	ip.MaxSteps = 1 << 32
+	if err := ip.Run("_start"); err != nil {
+		return nil, fmt.Errorf("llfi: golden run: %w", err)
+	}
+	if !ip.Exited {
+		return nil, errors.New("llfi: golden run did not exit")
+	}
+	return &Campaign{
+		M:           m,
+		GoldenOut:   append([]byte(nil), ip.Out...),
+		GoldenExit:  ip.ExitCode,
+		GoldenDefs:  ip.DefSeq,
+		GoldenSteps: ip.Steps,
+		MemSize:     memSize,
+		Limit:       3*ip.Steps + 100000,
+	}, nil
+}
+
+// Fault selects a dynamic defining instruction and a bit of its result.
+type Fault struct {
+	Seq uint64
+	Bit uint
+}
+
+// Sample draws a fault uniformly over the dynamic definition stream.
+func (cp *Campaign) Sample(r *rand.Rand) Fault {
+	return Fault{
+		Seq: uint64(r.Int63n(int64(cp.GoldenDefs))),
+		Bit: uint(r.Intn(Width)),
+	}
+}
+
+// Run performs one injection and classifies the outcome.
+func (cp *Campaign) Run(f Fault) inject.Outcome {
+	ip := ir.NewInterp(cp.M, Width, cp.MemSize)
+	ip.MaxSteps = cp.Limit
+	ip.Hook = func(seq uint64, in *ir.Instr, v int64) int64 {
+		if seq == f.Seq {
+			return v ^ int64(uint64(1)<<f.Bit)
+		}
+		return v
+	}
+	err := ip.Run("_start")
+	switch {
+	case err != nil:
+		return inject.Crash // bad address, stack overflow, watchdog
+	case ip.Detected:
+		return inject.Detected
+	case ip.Exited && ip.ExitCode == cp.GoldenExit && bytes.Equal(ip.Out, cp.GoldenOut):
+		return inject.Masked
+	default:
+		return inject.SDC
+	}
+}
+
+// Tally aggregates SVF outcomes.
+type Tally struct {
+	N        int
+	Outcomes [inject.NumOutcomes]int
+}
+
+// Add accumulates one outcome.
+func (t *Tally) Add(o inject.Outcome) {
+	t.N++
+	t.Outcomes[o]++
+}
+
+// Frac returns the fraction of outcome o.
+func (t *Tally) Frac(o inject.Outcome) float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Outcomes[o]) / float64(t.N)
+}
+
+// SVF is the software vulnerability factor: failures per injection.
+func (t *Tally) SVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
+
+// RunCampaign performs n injections.
+func (cp *Campaign) RunCampaign(n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
+	r := rand.New(rand.NewSource(seed))
+	var t Tally
+	for i := 0; i < n; i++ {
+		o := cp.Run(cp.Sample(r))
+		t.Add(o)
+		if progress != nil {
+			progress(i, o)
+		}
+	}
+	return t
+}

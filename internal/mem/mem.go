@@ -1,0 +1,135 @@
+// Package mem provides the simulated physical memory and the system
+// memory map shared by the functional emulator and the microarchitectural
+// model. Addressing is physical: the platform has no MMU, a substitution
+// documented in DESIGN.md (the paper itself observes that architectural
+// vulnerability is ill-defined under virtual memory).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// System memory map. The first page is an unmapped null guard so that
+// fault-induced null dereferences raise access faults (and classify as
+// Crash) instead of silently reading zeroes.
+const (
+	GuardTop     = 0x0000_1000 // [0, GuardTop) is unmapped
+	KernBase     = 0x0000_1000 // kernel text
+	KernDataBase = 0x0000_8000 // kernel data, staging buffers
+	KernStackTop = 0x0000_FFF0 // kernel stack grows down from here
+	UserBase     = 0x0001_0000 // user text, then data/bss/heap
+	DefaultSize  = 4 << 20     // 4 MiB of RAM
+	MMIOBase     = 0xFFFF_0000 // device registers (kernel-mode only)
+	MMIOSize     = 0x100
+)
+
+// UserStackTop returns the initial user stack pointer for a RAM of the
+// given size.
+func UserStackTop(size uint64) uint64 { return size - 16 }
+
+// Memory is a flat byte-addressable RAM image, little-endian.
+type Memory struct {
+	data []byte
+}
+
+// New creates a RAM of the given size in bytes (0 selects DefaultSize).
+func New(size uint64) *Memory {
+	if size == 0 {
+		size = DefaultSize
+	}
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the RAM size in bytes.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// Valid reports whether [addr, addr+n) lies inside mapped RAM.
+func (m *Memory) Valid(addr uint64, n int) bool {
+	return addr >= GuardTop && addr+uint64(n) <= uint64(len(m.data)) && addr+uint64(n) >= addr
+}
+
+// Read loads an n-byte little-endian value (n in {1,2,4,8}).
+func (m *Memory) Read(addr uint64, n int) (uint64, bool) {
+	if !m.Valid(addr, n) {
+		return 0, false
+	}
+	var v uint64
+	for i := n - 1; i >= 0; i-- {
+		v = v<<8 | uint64(m.data[addr+uint64(i)])
+	}
+	return v, true
+}
+
+// Write stores the low n bytes of val at addr, little-endian.
+func (m *Memory) Write(addr uint64, n int, val uint64) bool {
+	if !m.Valid(addr, n) {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		m.data[addr+uint64(i)] = byte(val >> (8 * i))
+	}
+	return true
+}
+
+// ReadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) ReadBytes(addr uint64, dst []byte) bool {
+	if !m.Valid(addr, len(dst)) {
+		return false
+	}
+	copy(dst, m.data[addr:])
+	return true
+}
+
+// WriteBytes copies src into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, src []byte) bool {
+	if !m.Valid(addr, len(src)) {
+		return false
+	}
+	copy(m.data[addr:], src)
+	return true
+}
+
+// Byte returns the byte at addr (for device-side reads).
+func (m *Memory) Byte(addr uint64) (byte, bool) {
+	if !m.Valid(addr, 1) {
+		return 0, false
+	}
+	return m.data[addr], true
+}
+
+// FlipBit flips a single bit: the transient-fault primitive for faults
+// injected directly into memory/architectural state.
+func (m *Memory) FlipBit(addr uint64, bit uint) bool {
+	if !m.Valid(addr, 1) || bit > 7 {
+		return false
+	}
+	m.data[addr] ^= 1 << bit
+	return true
+}
+
+// Clone returns a deep copy (used for golden-state snapshots).
+func (m *Memory) Clone() *Memory {
+	d := make([]byte, len(m.data))
+	copy(d, m.data)
+	return &Memory{data: d}
+}
+
+// CopyFrom overwrites this memory's contents from src (sizes must match).
+func (m *Memory) CopyFrom(src *Memory) {
+	if len(m.data) != len(src.data) {
+		panic(fmt.Sprintf("mem.CopyFrom: size mismatch %d != %d", len(m.data), len(src.data)))
+	}
+	copy(m.data, src.data)
+}
+
+// Word32 reads an aligned 32-bit word (instruction fetch helper).
+func (m *Memory) Word32(addr uint64) (uint32, bool) {
+	if addr%4 != 0 || !m.Valid(addr, 4) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:]), true
+}
+
+// IsMMIO reports whether addr targets the device register window.
+func IsMMIO(addr uint64) bool { return addr >= MMIOBase && addr < MMIOBase+MMIOSize }

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	f := func(addr uint16, val uint64, szSel uint8) bool {
+		n := []int{1, 2, 4, 8}[szSel%4]
+		a := uint64(addr)
+		if a < GuardTop {
+			a += GuardTop
+		}
+		a &^= uint64(n - 1) // align
+		if !m.Write(a, n, val) {
+			return a+uint64(n) > m.Size()
+		}
+		got, ok := m.Read(a, n)
+		want := val
+		if n < 8 {
+			want &= 1<<(8*n) - 1
+		}
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGuardPage(t *testing.T) {
+	m := New(0)
+	if m.Size() != DefaultSize {
+		t.Fatalf("default size: %d", m.Size())
+	}
+	if _, ok := m.Read(0, 4); ok {
+		t.Fatal("null page must not be readable")
+	}
+	if m.Write(GuardTop-4, 8, 1) {
+		t.Fatal("write straddling guard must fail")
+	}
+	if _, ok := m.Read(m.Size()-4, 8); ok {
+		t.Fatal("read past end must fail")
+	}
+	if _, ok := m.Read(^uint64(0)-3, 4); ok {
+		t.Fatal("wraparound read must fail")
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New(1 << 16)
+	m.Write(0x2000, 4, 0x11223344)
+	b, _ := m.Byte(0x2000)
+	if b != 0x44 {
+		t.Fatalf("little endian: got %#x", b)
+	}
+	w, ok := m.Word32(0x2000)
+	if !ok || w != 0x11223344 {
+		t.Fatalf("word32: %#x", w)
+	}
+	if _, ok := m.Word32(0x2002); ok {
+		t.Fatal("misaligned word32 must fail")
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	m := New(1 << 16)
+	m.Write(0x3000, 1, 0)
+	if !m.FlipBit(0x3000, 7) {
+		t.Fatal("flip failed")
+	}
+	v, _ := m.Read(0x3000, 1)
+	if v != 0x80 {
+		t.Fatalf("after flip: %#x", v)
+	}
+	m.FlipBit(0x3000, 7)
+	v, _ = m.Read(0x3000, 1)
+	if v != 0 {
+		t.Fatal("double flip must restore")
+	}
+	if m.FlipBit(0x100, 0) {
+		t.Fatal("guard page flip must fail")
+	}
+	if m.FlipBit(0x3000, 8) {
+		t.Fatal("bit > 7 must fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(1 << 16)
+	m.Write(0x4000, 8, 0xDEADBEEF)
+	c := m.Clone()
+	c.Write(0x4000, 8, 1)
+	v, _ := m.Read(0x4000, 8)
+	if v != 0xDEADBEEF {
+		t.Fatal("clone must not alias")
+	}
+	m2 := New(1 << 16)
+	m2.CopyFrom(m)
+	v, _ = m2.Read(0x4000, 8)
+	if v != 0xDEADBEEF {
+		t.Fatal("CopyFrom")
+	}
+}
+
+func TestIsMMIO(t *testing.T) {
+	if !IsMMIO(MMIOBase) || !IsMMIO(MMIOBase+MMIOSize-1) || IsMMIO(MMIOBase-1) || IsMMIO(MMIOBase+MMIOSize) {
+		t.Fatal("MMIO window")
+	}
+}

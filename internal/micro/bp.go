@@ -1,0 +1,66 @@
+package micro
+
+// branchPred is a bimodal predictor with a direct-mapped BTB and a
+// return address stack. Predictor state is not an injection target (the
+// paper injects the five SRAM structures), but its behaviour shapes
+// speculation depth — and therefore which wrong-path instructions read
+// faulty state and get squashed.
+type branchPred struct {
+	counters []uint8 // 2-bit saturating
+	btbTag   []uint64
+	btbTgt   []uint64
+	ras      []uint64
+	rasTop   int
+	btbMask  uint64
+	bpMask   uint64
+}
+
+func newBranchPred(cfg *Config) *branchPred {
+	return &branchPred{
+		counters: make([]uint8, cfg.BPSize),
+		btbTag:   make([]uint64, cfg.BTBSize),
+		btbTgt:   make([]uint64, cfg.BTBSize),
+		ras:      make([]uint64, cfg.RASSize),
+		btbMask:  uint64(cfg.BTBSize - 1),
+		bpMask:   uint64(cfg.BPSize - 1),
+	}
+}
+
+func (bp *branchPred) predictTaken(pc uint64) bool {
+	return bp.counters[(pc>>2)&bp.bpMask] >= 2
+}
+
+func (bp *branchPred) updateTaken(pc uint64, taken bool) {
+	i := (pc >> 2) & bp.bpMask
+	if taken {
+		if bp.counters[i] < 3 {
+			bp.counters[i]++
+		}
+	} else if bp.counters[i] > 0 {
+		bp.counters[i]--
+	}
+}
+
+func (bp *branchPred) btbLookup(pc uint64) (uint64, bool) {
+	i := (pc >> 2) & bp.btbMask
+	if bp.btbTag[i] == pc {
+		return bp.btbTgt[i], true
+	}
+	return 0, false
+}
+
+func (bp *branchPred) btbInsert(pc, target uint64) {
+	i := (pc >> 2) & bp.btbMask
+	bp.btbTag[i], bp.btbTgt[i] = pc, target
+}
+
+func (bp *branchPred) rasPush(ret uint64) {
+	bp.rasTop = (bp.rasTop + 1) % len(bp.ras)
+	bp.ras[bp.rasTop] = ret
+}
+
+func (bp *branchPred) rasPop() uint64 {
+	v := bp.ras[bp.rasTop]
+	bp.rasTop = (bp.rasTop - 1 + len(bp.ras)) % len(bp.ras)
+	return v
+}

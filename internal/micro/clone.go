@@ -1,0 +1,79 @@
+package micro
+
+// Clone deep-copies the entire machine state. Injection campaigns use
+// clones of golden-run snapshots to start each faulty run near its
+// injection cycle instead of re-simulating from boot.
+func (c *Core) Clone() *Core {
+	d := &Core{}
+	*d = *c
+	d.OnCommit = nil
+
+	d.Bus = c.Bus.Clone()
+	d.ram = c.ram.clone(d.Bus.Mem)
+	d.l2 = c.l2.clone(d.ram)
+	d.l1i = c.l1i.clone(d.l2)
+	d.l1d = c.l1d.clone(d.l2)
+	d.Bus.Reader = (*dmaSnooper)(d)
+	d.bp = c.bp.clone()
+
+	d.prf = append([]uint64(nil), c.prf...)
+	d.prfReady = append([]bool(nil), c.prfReady...)
+	d.prfTaint = append([]bool(nil), c.prfTaint...)
+	d.freeList = append([]int(nil), c.freeList...)
+	d.rob = append([]robe(nil), c.rob...)
+	d.lq = append([]lsqEntry(nil), c.lq...)
+	d.sq = append([]lsqEntry(nil), c.sq...)
+	d.iq = append([]int(nil), c.iq...)
+	d.fq = append([]fetchEntry(nil), c.fq...)
+	d.ring = make([][]ringEnt, len(c.ring))
+	for i, b := range c.ring {
+		if len(b) > 0 {
+			d.ring[i] = append([]ringEnt(nil), b...)
+		}
+	}
+	return d
+}
+
+
+func (bp *branchPred) clone() *branchPred {
+	nb := &branchPred{
+		counters: append([]uint8(nil), bp.counters...),
+		btbTag:   append([]uint64(nil), bp.btbTag...),
+		btbTgt:   append([]uint64(nil), bp.btbTgt...),
+		ras:      append([]uint64(nil), bp.ras...),
+		rasTop:   bp.rasTop,
+		btbMask:  bp.btbMask,
+		bpMask:   bp.bpMask,
+	}
+	return nb
+}
+
+func (c *cache) clone(lower memLevel) *cache {
+	nc := &cache{
+		cfg:     c.cfg,
+		lower:   lower,
+		offBits: c.offBits,
+		idxBits: c.idxBits,
+		tick:    c.tick,
+	}
+	nc.backing = append([]byte(nil), c.backing...)
+	nc.sets = make([][]line, len(c.sets))
+	lb := c.cfg.LineBytes
+	li := 0
+	for si, ways := range c.sets {
+		nw := make([]line, len(ways))
+		for wi := range ways {
+			l := &ways[wi]
+			nw[wi] = line{
+				valid: l.valid, dirty: l.dirty, tag: l.tag, lru: l.lru,
+				data: nc.backing[li*lb : (li+1)*lb : (li+1)*lb],
+			}
+			if l.taint != nil {
+				nw[wi].taint = append([]taintMask(nil), l.taint...)
+			}
+			li++
+		}
+		nc.sets[si] = nw
+	}
+	return nc
+}

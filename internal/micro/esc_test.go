@@ -1,0 +1,110 @@
+package micro
+
+import (
+	"bytes"
+	"testing"
+
+	"vulnstack/internal/asm"
+	"vulnstack/internal/dev"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/mem"
+)
+
+// escImage builds a program that fills a 256-byte buffer and writes it
+// through the zero-copy DMA path at exit: the textbook Escaped-fault
+// scenario (output bytes sit in the cache hierarchy until the device
+// drains them, never re-entering the pipeline).
+func escImage(t *testing.T) (*kernel.Image, uint64) {
+	t.Helper()
+	b := asm.NewBuilder(isa.VSA64, mem.UserBase)
+	b.Label("_start")
+	b.La(5, "buf")
+	b.Li(6, 0)
+	b.Label("fill")
+	b.Add(7, 5, 6)
+	b.Sb(6, 0, 7)
+	b.Addi(6, 6, 1)
+	b.Li(8, 256)
+	b.Blt(6, 8, "fill")
+	// Burn some cycles so the injection window after the last buffer
+	// store is wide.
+	b.Li(9, 3000)
+	b.Label("spin")
+	b.Addi(9, 9, -1)
+	b.Bne(9, 0, "spin")
+	// write(buf, 256) >= ZeroCopyThreshold: direct DMA from the buffer.
+	b.Li(isa.RegA0, isa.SysWrite)
+	b.La(isa.RegA1, "buf")
+	b.Li(isa.RegA2, 256)
+	b.Ecall()
+	b.Li(isa.RegA0, isa.SysExit)
+	b.Li(isa.RegA1, 0)
+	b.Ecall()
+	b.DataLabel("buf")
+	b.Zero(256)
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := kernel.BuildImage(p, 1<<21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := p.Symbol("buf")
+	return img, addr
+}
+
+// TestEscapedFaultPath injects into the cached output buffer after its
+// last CPU access and checks the fault classifies as ESC with an SDC
+// outcome: corrupted output that no software-level view could have
+// modelled.
+func TestEscapedFaultPath(t *testing.T) {
+	cfg := ConfigA72()
+	img, bufAddr := escImage(t)
+
+	// Golden run for reference output and cycle count.
+	g := New(cfg, img.NewMemory(), img.Entry)
+	if !g.Run(1 << 22) {
+		t.Fatal("golden did not halt")
+	}
+	golden := append([]byte(nil), g.Bus.Out...)
+	if len(golden) != 256 || golden[10] != 10 {
+		t.Fatalf("golden output %d bytes", len(golden))
+	}
+
+	// Faulty run: advance into the spin window (after the fills), then
+	// flip a data bit of the L1d line holding buf[10].
+	c := New(cfg, img.NewMemory(), img.Entry)
+	target := g.Cycle * 3 / 4
+	for c.Cycle < target {
+		if !c.Step() {
+			t.Fatal("halted early")
+		}
+	}
+	set, tag, off := c.l1d.index(bufAddr + 10)
+	way := c.l1d.lookup(set, tag)
+	if way < 0 {
+		t.Skip("buffer line not resident at the chosen cycle")
+	}
+	info := c.Inject(StructL1D, set*cfg.L1D.Assoc+way, off*8+3)
+	if !info.Live {
+		t.Fatal("flip into a valid output line must be live")
+	}
+	if !c.Run(1 << 22) {
+		t.Fatal("faulty run did not halt")
+	}
+	if c.Bus.Halt != dev.HaltClean {
+		t.Fatalf("halt %v", c.Bus.Halt)
+	}
+	if bytes.Equal(c.Bus.Out, golden) {
+		t.Fatal("output must be corrupted (SDC)")
+	}
+	if c.Bus.Out[10] != golden[10]^8 {
+		t.Fatalf("expected bit 3 of byte 10 flipped: %#x vs %#x", c.Bus.Out[10], golden[10])
+	}
+	if !c.Taint.Contacted() || c.Taint.Class() != FPMESC {
+		t.Fatalf("fault must classify as ESC, got contacted=%v class=%v",
+			c.Taint.Contacted(), c.Taint.Class())
+	}
+}

@@ -1,0 +1,232 @@
+package minic
+
+// Type describes a MiniC type.
+type Type struct {
+	Kind TypeKind
+	Elem TypeKind // element kind for pointers and arrays
+	N    int      // array length (resolved by the checker)
+	// SizeX is the unevaluated array-size expression from the parser;
+	// the checker evaluates it into N.
+	SizeX Expr
+}
+
+// TypeKind enumerates base type kinds.
+type TypeKind int
+
+const (
+	KindVoid TypeKind = iota
+	KindInt
+	KindByte
+	KindPtr
+	KindArr
+)
+
+// Convenience constructors.
+var (
+	TypeVoid = Type{Kind: KindVoid}
+	TypeInt  = Type{Kind: KindInt}
+	TypeByte = Type{Kind: KindByte}
+)
+
+// PtrTo returns a pointer type to elem (KindInt or KindByte).
+func PtrTo(elem TypeKind) Type { return Type{Kind: KindPtr, Elem: elem} }
+
+// ArrOf returns an array type.
+func ArrOf(elem TypeKind, n int) Type { return Type{Kind: KindArr, Elem: elem, N: n} }
+
+// IsScalar reports whether t is int or byte.
+func (t Type) IsScalar() bool { return t.Kind == KindInt || t.Kind == KindByte }
+
+func (t Type) String() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return "int"
+	case KindByte:
+		return "byte"
+	case KindPtr:
+		if t.Elem == KindByte {
+			return "*byte"
+		}
+		return "*int"
+	case KindArr:
+		if t.Elem == KindByte {
+			return "[N]byte"
+		}
+		return "[N]int"
+	}
+	return "?"
+}
+
+// --- Expressions ---
+
+// Expr is the expression interface; Line is for diagnostics.
+type Expr interface{ exprLine() int }
+
+// NumExpr is an integer literal (numbers and char literals).
+type NumExpr struct {
+	Line int
+	Val  int64
+}
+
+// IdentExpr references a variable, constant or function name.
+type IdentExpr struct {
+	Line int
+	Name string
+}
+
+// UnaryExpr is -x, !x, ~x, *x or &x.
+type UnaryExpr struct {
+	Line int
+	Op   TokKind
+	X    Expr
+}
+
+// BinExpr is a binary operation, including && and || (short-circuit).
+type BinExpr struct {
+	Line int
+	Op   TokKind
+	X, Y Expr
+}
+
+// IndexExpr is a[i] on arrays and pointers.
+type IndexExpr struct {
+	Line int
+	X    Expr
+	I    Expr
+}
+
+// CallExpr is f(args...) including the __syscall builtin.
+type CallExpr struct {
+	Line int
+	Name string
+	Args []Expr
+}
+
+func (e *NumExpr) exprLine() int   { return e.Line }
+func (e *IdentExpr) exprLine() int { return e.Line }
+func (e *UnaryExpr) exprLine() int { return e.Line }
+func (e *BinExpr) exprLine() int   { return e.Line }
+func (e *IndexExpr) exprLine() int { return e.Line }
+func (e *CallExpr) exprLine() int  { return e.Line }
+
+// --- Statements ---
+
+// Stmt is the statement interface.
+type Stmt interface{ stmtLine() int }
+
+// VarStmt declares a local variable with optional initializer.
+type VarStmt struct {
+	Line int
+	Name string
+	Type Type
+	Init Expr // nil for zero value
+}
+
+// AssignStmt is lhs = rhs.
+type AssignStmt struct {
+	Line int
+	LHS  Expr
+	RHS  Expr
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	Line int
+	X    Expr
+}
+
+// IfStmt with optional else (else-if chains nest).
+type IfStmt struct {
+	Line int
+	Cond Expr
+	Then []Stmt
+	Else []Stmt // nil if absent
+}
+
+// WhileStmt loops while cond is non-zero.
+type WhileStmt struct {
+	Line int
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is for init; cond; post { body }. Init and Post may be nil
+// (they are AssignStmt or ExprStmt); Cond may be nil (infinite).
+type ForStmt struct {
+	Line int
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body []Stmt
+}
+
+// ReturnStmt returns from the function, optionally with a value.
+type ReturnStmt struct {
+	Line int
+	X    Expr // nil for void
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Line int }
+
+// BlockStmt is a nested scope.
+type BlockStmt struct {
+	Line int
+	Body []Stmt
+}
+
+func (s *VarStmt) stmtLine() int      { return s.Line }
+func (s *AssignStmt) stmtLine() int   { return s.Line }
+func (s *ExprStmt) stmtLine() int     { return s.Line }
+func (s *IfStmt) stmtLine() int       { return s.Line }
+func (s *WhileStmt) stmtLine() int    { return s.Line }
+func (s *ForStmt) stmtLine() int      { return s.Line }
+func (s *ReturnStmt) stmtLine() int   { return s.Line }
+func (s *BreakStmt) stmtLine() int    { return s.Line }
+func (s *ContinueStmt) stmtLine() int { return s.Line }
+func (s *BlockStmt) stmtLine() int    { return s.Line }
+
+// --- Declarations ---
+
+// ConstDecl is a compile-time integer constant.
+type ConstDecl struct {
+	Line int
+	Name string
+	X    Expr // constant expression
+}
+
+// GlobalDecl is a module-level variable with optional initializer.
+type GlobalDecl struct {
+	Line     int
+	Name     string
+	Type     Type
+	InitList []Expr // scalar: one element; arrays: element list
+	InitStr  []byte // byte arrays initialized from a string literal
+}
+
+// Param is a function parameter (scalar or pointer).
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Line   int
+	Name   string
+	Params []Param
+	Ret    Type // TypeInt or TypeVoid
+	Body   []Stmt
+}
+
+// File is a parsed MiniC source file.
+type File struct {
+	Consts  []*ConstDecl
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}

@@ -1,0 +1,601 @@
+package minic
+
+import "fmt"
+
+// SymKind classifies resolved names.
+type SymKind int
+
+const (
+	SymConst SymKind = iota
+	SymGlobal
+	SymLocal // includes parameters
+	SymFunc
+)
+
+// Symbol is a resolved program entity.
+type Symbol struct {
+	Kind      SymKind
+	Name      string
+	Type      Type
+	ConstVal  int64
+	IsParam   bool
+	ParamIdx  int
+	LocalID   int // dense per-function local index
+	AddrTaken bool
+}
+
+// GlobalInfo is a checked global with resolved type and initializer.
+type GlobalInfo struct {
+	Decl     *GlobalDecl
+	Sym      *Symbol
+	InitVals []int64 // scalar/array element values
+	InitStr  []byte
+}
+
+// FuncInfo is a checked function.
+type FuncInfo struct {
+	Decl   *FuncDecl
+	Sym    *Symbol
+	Locals []*Symbol // params first, then locals in declaration order
+}
+
+// Program is the checked form consumed by the IR generator.
+type Program struct {
+	File     *File
+	Consts   map[string]int64
+	Globals  []*GlobalInfo
+	Funcs    map[string]*FuncInfo
+	FuncList []*FuncInfo
+	ExprType map[Expr]Type
+	Refs     map[*IdentExpr]*Symbol
+}
+
+type checker struct {
+	prog   *Program
+	scopes []map[string]*Symbol
+	fn     *FuncInfo
+	loops  int
+	errs   []string
+}
+
+// Check type-checks a parsed file.
+func Check(f *File) (*Program, error) {
+	c := &checker{prog: &Program{
+		File:     f,
+		Consts:   make(map[string]int64),
+		Funcs:    make(map[string]*FuncInfo),
+		ExprType: make(map[Expr]Type),
+		Refs:     make(map[*IdentExpr]*Symbol),
+	}}
+	c.push()
+	c.collect(f)
+	for _, fd := range f.Funcs {
+		c.checkFunc(fd)
+	}
+	if len(c.errs) > 0 {
+		return nil, fmt.Errorf("minic check: %s (and %d more)", c.errs[0], len(c.errs)-1)
+	}
+	return c.prog, nil
+}
+
+func (c *checker) errorf(line int, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(line int, s *Symbol) {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[s.Name]; dup {
+		c.errorf(line, "redefinition of %q", s.Name)
+	}
+	top[s.Name] = s
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// resolveType evaluates pending array-size expressions.
+func (c *checker) resolveType(line int, t Type) Type {
+	if t.Kind == KindArr {
+		n, ok := c.constEval(t.SizeX)
+		if !ok || n <= 0 || n > 1<<24 {
+			c.errorf(line, "array size must be a positive constant")
+			n = 1
+		}
+		t.N = int(n)
+		t.SizeX = nil
+	}
+	return t
+}
+
+// collect registers consts, globals and function signatures (top level,
+// in order: consts may reference earlier consts).
+func (c *checker) collect(f *File) {
+	for _, cd := range f.Consts {
+		v, ok := c.constEval(cd.X)
+		if !ok {
+			c.errorf(cd.Line, "const %s: not a constant expression", cd.Name)
+		}
+		c.prog.Consts[cd.Name] = v
+		c.define(cd.Line, &Symbol{Kind: SymConst, Name: cd.Name, Type: TypeInt, ConstVal: v})
+	}
+	for _, g := range f.Globals {
+		t := c.resolveType(g.Line, g.Type)
+		sym := &Symbol{Kind: SymGlobal, Name: g.Name, Type: t}
+		c.define(g.Line, sym)
+		gi := &GlobalInfo{Decl: g, Sym: sym}
+		switch {
+		case g.InitStr != nil:
+			if t.Kind != KindArr || t.Elem != KindByte {
+				c.errorf(g.Line, "string initializer requires a byte array")
+			} else if len(g.InitStr) > t.N {
+				c.errorf(g.Line, "string initializer longer than array")
+			}
+			gi.InitStr = g.InitStr
+		case g.InitList != nil:
+			for _, e := range g.InitList {
+				v, ok := c.constEval(e)
+				if !ok {
+					c.errorf(g.Line, "global %s: initializer must be constant", g.Name)
+				}
+				gi.InitVals = append(gi.InitVals, v)
+			}
+			switch t.Kind {
+			case KindArr:
+				if len(gi.InitVals) > t.N {
+					c.errorf(g.Line, "too many initializers for %s", g.Name)
+				}
+			case KindInt, KindByte:
+				if len(gi.InitVals) != 1 {
+					c.errorf(g.Line, "scalar %s takes one initializer", g.Name)
+				}
+			default:
+				c.errorf(g.Line, "pointer globals cannot be initialized")
+			}
+		}
+		c.prog.Globals = append(c.prog.Globals, gi)
+	}
+	for _, fd := range f.Funcs {
+		if fd.Name == "__syscall" {
+			c.errorf(fd.Line, "__syscall is a builtin")
+		}
+		sym := &Symbol{Kind: SymFunc, Name: fd.Name, Type: fd.Ret}
+		c.define(fd.Line, sym)
+		fi := &FuncInfo{Decl: fd, Sym: sym}
+		c.prog.Funcs[fd.Name] = fi
+		c.prog.FuncList = append(c.prog.FuncList, fi)
+	}
+}
+
+// constEval evaluates a compile-time constant expression. Only consts
+// defined earlier are visible.
+func (c *checker) constEval(e Expr) (int64, bool) {
+	switch x := e.(type) {
+	case *NumExpr:
+		return x.Val, true
+	case *IdentExpr:
+		if v, ok := c.prog.Consts[x.Name]; ok {
+			return v, true
+		}
+		return 0, false
+	case *UnaryExpr:
+		v, ok := c.constEval(x.X)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case TokMinus:
+			return -v, true
+		case TokTilde:
+			return ^v, true
+		case TokBang:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *BinExpr:
+		a, ok1 := c.constEval(x.X)
+		b, ok2 := c.constEval(x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case TokPlus:
+			return a + b, true
+		case TokMinus:
+			return a - b, true
+		case TokStar:
+			return a * b, true
+		case TokSlash:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case TokPercent:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case TokAmp:
+			return a & b, true
+		case TokPipe:
+			return a | b, true
+		case TokCaret:
+			return a ^ b, true
+		case TokShl:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a << uint(b), true
+		case TokShr:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return a >> uint(b), true
+		case TokShrU:
+			if b < 0 || b > 63 {
+				return 0, false
+			}
+			return int64(uint64(a) >> uint(b)), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func (c *checker) checkFunc(fd *FuncDecl) {
+	fi := c.prog.Funcs[fd.Name]
+	c.fn = fi
+	c.push()
+	for i := range fd.Params {
+		p := &fd.Params[i]
+		t := c.resolveType(fd.Line, p.Type)
+		sym := &Symbol{Kind: SymLocal, Name: p.Name, Type: t, IsParam: true, ParamIdx: i, LocalID: len(fi.Locals)}
+		fi.Locals = append(fi.Locals, sym)
+		c.define(fd.Line, sym)
+	}
+	c.checkStmts(fd.Body)
+	c.pop()
+	c.fn = nil
+}
+
+func (c *checker) checkStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarStmt:
+		t := c.resolveType(st.Line, st.Type)
+		st.Type = t
+		sym := &Symbol{Kind: SymLocal, Name: st.Name, Type: t, LocalID: len(c.fn.Locals)}
+		if st.Init != nil {
+			if t.Kind == KindArr {
+				c.errorf(st.Line, "array locals cannot have initializers")
+			} else {
+				it := c.checkExpr(st.Init)
+				c.checkAssignable(st.Line, t, it)
+			}
+		}
+		c.fn.Locals = append(c.fn.Locals, sym)
+		c.define(st.Line, sym)
+	case *AssignStmt:
+		lt := c.checkLValue(st.LHS)
+		rt := c.checkExpr(st.RHS)
+		c.checkAssignable(st.Line, lt, rt)
+	case *ExprStmt:
+		c.checkExpr(st.X)
+	case *IfStmt:
+		c.checkCond(st.Line, st.Cond)
+		c.push()
+		c.checkStmts(st.Then)
+		c.pop()
+		if st.Else != nil {
+			c.push()
+			c.checkStmts(st.Else)
+			c.pop()
+		}
+	case *WhileStmt:
+		c.checkCond(st.Line, st.Cond)
+		c.loops++
+		c.push()
+		c.checkStmts(st.Body)
+		c.pop()
+		c.loops--
+	case *ForStmt:
+		c.push()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			c.checkCond(st.Line, st.Cond)
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.loops++
+		c.checkStmts(st.Body)
+		c.loops--
+		c.pop()
+	case *ReturnStmt:
+		ret := c.fn.Decl.Ret
+		if st.X == nil {
+			if ret.Kind != KindVoid {
+				c.errorf(st.Line, "%s must return a value", c.fn.Decl.Name)
+			}
+			return
+		}
+		if ret.Kind == KindVoid {
+			c.errorf(st.Line, "%s returns no value", c.fn.Decl.Name)
+			return
+		}
+		t := c.checkExpr(st.X)
+		c.checkAssignable(st.Line, ret, t)
+	case *BreakStmt:
+		if c.loops == 0 {
+			c.errorf(st.Line, "break outside loop")
+		}
+	case *ContinueStmt:
+		if c.loops == 0 {
+			c.errorf(st.Line, "continue outside loop")
+		}
+	case *BlockStmt:
+		c.push()
+		c.checkStmts(st.Body)
+		c.pop()
+	}
+}
+
+func (c *checker) checkCond(line int, e Expr) {
+	t := c.checkExpr(e)
+	if !t.IsScalar() && t.Kind != KindPtr {
+		c.errorf(line, "condition must be scalar, got %s", t)
+	}
+}
+
+// checkAssignable verifies rt can be assigned into lt.
+func (c *checker) checkAssignable(line int, lt, rt Type) {
+	switch lt.Kind {
+	case KindInt, KindByte:
+		if !rt.IsScalar() {
+			c.errorf(line, "cannot assign %s to %s", rt, lt)
+		}
+	case KindPtr:
+		// Pointer := pointer of same element, or array decay.
+		if rt.Kind == KindPtr && rt.Elem == lt.Elem {
+			return
+		}
+		if rt.Kind == KindArr && rt.Elem == lt.Elem {
+			return
+		}
+		c.errorf(line, "cannot assign %s to %s", rt, lt)
+	default:
+		c.errorf(line, "cannot assign to %s", lt)
+	}
+}
+
+// checkLValue types an expression appearing on the left of '='.
+func (c *checker) checkLValue(e Expr) Type {
+	switch x := e.(type) {
+	case *IdentExpr:
+		t := c.checkExpr(e)
+		sym := c.prog.Refs[x]
+		if sym == nil || sym.Kind == SymConst || sym.Kind == SymFunc {
+			c.errorf(x.Line, "%q is not assignable", x.Name)
+			return TypeInt
+		}
+		if sym.Type.Kind == KindArr {
+			c.errorf(x.Line, "cannot assign to array %q", x.Name)
+		}
+		return t
+	case *IndexExpr:
+		return c.checkExpr(e)
+	case *UnaryExpr:
+		if x.Op == TokStar {
+			return c.checkExpr(e)
+		}
+	}
+	c.errorf(e.exprLine(), "expression is not assignable")
+	return TypeInt
+}
+
+// checkExpr types an expression and records the result.
+func (c *checker) checkExpr(e Expr) Type {
+	t := c.typeOf(e)
+	c.prog.ExprType[e] = t
+	return t
+}
+
+func (c *checker) typeOf(e Expr) Type {
+	switch x := e.(type) {
+	case *NumExpr:
+		return TypeInt
+	case *IdentExpr:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			c.errorf(x.Line, "undefined: %q", x.Name)
+			return TypeInt
+		}
+		if sym.Kind == SymFunc {
+			c.errorf(x.Line, "function %q used as value", x.Name)
+			return TypeInt
+		}
+		c.prog.Refs[x] = sym
+		if sym.Kind == SymConst {
+			return TypeInt
+		}
+		return sym.Type
+
+	case *UnaryExpr:
+		switch x.Op {
+		case TokMinus, TokTilde, TokBang:
+			t := c.checkExpr(x.X)
+			if !t.IsScalar() {
+				c.errorf(x.Line, "unary %v requires a scalar, got %s", x.Op, t)
+			}
+			return TypeInt
+		case TokStar:
+			t := c.checkExpr(x.X)
+			if t.Kind != KindPtr {
+				c.errorf(x.Line, "cannot dereference %s", t)
+				return TypeInt
+			}
+			return Type{Kind: t.Elem}
+		case TokAmp:
+			return c.checkAddrOf(x)
+		}
+		c.errorf(x.Line, "bad unary operator")
+		return TypeInt
+
+	case *BinExpr:
+		xt := c.checkExpr(x.X)
+		yt := c.checkExpr(x.Y)
+		switch x.Op {
+		case TokAndAnd, TokOrOr:
+			okT := func(t Type) bool { return t.IsScalar() || t.Kind == KindPtr }
+			if !okT(xt) || !okT(yt) {
+				c.errorf(x.Line, "%v requires scalar operands", x.Op)
+			}
+			return TypeInt
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			if xt.Kind == KindPtr || yt.Kind == KindPtr || xt.Kind == KindArr || yt.Kind == KindArr {
+				// Pointer comparisons (arrays decay).
+				xe, ye := ptrElem(xt), ptrElem(yt)
+				if xe != ye {
+					c.errorf(x.Line, "comparing %s with %s", xt, yt)
+				}
+				return TypeInt
+			}
+			if !xt.IsScalar() || !yt.IsScalar() {
+				c.errorf(x.Line, "comparison requires scalars")
+			}
+			return TypeInt
+		case TokPlus, TokMinus:
+			// Pointer arithmetic: ptr ± int (arrays decay).
+			if xt.Kind == KindPtr || xt.Kind == KindArr {
+				if !yt.IsScalar() {
+					c.errorf(x.Line, "pointer arithmetic requires an integer offset")
+				}
+				return PtrTo(xt.Elem)
+			}
+			if (yt.Kind == KindPtr || yt.Kind == KindArr) && x.Op == TokPlus {
+				if !xt.IsScalar() {
+					c.errorf(x.Line, "pointer arithmetic requires an integer offset")
+				}
+				return PtrTo(yt.Elem)
+			}
+			fallthrough
+		default:
+			if !xt.IsScalar() || !yt.IsScalar() {
+				c.errorf(x.Line, "operator %v requires scalar operands (%s, %s)", x.Op, xt, yt)
+			}
+			return TypeInt
+		}
+
+	case *IndexExpr:
+		bt := c.checkExpr(x.X)
+		it := c.checkExpr(x.I)
+		if !it.IsScalar() {
+			c.errorf(x.Line, "index must be scalar")
+		}
+		switch bt.Kind {
+		case KindArr, KindPtr:
+			return Type{Kind: bt.Elem}
+		}
+		c.errorf(x.Line, "cannot index %s", bt)
+		return TypeInt
+
+	case *CallExpr:
+		if x.Name == "__syscall" {
+			if len(x.Args) < 1 || len(x.Args) > 3 {
+				c.errorf(x.Line, "__syscall takes 1 to 3 arguments")
+			}
+			for _, a := range x.Args {
+				at := c.checkExpr(a)
+				if !at.IsScalar() && at.Kind != KindPtr && at.Kind != KindArr {
+					c.errorf(x.Line, "__syscall argument must be scalar or pointer")
+				}
+			}
+			return TypeInt
+		}
+		fi, ok := c.prog.Funcs[x.Name]
+		if !ok {
+			c.errorf(x.Line, "call to undefined function %q", x.Name)
+			for _, a := range x.Args {
+				c.checkExpr(a)
+			}
+			return TypeInt
+		}
+		if len(x.Args) != len(fi.Decl.Params) {
+			c.errorf(x.Line, "%s: %d arguments, want %d", x.Name, len(x.Args), len(fi.Decl.Params))
+		}
+		for i, a := range x.Args {
+			at := c.checkExpr(a)
+			if i < len(fi.Decl.Params) {
+				pt := c.resolveType(x.Line, fi.Decl.Params[i].Type)
+				c.checkAssignable(x.Line, pt, at)
+			}
+		}
+		return fi.Decl.Ret
+	}
+	c.errorf(e.exprLine(), "unsupported expression")
+	return TypeInt
+}
+
+func ptrElem(t Type) TypeKind {
+	if t.Kind == KindPtr || t.Kind == KindArr {
+		return t.Elem
+	}
+	return KindVoid
+}
+
+// checkAddrOf types &x and marks address-taken locals.
+func (c *checker) checkAddrOf(u *UnaryExpr) Type {
+	switch x := u.X.(type) {
+	case *IdentExpr:
+		t := c.checkExpr(x)
+		sym := c.prog.Refs[x]
+		if sym == nil || sym.Kind == SymConst || sym.Kind == SymFunc {
+			c.errorf(u.Line, "cannot take address of %q", x.Name)
+			return PtrTo(KindInt)
+		}
+		if sym.Kind == SymLocal {
+			sym.AddrTaken = true
+		}
+		switch t.Kind {
+		case KindArr:
+			return PtrTo(t.Elem)
+		case KindInt:
+			return PtrTo(KindInt)
+		case KindByte:
+			return PtrTo(KindByte)
+		case KindPtr:
+			c.errorf(u.Line, "address of pointer variables is not supported")
+			return PtrTo(KindInt)
+		}
+	case *IndexExpr:
+		t := c.checkExpr(x)
+		if !t.IsScalar() {
+			c.errorf(u.Line, "cannot take address of %s element", t)
+			return PtrTo(KindInt)
+		}
+		if t.Kind == KindByte {
+			return PtrTo(KindByte)
+		}
+		return PtrTo(KindInt)
+	}
+	c.errorf(u.Line, "cannot take address of this expression")
+	return PtrTo(KindInt)
+}

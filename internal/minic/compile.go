@@ -1,0 +1,83 @@
+package minic
+
+import "vulnstack/internal/ir"
+
+// Prelude is the MiniC runtime, compiled into every program. It provides
+// buffered output (flushed through the write syscall, which is where the
+// kernel memcpy/DMA behaviour attaches), program exit, and the detect
+// hook used by the software fault-tolerance transform.
+const Prelude = `
+const __OBUF_CAP = 4096
+
+var __obuf [__OBUF_CAP]byte
+var __olen int
+
+func __flush() {
+	if __olen > 0 {
+		__syscall(2, __obuf, __olen)
+		__olen = 0
+	}
+}
+
+func out(c int) {
+	__obuf[__olen] = c
+	__olen = __olen + 1
+	if __olen == __OBUF_CAP {
+		__flush()
+	}
+}
+
+func out16(v int) {
+	out(v & 255)
+	out((v >> 8) & 255)
+}
+
+func out32(v int) {
+	out16(v & 65535)
+	out16((v >> 16) & 65535)
+}
+
+func exit(code int) {
+	__flush()
+	__syscall(1, code, 0)
+}
+
+func detect(code int) {
+	__syscall(4, code, 0)
+}
+`
+
+// mergeFiles concatenates parsed files (prelude first).
+func mergeFiles(files ...*File) *File {
+	out := &File{}
+	for _, f := range files {
+		out.Consts = append(out.Consts, f.Consts...)
+		out.Globals = append(out.Globals, f.Globals...)
+		out.Funcs = append(out.Funcs, f.Funcs...)
+	}
+	return out
+}
+
+// Frontend parses and type-checks a MiniC program together with the
+// runtime prelude.
+func Frontend(src string) (*Program, error) {
+	pre, err := Parse(Prelude)
+	if err != nil {
+		return nil, err
+	}
+	user, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Check(mergeFiles(pre, user))
+}
+
+// Compile compiles MiniC source (with the runtime prelude) to IR for
+// the given word width (32 or 64).
+func Compile(src string, width int) (*ir.Module, error) {
+	prog, err := Frontend(src)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(prog, width)
+}

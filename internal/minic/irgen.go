@@ -1,0 +1,733 @@
+package minic
+
+import (
+	"fmt"
+
+	"vulnstack/internal/ir"
+)
+
+// Generate lowers a checked program to IR for the given word width
+// (32 or 64). Globals and int loads/stores are sized by the width, so
+// the module is target-specific even though the source is portable —
+// matching the paper's same-source / two-ISA setup.
+func Generate(p *Program, width int) (*ir.Module, error) {
+	if width != 32 && width != 64 {
+		return nil, fmt.Errorf("minic: unsupported width %d", width)
+	}
+	g := &irgen{prog: p, width: width, word: width / 8}
+	m := &ir.Module{}
+
+	for _, gi := range p.Globals {
+		m.Globals = append(m.Globals, g.lowerGlobal(gi))
+	}
+	for _, fi := range p.FuncList {
+		f, err := g.lowerFunc(fi)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	start, err := g.makeStart(p)
+	if err != nil {
+		return nil, err
+	}
+	m.Funcs = append(m.Funcs, start)
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("minic: generated invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+type irgen struct {
+	prog  *Program
+	width int
+	word  int
+
+	fn      *ir.Func
+	fi      *FuncInfo
+	blocks  []*ir.Block
+	cur     int
+	vregOf  map[*Symbol]int // register-resident scalars
+	slotOf  map[*Symbol]int // frame-resident locals
+	brk     []int           // break target stack (block ids)
+	cont    []int           // continue target stack
+	termed  bool            // current block already has a terminator
+	genErrs []string
+}
+
+func (g *irgen) typeSize(k TypeKind) int {
+	if k == KindByte {
+		return 1
+	}
+	return g.word
+}
+
+func (g *irgen) lowerGlobal(gi *GlobalInfo) *ir.Global {
+	t := gi.Sym.Type
+	var size int
+	switch t.Kind {
+	case KindArr:
+		size = t.N * g.typeSize(t.Elem)
+	default:
+		size = g.typeSize(t.Kind)
+	}
+	init := make([]byte, 0, size)
+	switch {
+	case gi.InitStr != nil:
+		init = append(init, gi.InitStr...)
+	case gi.InitVals != nil:
+		es := g.typeSize(elemKind(t))
+		for _, v := range gi.InitVals {
+			for i := 0; i < es; i++ {
+				init = append(init, byte(uint64(v)>>(8*i)))
+			}
+		}
+	}
+	if len(init) > size {
+		init = init[:size]
+	}
+	return &ir.Global{Name: gi.Sym.Name, Size: size, Init: init}
+}
+
+func elemKind(t Type) TypeKind {
+	if t.Kind == KindArr || t.Kind == KindPtr {
+		return t.Elem
+	}
+	return t.Kind
+}
+
+// --- function lowering ---
+
+func (g *irgen) lowerFunc(fi *FuncInfo) (*ir.Func, error) {
+	g.fi = fi
+	g.fn = &ir.Func{
+		Name:    fi.Decl.Name,
+		NumArgs: len(fi.Decl.Params),
+		HasRet:  fi.Decl.Ret.Kind != KindVoid,
+	}
+	g.blocks = nil
+	g.vregOf = make(map[*Symbol]int)
+	g.slotOf = make(map[*Symbol]int)
+	g.brk, g.cont = nil, nil
+	g.newBlock()
+
+	// Parameters occupy vregs 0..n-1. Address-taken parameters are
+	// copied into a frame slot at entry.
+	g.fn.NumVReg = len(fi.Decl.Params)
+	for i, sym := range fi.Locals {
+		if !sym.IsParam {
+			break
+		}
+		if sym.AddrTaken {
+			slot := g.addSlot(sym)
+			addr := g.emitDst(ir.Instr{Op: ir.OpFrame, Slot: slot})
+			g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: i, Size: g.typeSize(sym.Type.Kind)})
+			g.slotOf[sym] = slot
+		} else {
+			if sym.Type.Kind == KindByte {
+				// Byte parameters are truncated at entry.
+				g.emit(ir.Instr{Op: ir.OpCopy, Dst: i, A: g.truncByte(i)})
+			}
+			g.vregOf[sym] = i
+		}
+	}
+
+	g.genStmts(fi.Decl.Body)
+	if !g.termed {
+		// Implicit return (0 for value-returning functions).
+		if g.fn.HasRet {
+			z := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+			g.emit(ir.Instr{Op: ir.OpRet, A: z})
+		} else {
+			g.emit(ir.Instr{Op: ir.OpRet, A: -1})
+		}
+	}
+	g.sealEmptyBlocks()
+	g.fn.Blocks = g.blocks
+	if len(g.genErrs) > 0 {
+		return nil, fmt.Errorf("minic irgen %s: %s", fi.Decl.Name, g.genErrs[0])
+	}
+	return g.fn, nil
+}
+
+// makeStart synthesizes the entry function: exit(main()).
+func (g *irgen) makeStart(p *Program) (*ir.Func, error) {
+	mainFi, ok := p.Funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("minic: no main function")
+	}
+	if _, ok := p.Funcs["exit"]; !ok {
+		return nil, fmt.Errorf("minic: runtime exit() missing (prelude not linked?)")
+	}
+	g.fn = &ir.Func{Name: "_start", NumVReg: 1}
+	b := &ir.Block{}
+	if mainFi.Decl.Ret.Kind != KindVoid {
+		b.Instrs = append(b.Instrs,
+			ir.Instr{Op: ir.OpCall, Dst: 0, Sym: "main"},
+			ir.Instr{Op: ir.OpCall, Dst: -1, Sym: "exit", Args: []int{0}},
+		)
+	} else {
+		b.Instrs = append(b.Instrs,
+			ir.Instr{Op: ir.OpCall, Dst: -1, Sym: "main"},
+			ir.Instr{Op: ir.OpConst, Dst: 0, Imm: 0},
+			ir.Instr{Op: ir.OpCall, Dst: -1, Sym: "exit", Args: []int{0}},
+		)
+	}
+	b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, A: -1})
+	g.fn.Blocks = []*ir.Block{b}
+	return g.fn, nil
+}
+
+func (g *irgen) errorf(line int, format string, args ...any) {
+	g.genErrs = append(g.genErrs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (g *irgen) newBlock() int {
+	g.blocks = append(g.blocks, &ir.Block{})
+	g.cur = len(g.blocks) - 1
+	g.termed = false
+	return g.cur
+}
+
+// setBlock switches emission to block id.
+func (g *irgen) setBlock(id int) {
+	g.cur = id
+	g.termed = false
+}
+
+func (g *irgen) emit(in ir.Instr) {
+	if g.termed {
+		// Dead code after a terminator lands in a fresh unreachable
+		// block so every block keeps exactly one terminator.
+		g.newBlock()
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpRet, ir.OpBr, ir.OpCondBr:
+		in.Dst = -1 // these never define a value
+	}
+	g.blocks[g.cur].Instrs = append(g.blocks[g.cur].Instrs, in)
+	if in.Op == ir.OpRet || in.Op == ir.OpBr || in.Op == ir.OpCondBr {
+		g.termed = true
+	}
+}
+
+func (g *irgen) newVReg() int {
+	g.fn.NumVReg++
+	return g.fn.NumVReg - 1
+}
+
+// emitDst emits an instruction with a fresh destination and returns it.
+func (g *irgen) emitDst(in ir.Instr) int {
+	d := g.newVReg()
+	in.Dst = d
+	g.emit(in)
+	return d
+}
+
+func (g *irgen) addSlot(sym *Symbol) int {
+	size := g.typeSize(sym.Type.Kind)
+	align := size
+	if sym.Type.Kind == KindArr {
+		size = sym.Type.N * g.typeSize(sym.Type.Elem)
+		align = g.typeSize(sym.Type.Elem)
+	}
+	g.fn.Slots = append(g.fn.Slots, ir.FrameSlot{Name: sym.Name, Size: size, Align: align})
+	return len(g.fn.Slots) - 1
+}
+
+// sealEmptyBlocks gives any trailing empty block (an unreachable merge
+// point) a return terminator so the verifier's invariants hold.
+func (g *irgen) sealEmptyBlocks() {
+	for _, b := range g.blocks {
+		if len(b.Instrs) != 0 {
+			continue
+		}
+		if g.fn.HasRet {
+			z := g.newVReg()
+			b.Instrs = append(b.Instrs,
+				ir.Instr{Op: ir.OpConst, Dst: z, Imm: 0},
+				ir.Instr{Op: ir.OpRet, A: z})
+		} else {
+			b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpRet, A: -1, Dst: -1})
+		}
+	}
+}
+
+// --- statements ---
+
+func (g *irgen) genStmts(stmts []Stmt) {
+	for _, s := range stmts {
+		g.genStmt(s)
+	}
+}
+
+func (g *irgen) genStmt(s Stmt) {
+	switch st := s.(type) {
+	case *VarStmt:
+		sym := g.findLocal(st)
+		if sym == nil {
+			g.errorf(st.Line, "internal: local %q not found", st.Name)
+			return
+		}
+		if sym.AddrTaken || sym.Type.Kind == KindArr {
+			slot := g.addSlot(sym)
+			g.slotOf[sym] = slot
+			if st.Init != nil {
+				v := g.genExpr(st.Init)
+				addr := g.emitDst(ir.Instr{Op: ir.OpFrame, Slot: slot})
+				g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Size: g.typeSize(sym.Type.Kind)})
+			}
+			return
+		}
+		var v int
+		if st.Init != nil {
+			v = g.genExpr(st.Init)
+			if sym.Type.Kind == KindByte {
+				v = g.truncByte(v)
+			}
+		} else {
+			v = g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+		}
+		// Copy into a dedicated vreg so reassignments are stable.
+		dst := g.newVReg()
+		g.vregOf[sym] = dst
+		g.emitMove(dst, v)
+
+	case *AssignStmt:
+		g.genAssign(st)
+
+	case *ExprStmt:
+		g.genExprForEffect(st.X)
+
+	case *IfStmt:
+		thenB := g.newBlockDeferred()
+		elseB := g.newBlockDeferred()
+		endB := g.newBlockDeferred()
+		if st.Else == nil {
+			elseB = endB
+		}
+		g.genCond(st.Cond, thenB, elseB)
+		g.setBlock(thenB)
+		g.genStmts(st.Then)
+		g.branchTo(endB)
+		if st.Else != nil {
+			g.setBlock(elseB)
+			g.genStmts(st.Else)
+			g.branchTo(endB)
+		}
+		g.setBlock(endB)
+
+	case *WhileStmt:
+		headB := g.newBlockDeferred()
+		bodyB := g.newBlockDeferred()
+		endB := g.newBlockDeferred()
+		g.branchTo(headB)
+		g.setBlock(headB)
+		g.genCond(st.Cond, bodyB, endB)
+		g.setBlock(bodyB)
+		g.brk = append(g.brk, endB)
+		g.cont = append(g.cont, headB)
+		g.genStmts(st.Body)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.branchTo(headB)
+		g.setBlock(endB)
+
+	case *ForStmt:
+		if st.Init != nil {
+			g.genStmt(st.Init)
+		}
+		headB := g.newBlockDeferred()
+		bodyB := g.newBlockDeferred()
+		postB := g.newBlockDeferred()
+		endB := g.newBlockDeferred()
+		g.branchTo(headB)
+		g.setBlock(headB)
+		if st.Cond != nil {
+			g.genCond(st.Cond, bodyB, endB)
+		} else {
+			g.branchTo(bodyB)
+		}
+		g.setBlock(bodyB)
+		g.brk = append(g.brk, endB)
+		g.cont = append(g.cont, postB)
+		g.genStmts(st.Body)
+		g.brk = g.brk[:len(g.brk)-1]
+		g.cont = g.cont[:len(g.cont)-1]
+		g.branchTo(postB)
+		g.setBlock(postB)
+		if st.Post != nil {
+			g.genStmt(st.Post)
+		}
+		g.branchTo(headB)
+		g.setBlock(endB)
+
+	case *ReturnStmt:
+		if st.X == nil {
+			g.emit(ir.Instr{Op: ir.OpRet, A: -1})
+			return
+		}
+		v := g.genExpr(st.X)
+		g.emit(ir.Instr{Op: ir.OpRet, A: v})
+
+	case *BreakStmt:
+		g.emit(ir.Instr{Op: ir.OpBr, Target: g.brk[len(g.brk)-1]})
+	case *ContinueStmt:
+		g.emit(ir.Instr{Op: ir.OpBr, Target: g.cont[len(g.cont)-1]})
+	case *BlockStmt:
+		g.genStmts(st.Body)
+	}
+}
+
+// findLocal locates the checker symbol for a VarStmt. Locals are
+// recorded in declaration order; names may repeat across scopes, so we
+// match by identity of declaration order using name + first unclaimed.
+func (g *irgen) findLocal(st *VarStmt) *Symbol {
+	for _, sym := range g.fi.Locals {
+		if sym.IsParam || sym.Name != st.Name {
+			continue
+		}
+		if _, used := g.vregOf[sym]; used {
+			continue
+		}
+		if _, used := g.slotOf[sym]; used {
+			continue
+		}
+		return sym
+	}
+	return nil
+}
+
+// newBlockDeferred reserves a block id without switching to it.
+func (g *irgen) newBlockDeferred() int {
+	g.blocks = append(g.blocks, &ir.Block{})
+	return len(g.blocks) - 1
+}
+
+// branchTo emits a jump unless the block is already terminated.
+func (g *irgen) branchTo(target int) {
+	if !g.termed {
+		g.emit(ir.Instr{Op: ir.OpBr, Target: target})
+	}
+}
+
+// emitMove copies src into an existing vreg dst (non-SSA assignment).
+func (g *irgen) emitMove(dst, src int) {
+	g.emit(ir.Instr{Op: ir.OpCopy, Dst: dst, A: src})
+}
+
+func (g *irgen) truncByte(v int) int {
+	m := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0xFF})
+	return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.And, A: v, B: m})
+}
+
+// --- assignment ---
+
+func (g *irgen) genAssign(st *AssignStmt) {
+	switch lhs := st.LHS.(type) {
+	case *IdentExpr:
+		sym := g.prog.Refs[lhs]
+		if sym == nil {
+			return
+		}
+		if vreg, ok := g.vregOf[sym]; ok {
+			v := g.genExpr(st.RHS)
+			if sym.Type.Kind == KindByte {
+				v = g.truncByte(v)
+			}
+			g.emitMove(vreg, v)
+			return
+		}
+		// Frame- or globally-resident scalar.
+		v := g.genExpr(st.RHS)
+		addr := g.symAddr(sym, lhs.Line)
+		g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Size: g.typeSize(sym.Type.Kind)})
+	case *IndexExpr:
+		addr, size := g.genIndexAddr(lhs)
+		v := g.genExpr(st.RHS)
+		g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Size: size})
+	case *UnaryExpr: // *p = v
+		addr := g.genExpr(lhs.X)
+		size := g.typeSize(g.prog.ExprType[st.LHS].Kind)
+		v := g.genExpr(st.RHS)
+		g.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Size: size})
+	}
+}
+
+// symAddr materializes the address of a frame- or module-level symbol.
+func (g *irgen) symAddr(sym *Symbol, line int) int {
+	if sym.Kind == SymGlobal {
+		return g.emitDst(ir.Instr{Op: ir.OpGlobal, Sym: sym.Name})
+	}
+	slot, ok := g.slotOf[sym]
+	if !ok {
+		g.errorf(line, "internal: %q has no storage", sym.Name)
+		return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+	}
+	return g.emitDst(ir.Instr{Op: ir.OpFrame, Slot: slot})
+}
+
+// genIndexAddr computes the byte address and element size of a[i].
+func (g *irgen) genIndexAddr(x *IndexExpr) (addr int, size int) {
+	baseT := g.prog.ExprType[x.X]
+	elem := elemKind(baseT)
+	size = g.typeSize(elem)
+	base := g.genExpr(x.X) // arrays decay to their address
+	idx := g.genExpr(x.I)
+	var scaled int
+	switch size {
+	case 1:
+		scaled = idx
+	default:
+		sh := int64(2)
+		if size == 8 {
+			sh = 3
+		}
+		c := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: sh})
+		scaled = g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Shl, A: idx, B: c})
+	}
+	addr = g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Add, A: base, B: scaled})
+	return addr, size
+}
+
+// --- expressions ---
+
+// genExprForEffect evaluates an expression discarding the result; void
+// calls are emitted without a destination.
+func (g *irgen) genExprForEffect(e Expr) {
+	if call, ok := e.(*CallExpr); ok && call.Name != "__syscall" {
+		if fi, ok := g.prog.Funcs[call.Name]; ok && fi.Decl.Ret.Kind == KindVoid {
+			args := g.genArgs(call.Args)
+			g.emit(ir.Instr{Op: ir.OpCall, Dst: -1, Sym: call.Name, Args: args})
+			return
+		}
+	}
+	g.genExpr(e)
+}
+
+func (g *irgen) genArgs(args []Expr) []int {
+	out := make([]int, len(args))
+	for i, a := range args {
+		out[i] = g.genExpr(a)
+	}
+	return out
+}
+
+// genExpr evaluates e into a vreg.
+func (g *irgen) genExpr(e Expr) int {
+	switch x := e.(type) {
+	case *NumExpr:
+		return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: x.Val})
+
+	case *IdentExpr:
+		sym := g.prog.Refs[x]
+		if sym == nil {
+			return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+		}
+		switch sym.Kind {
+		case SymConst:
+			return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: sym.ConstVal})
+		case SymLocal:
+			if vreg, ok := g.vregOf[sym]; ok {
+				return vreg
+			}
+			addr := g.symAddr(sym, x.Line)
+			if sym.Type.Kind == KindArr {
+				return addr // decay
+			}
+			return g.loadScalar(addr, sym.Type.Kind)
+		case SymGlobal:
+			addr := g.emitDst(ir.Instr{Op: ir.OpGlobal, Sym: sym.Name})
+			if sym.Type.Kind == KindArr {
+				return addr // decay
+			}
+			return g.loadScalar(addr, sym.Type.Kind)
+		}
+		return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+
+	case *UnaryExpr:
+		switch x.Op {
+		case TokMinus:
+			v := g.genExpr(x.X)
+			z := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+			return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Sub, A: z, B: v})
+		case TokTilde:
+			v := g.genExpr(x.X)
+			m := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: -1})
+			return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Xor, A: v, B: m})
+		case TokBang:
+			v := g.genExpr(x.X)
+			z := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+			return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Eq, A: v, B: z})
+		case TokStar:
+			addr := g.genExpr(x.X)
+			t := g.prog.ExprType[e]
+			return g.loadScalar(addr, t.Kind)
+		case TokAmp:
+			return g.genAddrOf(x)
+		}
+
+	case *BinExpr:
+		return g.genBin(x)
+
+	case *IndexExpr:
+		addr, size := g.genIndexAddr(x)
+		unsigned := size == 1
+		return g.emitDst(ir.Instr{Op: ir.OpLoad, A: addr, Size: size, Unsigned: unsigned})
+
+	case *CallExpr:
+		if x.Name == "__syscall" {
+			num := g.genExpr(x.Args[0])
+			args := g.genArgs(x.Args[1:])
+			return g.emitDst(ir.Instr{Op: ir.OpSyscall, A: num, Args: args})
+		}
+		args := g.genArgs(x.Args)
+		fi := g.prog.Funcs[x.Name]
+		if fi != nil && fi.Decl.Ret.Kind == KindVoid {
+			g.emit(ir.Instr{Op: ir.OpCall, Dst: -1, Sym: x.Name, Args: args})
+			return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+		}
+		return g.emitDst(ir.Instr{Op: ir.OpCall, Sym: x.Name, Args: args})
+	}
+	g.errorf(e.exprLine(), "internal: unhandled expression")
+	return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+}
+
+func (g *irgen) loadScalar(addr int, k TypeKind) int {
+	size := g.typeSize(k)
+	return g.emitDst(ir.Instr{Op: ir.OpLoad, A: addr, Size: size, Unsigned: size == 1})
+}
+
+func (g *irgen) genAddrOf(u *UnaryExpr) int {
+	switch x := u.X.(type) {
+	case *IdentExpr:
+		sym := g.prog.Refs[x]
+		if sym == nil {
+			return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+		}
+		return g.symAddr(sym, u.Line)
+	case *IndexExpr:
+		addr, _ := g.genIndexAddr(x)
+		return addr
+	}
+	g.errorf(u.Line, "internal: bad address-of")
+	return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0})
+}
+
+var binMap = map[TokKind]ir.BinKind{
+	TokPlus: ir.Add, TokMinus: ir.Sub, TokStar: ir.Mul, TokSlash: ir.Div,
+	TokPercent: ir.Rem, TokAmp: ir.And, TokPipe: ir.Or, TokCaret: ir.Xor,
+	TokShl: ir.Shl, TokEq: ir.Eq, TokNe: ir.Ne, TokLt: ir.Lt, TokLe: ir.Le,
+	TokGt: ir.Gt, TokGe: ir.Ge,
+}
+
+func (g *irgen) genBin(x *BinExpr) int {
+	switch x.Op {
+	case TokAndAnd, TokOrOr:
+		return g.genShortCircuit(x)
+	}
+
+	xt := g.prog.ExprType[x.X]
+	yt := g.prog.ExprType[x.Y]
+
+	// Pointer arithmetic scales the integer operand by element size.
+	if x.Op == TokPlus || x.Op == TokMinus {
+		if xt.Kind == KindPtr || xt.Kind == KindArr {
+			base := g.genExpr(x.X)
+			off := g.scale(g.genExpr(x.Y), g.typeSize(xt.Elem))
+			k := ir.Add
+			if x.Op == TokMinus {
+				k = ir.Sub
+			}
+			return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: k, A: base, B: off})
+		}
+		if (yt.Kind == KindPtr || yt.Kind == KindArr) && x.Op == TokPlus {
+			off := g.scale(g.genExpr(x.X), g.typeSize(yt.Elem))
+			base := g.genExpr(x.Y)
+			return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Add, A: base, B: off})
+		}
+	}
+
+	a := g.genExpr(x.X)
+	b := g.genExpr(x.Y)
+	kind, ok := binMap[x.Op]
+	if !ok {
+		switch x.Op {
+		case TokShr:
+			// MiniC >> is arithmetic (C-like on signed values).
+			kind = ir.AShr
+		case TokShrU:
+			// MiniC >>> is the logical right shift.
+			kind = ir.LShr
+		default:
+			g.errorf(x.Line, "internal: bad binary op %v", x.Op)
+			kind = ir.Add
+		}
+	}
+	return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: kind, A: a, B: b})
+}
+
+func (g *irgen) scale(v, size int) int {
+	if size == 1 {
+		return v
+	}
+	sh := int64(2)
+	if size == 8 {
+		sh = 3
+	}
+	c := g.emitDst(ir.Instr{Op: ir.OpConst, Imm: sh})
+	return g.emitDst(ir.Instr{Op: ir.OpBin, Bin: ir.Shl, A: v, B: c})
+}
+
+// genShortCircuit lowers && and || with control flow, producing 0/1 in
+// a shared result vreg (the IR is not SSA, so both arms write it).
+func (g *irgen) genShortCircuit(x *BinExpr) int {
+	res := g.newVReg()
+	evalY := g.newBlockDeferred()
+	setFalse := g.newBlockDeferred()
+	setTrue := g.newBlockDeferred()
+	end := g.newBlockDeferred()
+
+	if x.Op == TokAndAnd {
+		g.genCond(x.X, evalY, setFalse)
+	} else {
+		g.genCond(x.X, setTrue, evalY)
+	}
+	g.setBlock(evalY)
+	g.genCond(x.Y, setTrue, setFalse)
+
+	g.setBlock(setTrue)
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: res, Imm: 1})
+	g.emit(ir.Instr{Op: ir.OpBr, Target: end})
+	g.setBlock(setFalse)
+	g.emit(ir.Instr{Op: ir.OpConst, Dst: res, Imm: 0})
+	g.emit(ir.Instr{Op: ir.OpBr, Target: end})
+	g.setBlock(end)
+	return res
+}
+
+// genCond evaluates e as a condition, branching to thenB or elseB.
+func (g *irgen) genCond(e Expr, thenB, elseB int) {
+	if b, ok := e.(*BinExpr); ok {
+		switch b.Op {
+		case TokAndAnd:
+			mid := g.newBlockDeferred()
+			g.genCond(b.X, mid, elseB)
+			g.setBlock(mid)
+			g.genCond(b.Y, thenB, elseB)
+			return
+		case TokOrOr:
+			mid := g.newBlockDeferred()
+			g.genCond(b.X, thenB, mid)
+			g.setBlock(mid)
+			g.genCond(b.Y, thenB, elseB)
+			return
+		}
+	}
+	if u, ok := e.(*UnaryExpr); ok && u.Op == TokBang {
+		g.genCond(u.X, elseB, thenB)
+		return
+	}
+	v := g.genExpr(e)
+	g.emit(ir.Instr{Op: ir.OpCondBr, A: v, Target: thenB, Else: elseB})
+}

@@ -1,0 +1,446 @@
+package minic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"vulnstack/internal/ir"
+)
+
+// run compiles src for width and executes it on the IR interpreter,
+// returning output bytes and exit code.
+func run(t *testing.T, src string, width int) ([]byte, int64) {
+	t.Helper()
+	m, err := Compile(src, width)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	ip := ir.NewInterp(m, width, 1<<20)
+	ip.MaxSteps = 1 << 24
+	if err := ip.Run("_start"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !ip.Exited {
+		t.Fatal("program did not exit")
+	}
+	return ip.Out, ip.ExitCode
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll(`x = 0x1F + 'a' // comment
+"str\n" >> << == != <= >= && || /* block */ ~`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatTokens(toks)
+	want := `x = 31 + 97 ; "str\n" >> << == != <= >= && || ~ EOF`
+	if got != want {
+		t.Fatalf("tokens:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"@", `"unterminated`, "'a", `"\q"`, "/* unclosed"} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("%q: want lex error", src)
+		}
+	}
+}
+
+func TestHelloOut(t *testing.T) {
+	out, code := run(t, `
+func main() int {
+	out('h')
+	out('i')
+	return 0
+}`, 64)
+	if string(out) != "hi" || code != 0 {
+		t.Fatalf("out=%q code=%d", out, code)
+	}
+}
+
+func TestArithAndControl(t *testing.T) {
+	src := `
+func collatz(n int) int {
+	var steps int = 0
+	while n != 1 {
+		if n % 2 == 0 {
+			n = n / 2
+		} else {
+			n = 3*n + 1
+		}
+		steps = steps + 1
+	}
+	return steps
+}
+
+func main() int {
+	out(collatz(27))  // 111
+	out(collatz(1))   // 0
+	var i int
+	var acc int = 0
+	for i = 0; i < 10; i = i + 1 {
+		if i == 3 { continue }
+		if i == 8 { break }
+		acc = acc + i
+	}
+	out(acc) // 0+1+2+4+5+6+7 = 25
+	return 0
+}`
+	for _, w := range []int{32, 64} {
+		out, _ := run(t, src, w)
+		if !bytes.Equal(out, []byte{111, 0, 25}) {
+			t.Fatalf("width %d: %v", w, out)
+		}
+	}
+}
+
+func TestGlobalsArraysPointers(t *testing.T) {
+	src := `
+const N = 5
+var tbl [N]int = {10, 20, 30, 40, 50}
+var g int = 7
+
+func sum(p *int, n int) int {
+	var s int = 0
+	var i int
+	for i = 0; i < n; i = i + 1 {
+		s = s + p[i]
+	}
+	return s
+}
+
+func main() int {
+	tbl[2] = tbl[2] + g       // 37
+	out(sum(tbl, N))          // 157 & 255 = 157
+	var local [4]int
+	local[0] = 1
+	local[1] = 2
+	var q *int = &local[0]
+	q[2] = q[0] + q[1]        // local[2] = 3
+	out(local[2])
+	out(*q)
+	var pg *int = &g
+	*pg = 9
+	out(g)
+	return 0
+}`
+	for _, w := range []int{32, 64} {
+		out, _ := run(t, src, w)
+		if !bytes.Equal(out, []byte{157, 3, 1, 9}) {
+			t.Fatalf("width %d: %v", w, out)
+		}
+	}
+}
+
+func TestByteSemantics(t *testing.T) {
+	src := `
+var buf [8]byte = "ab"
+
+func main() int {
+	buf[2] = 300        // truncates to 44
+	out(buf[0])
+	out(buf[2])
+	var b byte = 513    // truncates to 1
+	out(b + 1)          // byte promotes to int
+	var s [3]byte
+	s[0] = 255
+	out(s[0] + 1)       // 256 & 255 via out truncation = 0
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{'a', 44, 2, 0}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+var calls int
+
+func bump() int {
+	calls = calls + 1
+	return 1
+}
+
+func main() int {
+	if 0 && bump() { out(99) }
+	if 1 || bump() { out(1) }
+	out(calls)          // neither bump ran
+	if 1 && bump() { out(2) }
+	out(calls)          // exactly one
+	if !(2 < 1) { out(3) }
+	out(1 < 2 && 3 > 2) // value context
+	out(0 || 0)
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{1, 0, 2, 1, 3, 1, 0}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestWidthDependentWrap(t *testing.T) {
+	src := `
+func main() int {
+	var x int = 0x7FFFFFFF
+	x = x + 1
+	if x < 0 {
+		out(1)  // wrapped: 32-bit target
+	} else {
+		out(2)  // 64-bit target
+	}
+	return 0
+}`
+	out32v, _ := run(t, src, 32)
+	out64v, _ := run(t, src, 64)
+	if out32v[0] != 1 || out64v[0] != 2 {
+		t.Fatalf("wrap: %v %v", out32v, out64v)
+	}
+}
+
+func TestShiftAndBitOps(t *testing.T) {
+	src := `
+func main() int {
+	out((1 << 7) & 255)     // 128
+	out((-8 >> 1) & 255)    // arithmetic: -4 & 255 = 252
+	out((5 ^ 3) | 8)        // 6|8 = 14
+	out(~0 & 255)           // 255
+	out(-(0 - 7))           // 7
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{128, 252, 14, 255, 7}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	src := `
+func fib(n int) int {
+	if n < 2 { return n }
+	return fib(n-1) + fib(n-2)
+}
+func main() int {
+	out(fib(10)) // 55
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if out[0] != 55 {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestExitCodeAndFlush(t *testing.T) {
+	out, code := run(t, `
+func main() int {
+	out(1)
+	return 42
+}`, 64)
+	if code != 42 || !bytes.Equal(out, []byte{1}) {
+		t.Fatalf("out=%v code=%d", out, code)
+	}
+	// exit() called explicitly mid-program flushes and stops.
+	out, code = run(t, `
+func main() int {
+	out(9)
+	exit(7)
+	out(8)
+	return 0
+}`, 64)
+	if code != 7 || !bytes.Equal(out, []byte{9}) {
+		t.Fatalf("explicit exit: out=%v code=%d", out, code)
+	}
+}
+
+func TestOut32LittleEndian(t *testing.T) {
+	out, _ := run(t, `
+func main() int {
+	out32(0x11223344)
+	out16(0xAABB)
+	return 0
+}`, 64)
+	want := []byte{0x44, 0x33, 0x22, 0x11, 0xBB, 0xAA}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("%x", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func main( int {}`,
+		`func main() int { if { } }`,
+		`var x [3]`,
+		`func f() { return } func f() {}`, // duplicate (checker)
+		`func main() int { y = 1 }`,       // undefined
+		`func main() int { break }`,       // break outside loop
+		`const C = x`,                     // non-const
+		`var a [0]int`,                    // zero-size array
+		`func main() int { var p *int p = 3 }`,
+		`func main() int { var a [2]int a = 3 }`,
+		`func f(x int) {} func main() int { f(1, 2) }`,
+		`func main() int { undefined_fn(1) }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile(src, 64); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestCheckTypes(t *testing.T) {
+	// Pointer compatibility.
+	bad := `
+var a [4]int
+func main() int {
+	var p *byte = a
+	return 0
+}`
+	if _, err := Compile(bad, 64); err == nil || !strings.Contains(err.Error(), "assign") {
+		t.Fatalf("pointer elem mismatch: %v", err)
+	}
+	good := `
+var a [4]int
+var b [4]byte
+func take(p *int, q *byte) int { return p[0] + q[0] }
+func main() int {
+	a[0] = 5
+	b[0] = 6
+	out(take(a, b))
+	out(take(&a[0], &b[0]))
+	return 0
+}`
+	out, _ := run(t, good, 64)
+	if !bytes.Equal(out, []byte{11, 11}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	src := `
+var a [6]int = {1, 2, 3, 4, 5, 6}
+func main() int {
+	var p *int = a
+	p = p + 2
+	out(*p)        // 3
+	out(p[1])      // 4
+	p = p - 1
+	out(*p)        // 2
+	var q *int = a + 5
+	out(*q)        // 6
+	if q > p { out(1) }
+	return 0
+}`
+	for _, w := range []int{32, 64} {
+		out, _ := run(t, src, w)
+		if !bytes.Equal(out, []byte{3, 4, 2, 6, 1}) {
+			t.Fatalf("width %d: %v", w, out)
+		}
+	}
+}
+
+func TestNestedScopesShadowing(t *testing.T) {
+	src := `
+var x int = 1
+func main() int {
+	out(x)
+	var x int = 2
+	out(x)
+	{
+		var x int = 3
+		out(x)
+	}
+	out(x)
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{1, 2, 3, 2}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestVoidFunctions(t *testing.T) {
+	src := `
+var n int
+func poke(v int) {
+	n = v
+	if v > 100 { return }
+	n = n + 1
+}
+func main() int {
+	poke(5)
+	out(n)    // 6
+	poke(200)
+	out(n & 255) // 200
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{6, 200}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestIRVerifyOnAllPrograms(t *testing.T) {
+	// Compile-and-verify is already part of Compile; double-check the
+	// module verifies and has a _start.
+	m, err := Compile(`func main() int { return 0 }`, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup("_start"); !ok {
+		t.Fatal("no _start")
+	}
+	if _, ok := m.Lookup("exit"); !ok {
+		t.Fatal("no prelude exit")
+	}
+}
+
+func TestDivRemEdgeSemantics(t *testing.T) {
+	src := `
+func main() int {
+	out((7 / 0) & 255)   // -1 & 255 = 255
+	out(7 % 0)           // 7
+	out((-7 / 2) & 255)  // -3 & 255 = 253
+	out((-7 % 2) & 255)  // -1 & 255 = 255
+	return 0
+}`
+	out, _ := run(t, src, 64)
+	if !bytes.Equal(out, []byte{255, 7, 253, 255}) {
+		t.Fatalf("%v", out)
+	}
+}
+
+func TestWatchdogOnInfiniteLoop(t *testing.T) {
+	m, err := Compile(`func main() int { while 1 { } return 0 }`, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(m, 64, 1<<20)
+	ip.MaxSteps = 10000
+	if err := ip.Run("_start"); err == nil {
+		t.Fatal("want watchdog error")
+	}
+}
+
+func TestStackOverflowDetected(t *testing.T) {
+	m, err := Compile(`
+func rec(n int) int {
+	var pad [64]int
+	pad[0] = n
+	return rec(n + pad[0] - n + 1)
+}
+func main() int { return rec(0) }`, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(m, 64, 1<<20)
+	ip.MaxSteps = 1 << 30
+	err = ip.Run("_start")
+	if err == nil || !strings.Contains(err.Error(), "stack") {
+		t.Fatalf("want stack overflow, got %v", err)
+	}
+}

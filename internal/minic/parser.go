@@ -1,0 +1,420 @@
+package minic
+
+import "fmt"
+
+// Parser builds the AST from tokens.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs []string
+}
+
+// Parse parses MiniC source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	f := p.parseFile()
+	if len(p.errs) > 0 {
+		return nil, fmt.Errorf("minic parse: %s", p.errs[0])
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) peek() Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errorf(line int, format string, args ...any) {
+	p.errs = append(p.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	if len(p.errs) > 64 {
+		panic(parseBail{})
+	}
+}
+
+type parseBail struct{}
+
+func (p *Parser) expect(k TokKind) Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Line, "expected %v, found %v", k, t.Kind)
+		// Attempt resynchronization by consuming the offending token.
+		if t.Kind == TokEOF {
+			panic(parseBail{})
+		}
+		p.next()
+		return Token{Kind: k, Line: t.Line}
+	}
+	return p.next()
+}
+
+func (p *Parser) accept(k TokKind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseFile() *File {
+	f := &File{}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(parseBail); !ok {
+				panic(r)
+			}
+		}
+	}()
+	for p.cur().Kind != TokEOF {
+		switch p.cur().Kind {
+		case TokSemi:
+			p.next()
+		case TokConst:
+			f.Consts = append(f.Consts, p.parseConst())
+		case TokVar:
+			f.Globals = append(f.Globals, p.parseGlobal())
+		case TokFunc:
+			f.Funcs = append(f.Funcs, p.parseFunc())
+		default:
+			p.errorf(p.cur().Line, "expected declaration, found %v", p.cur().Kind)
+			p.next()
+		}
+	}
+	return f
+}
+
+func (p *Parser) parseConst() *ConstDecl {
+	t := p.expect(TokConst)
+	name := p.expect(TokIdent)
+	p.expect(TokAssign)
+	x := p.parseExpr()
+	p.accept(TokSemi)
+	return &ConstDecl{Line: t.Line, Name: name.Text, X: x}
+}
+
+func (p *Parser) parseType() Type {
+	switch p.cur().Kind {
+	case TokInt:
+		p.next()
+		return TypeInt
+	case TokByte:
+		p.next()
+		return TypeByte
+	case TokStar:
+		p.next()
+		switch p.cur().Kind {
+		case TokInt:
+			p.next()
+			return PtrTo(KindInt)
+		case TokByte:
+			p.next()
+			return PtrTo(KindByte)
+		}
+		p.errorf(p.cur().Line, "expected int or byte after *")
+		p.next()
+		return PtrTo(KindInt)
+	case TokLBrack:
+		p.next()
+		size := p.parseExpr() // must be constant; sema evaluates
+		p.expect(TokRBrack)
+		var elem TypeKind
+		switch p.cur().Kind {
+		case TokInt:
+			elem = KindInt
+		case TokByte:
+			elem = KindByte
+		default:
+			p.errorf(p.cur().Line, "expected element type")
+			elem = KindInt
+		}
+		p.next()
+		t := ArrOf(elem, 0)
+		t.SizeX = size
+		return t
+	}
+	p.errorf(p.cur().Line, "expected type, found %v", p.cur().Kind)
+	p.next()
+	return TypeInt
+}
+
+func (p *Parser) parseGlobal() *GlobalDecl {
+	t := p.expect(TokVar)
+	name := p.expect(TokIdent)
+	typ := p.parseType()
+	g := &GlobalDecl{Line: t.Line, Name: name.Text, Type: typ}
+	if p.accept(TokAssign) {
+		switch p.cur().Kind {
+		case TokLBrace:
+			p.next()
+			for p.cur().Kind != TokRBrace && p.cur().Kind != TokEOF {
+				g.InitList = append(g.InitList, p.parseExpr())
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			p.expect(TokRBrace)
+		case TokString:
+			g.InitStr = p.next().Str
+		default:
+			g.InitList = []Expr{p.parseExpr()}
+		}
+	}
+	p.accept(TokSemi)
+	return g
+}
+
+func (p *Parser) parseFunc() *FuncDecl {
+	t := p.expect(TokFunc)
+	name := p.expect(TokIdent)
+	p.expect(TokLParen)
+	var params []Param
+	for p.cur().Kind != TokRParen && p.cur().Kind != TokEOF {
+		pn := p.expect(TokIdent)
+		pt := p.parseType()
+		if pt.Kind == KindArr {
+			p.errorf(pn.Line, "array parameters are not supported; pass a pointer")
+			pt = PtrTo(pt.Elem)
+		}
+		params = append(params, Param{Name: pn.Text, Type: pt})
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	p.expect(TokRParen)
+	ret := TypeVoid
+	if p.cur().Kind == TokInt {
+		p.next()
+		ret = TypeInt
+	} else if p.cur().Kind == TokByte {
+		p.next()
+		ret = TypeInt // byte returns widen to int
+	}
+	body := p.parseBlock()
+	return &FuncDecl{Line: t.Line, Name: name.Text, Params: params, Ret: ret, Body: body}
+}
+
+func (p *Parser) parseBlock() []Stmt {
+	p.expect(TokLBrace)
+	var stmts []Stmt
+	for p.cur().Kind != TokRBrace && p.cur().Kind != TokEOF {
+		if p.accept(TokSemi) {
+			continue
+		}
+		stmts = append(stmts, p.parseStmt())
+	}
+	p.expect(TokRBrace)
+	return stmts
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.next()
+		name := p.expect(TokIdent)
+		typ := p.parseType()
+		var init Expr
+		if p.accept(TokAssign) {
+			init = p.parseExpr()
+		}
+		p.accept(TokSemi)
+		return &VarStmt{Line: t.Line, Name: name.Text, Type: typ, Init: init}
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		p.next()
+		cond := p.parseExpr()
+		body := p.parseBlock()
+		return &WhileStmt{Line: t.Line, Cond: cond, Body: body}
+	case TokFor:
+		return p.parseFor()
+	case TokReturn:
+		p.next()
+		var x Expr
+		if p.cur().Kind != TokSemi && p.cur().Kind != TokRBrace {
+			x = p.parseExpr()
+		}
+		p.accept(TokSemi)
+		return &ReturnStmt{Line: t.Line, X: x}
+	case TokBreak:
+		p.next()
+		p.accept(TokSemi)
+		return &BreakStmt{Line: t.Line}
+	case TokContinue:
+		p.next()
+		p.accept(TokSemi)
+		return &ContinueStmt{Line: t.Line}
+	case TokLBrace:
+		return &BlockStmt{Line: t.Line, Body: p.parseBlock()}
+	default:
+		s := p.parseSimpleStmt()
+		p.accept(TokSemi)
+		return s
+	}
+}
+
+// parseSimpleStmt parses an assignment or expression statement (used
+// directly in for-clauses, where no semicolon is consumed).
+func (p *Parser) parseSimpleStmt() Stmt {
+	t := p.cur()
+	lhs := p.parseExpr()
+	if p.accept(TokAssign) {
+		rhs := p.parseExpr()
+		return &AssignStmt{Line: t.Line, LHS: lhs, RHS: rhs}
+	}
+	return &ExprStmt{Line: t.Line, X: lhs}
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.expect(TokIf)
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	var els []Stmt
+	if p.accept(TokElse) {
+		if p.cur().Kind == TokIf {
+			els = []Stmt{p.parseIf()}
+		} else {
+			els = p.parseBlock()
+		}
+	}
+	return &IfStmt{Line: t.Line, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseFor() Stmt {
+	t := p.expect(TokFor)
+	var init, post Stmt
+	var cond Expr
+	if p.cur().Kind != TokSemi {
+		init = p.parseSimpleStmt()
+	}
+	p.expect(TokSemi)
+	if p.cur().Kind != TokSemi {
+		cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	if p.cur().Kind != TokLBrace {
+		post = p.parseSimpleStmt()
+	}
+	body := p.parseBlock()
+	return &ForStmt{Line: t.Line, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+// --- expressions (precedence climbing) ---
+
+// Binary precedence levels, loosest first:
+// 1: ||  2: &&  3: == != < <= > >=  4: |  5: ^  6: &  7: << >>
+// 8: + -  9: * / %
+func binPrec(k TokKind) int {
+	switch k {
+	case TokOrOr:
+		return 1
+	case TokAndAnd:
+		return 2
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		return 3
+	case TokPipe:
+		return 4
+	case TokCaret:
+		return 5
+	case TokAmp:
+		return 6
+	case TokShl, TokShr, TokShrU:
+		return 7
+	case TokPlus, TokMinus:
+		return 8
+	case TokStar, TokSlash, TokPercent:
+		return 9
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() Expr { return p.parseBin(1) }
+
+func (p *Parser) parseBin(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		op := p.cur().Kind
+		prec := binPrec(op)
+		if prec < minPrec {
+			return lhs
+		}
+		t := p.next()
+		rhs := p.parseBin(prec + 1)
+		lhs = &BinExpr{Line: t.Line, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus, TokBang, TokTilde, TokStar, TokAmp:
+		p.next()
+		x := p.parseUnary()
+		return &UnaryExpr{Line: t.Line, Op: t.Kind, X: x}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur().Kind {
+		case TokLBrack:
+			t := p.next()
+			i := p.parseExpr()
+			p.expect(TokRBrack)
+			x = &IndexExpr{Line: t.Line, X: x, I: i}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber, TokChar:
+		p.next()
+		return &NumExpr{Line: t.Line, Val: t.Num}
+	case TokIdent:
+		p.next()
+		if p.cur().Kind == TokLParen {
+			p.next()
+			var args []Expr
+			for p.cur().Kind != TokRParen && p.cur().Kind != TokEOF {
+				args = append(args, p.parseExpr())
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			p.expect(TokRParen)
+			return &CallExpr{Line: t.Line, Name: t.Text, Args: args}
+		}
+		return &IdentExpr{Line: t.Line, Name: t.Text}
+	case TokLParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(TokRParen)
+		return x
+	default:
+		p.errorf(t.Line, "expected expression, found %v", t.Kind)
+		p.next()
+		return &NumExpr{Line: t.Line}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,34 @@
+package minic
+
+import (
+	"bytes"
+	"testing"
+
+	"vulnstack/internal/ir"
+)
+
+func TestLogicalShiftOperator(t *testing.T) {
+	src := `
+const C = 0x80000000 >>> 28  // 8
+func main() int {
+	var x int = -16
+	out((x >>> 60) & 255)  // width 64: 15; width 32 differs (shift masked)
+	out(x >> 61 & 255)     // arithmetic: -1 -> 255
+	out(C)
+	var y int = 0x80
+	out(y >>> 4)           // 8
+	return 0
+}`
+	m, err := Compile(src, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := ir.NewInterp(m, 64, 1<<20)
+	ip.MaxSteps = 1 << 20
+	if err := ip.Run("_start"); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ip.Out, []byte{15, 255, 8, 8}) {
+		t.Fatalf("%v", ip.Out)
+	}
+}

@@ -1,0 +1,128 @@
+// Package report renders experiment results as aligned ASCII tables —
+// the textual equivalents of the paper's figures, designed so that the
+// series the paper plots appear as labelled columns and rows.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one titled grid of cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Report is a titled collection of tables with explanatory notes.
+type Report struct {
+	ID     string
+	Title  string
+	Notes  []string
+	Tables []*Table
+}
+
+// Notef appends a formatted note line.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// NewTable adds and returns a fresh table.
+func (r *Report) NewTable(title string, headers ...string) *Table {
+	t := &Table{Title: title, Headers: headers}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Pct formats a fraction as a percentage cell.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v*100) }
+
+// F formats a float cell.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	rule := strings.Repeat("=", 72)
+	fmt.Fprintf(&sb, "%s\n%s — %s\n%s\n", rule, r.ID, r.Title, rule)
+	for _, t := range r.Tables {
+		sb.WriteString("\n")
+		sb.WriteString(t.String())
+	}
+	if len(r.Notes) > 0 {
+		sb.WriteString("\nNotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "  - %s\n", n)
+		}
+	}
+	return sb.String()
+}
+
+// String renders one table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i == 0 {
+				fmt.Fprintf(&sb, "  %-*s", width[i], c)
+			} else {
+				fmt.Fprintf(&sb, "  %*s", width[i], c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Headers)
+	seps := make([]string, cols)
+	for i := range seps {
+		seps[i] = strings.Repeat("-", width[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return sb.String()
+}
+
+// Bar renders v (0..1) as a proportional bar of max n characters — a
+// quick visual for figure-like comparisons in terminal output.
+func Bar(v float64, n int) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	k := int(v*float64(n) + 0.5)
+	return strings.Repeat("#", k) + strings.Repeat(".", n-k)
+}

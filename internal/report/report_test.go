@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	r := &Report{ID: "T", Title: "demo"}
+	tb := r.NewTable("numbers", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longername", "22222")
+	out := r.String()
+	lines := strings.Split(out, "\n")
+	var header, rowA string
+	for _, l := range lines {
+		if strings.Contains(l, "name") && strings.Contains(l, "value") {
+			header = l
+		}
+		if strings.HasPrefix(strings.TrimSpace(l), "a ") || strings.HasSuffix(l, " 1") {
+			rowA = l
+		}
+	}
+	if header == "" || rowA == "" {
+		t.Fatalf("missing rows in\n%s", out)
+	}
+	// Right-aligned value column: "1" and "22222" end at the same column.
+	if !strings.HasSuffix(rowA, "1") {
+		t.Fatalf("row %q", rowA)
+	}
+	if len(rowA) != len(header) {
+		t.Fatalf("misaligned: header %d chars, row %d", len(header), len(rowA))
+	}
+}
+
+func TestNotesAndFormatters(t *testing.T) {
+	r := &Report{ID: "X", Title: "t"}
+	r.Notef("count %d", 7)
+	if !strings.Contains(r.String(), "count 7") {
+		t.Fatal("notes")
+	}
+	if Pct(0.1234) != "12.34%" {
+		t.Fatalf("Pct: %s", Pct(0.1234))
+	}
+	if F(1.5) != "1.500" {
+		t.Fatalf("F: %s", F(1.5))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(0, 10) != ".........." {
+		t.Fatal("empty bar")
+	}
+	if Bar(1, 10) != "##########" {
+		t.Fatal("full bar")
+	}
+	if Bar(0.5, 10) != "#####....." {
+		t.Fatalf("half bar %q", Bar(0.5, 10))
+	}
+	if Bar(-1, 4) != "...." || Bar(2, 4) != "####" {
+		t.Fatal("clamping")
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"a"}}
+	tb.AddRow("x", "y", "z") // more cells than headers
+	out := tb.String()
+	if !strings.Contains(out, "z") {
+		t.Fatalf("ragged row dropped: %s", out)
+	}
+}

@@ -1,0 +1,176 @@
+// Package vuln implements the vulnerability arithmetic of the study:
+// statistical error margins for fault sampling, bit-weighted (FIT-style)
+// aggregation of per-structure AVFs, the refined-PVF (rPVF) combination,
+// and the opposite-ranking analysis behind the paper's Table III.
+package vuln
+
+import (
+	"math"
+	"sort"
+
+	"vulnstack/internal/micro"
+)
+
+// Split is a vulnerability measurement broken into the paper's fault
+// effect classes, each as a fraction of injected faults.
+type Split struct {
+	SDC      float64
+	Crash    float64
+	Detected float64
+	Masked   float64
+}
+
+// Total is the vulnerability: SDC + Crash. Detected faults are treated
+// as recoverable (excluded), following the paper's case study.
+func (s Split) Total() float64 { return s.SDC + s.Crash }
+
+// Add returns s + o (used with pre-scaled weights).
+func (s Split) Add(o Split) Split {
+	return Split{s.SDC + o.SDC, s.Crash + o.Crash, s.Detected + o.Detected, s.Masked + o.Masked}
+}
+
+// Scale returns s scaled by w.
+func (s Split) Scale(w float64) Split {
+	return Split{s.SDC * w, s.Crash * w, s.Detected * w, s.Masked * w}
+}
+
+// Weighted combines per-structure splits using bit counts as weights:
+// the AVF analogue of summing per-structure FIT rates, so that a 2MB L2
+// outweighs a 1KB load/store queue exactly as it does in silicon.
+func Weighted(parts []Split, bits []int) Split {
+	if len(parts) != len(bits) {
+		panic("vuln.Weighted: length mismatch")
+	}
+	var total float64
+	for _, b := range bits {
+		total += float64(b)
+	}
+	var out Split
+	if total == 0 {
+		return out
+	}
+	for i, p := range parts {
+		out = out.Add(p.Scale(float64(bits[i]) / total))
+	}
+	return out
+}
+
+// zFor maps confidence levels to normal quantiles.
+func zFor(confidence float64) float64 {
+	switch {
+	case confidence >= 0.999:
+		return 3.2905
+	case confidence >= 0.99:
+		return 2.5758
+	case confidence >= 0.95:
+		return 1.9600
+	default:
+		return 1.6449
+	}
+}
+
+// Margin returns the worst-case (p = 0.5) sampling error margin for n
+// uniform fault samples at the given confidence, per the statistical
+// fault sampling model of Leveugle et al. — the paper's 2,000 samples
+// give 2.88% at 99% confidence.
+func Margin(n int, confidence float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return zFor(confidence) * 0.5 / math.Sqrt(float64(n))
+}
+
+// SamplesFor inverts Margin: the sample count needed for margin e.
+func SamplesFor(e, confidence float64) int {
+	z := zFor(confidence)
+	return int(math.Ceil(z * z * 0.25 / (e * e)))
+}
+
+// RPVF computes the refined PVF: per-FPM PVF splits combined with the
+// HVF-measured FPM distribution. The ESC share cannot be modelled at
+// the architecture level (its defining property is that it never
+// reaches the program flow), so weights renormalize over WD/WOI/WI —
+// exactly the blind spot the paper identifies.
+func RPVF(pvf map[micro.FPM]Split, dist map[micro.FPM]float64) Split {
+	var wsum float64
+	for _, m := range []micro.FPM{micro.FPMWD, micro.FPMWOI, micro.FPMWI} {
+		wsum += dist[m]
+	}
+	var out Split
+	if wsum == 0 {
+		return out
+	}
+	for _, m := range []micro.FPM{micro.FPMWD, micro.FPMWOI, micro.FPMWI} {
+		out = out.Add(pvf[m].Scale(dist[m] / wsum))
+	}
+	return out
+}
+
+// OppositePairs counts benchmark pairs (i<j) that the two measures rank
+// in strictly opposite order — the paper's headline evidence that
+// higher-level measurements mislead (13 of 45 pairs in Fig. 4).
+func OppositePairs(a, b []float64) int {
+	n := 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			if (a[i]-a[j])*(b[i]-b[j]) < 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TotalPairs returns C(n,2).
+func TotalPairs(n int) int { return n * (n - 1) / 2 }
+
+// DominantEffectFlips counts benchmarks whose dominant fault-effect
+// class (SDC vs Crash) differs between the two measures — the paper's
+// "Effect" columns in Table III.
+func DominantEffectFlips(a, b []Split) int {
+	n := 0
+	for i := range a {
+		da := a[i].SDC > a[i].Crash
+		db := b[i].SDC > b[i].Crash
+		if da != db {
+			n++
+		}
+	}
+	return n
+}
+
+// RankOrder returns benchmark indices sorted by descending value
+// (reporting convenience).
+func RankOrder(vals []float64) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx
+}
+
+// Correlation returns the Pearson correlation of two measurement
+// vectors (used to quantify cross-layer agreement).
+func Correlation(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= float64(len(a))
+	mb /= float64(len(b))
+	var cov, va, vb float64
+	for i := range a {
+		cov += (a[i] - ma) * (b[i] - mb)
+		va += (a[i] - ma) * (a[i] - ma)
+		vb += (b[i] - mb) * (b[i] - mb)
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,125 @@
+package vuln
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vulnstack/internal/micro"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSplitArithmetic(t *testing.T) {
+	s := Split{SDC: 0.1, Crash: 0.2, Detected: 0.3, Masked: 0.4}
+	if !almost(s.Total(), 0.3) {
+		t.Fatal("total excludes detected and masked")
+	}
+	d := s.Scale(0.5).Add(s.Scale(0.5))
+	if !almost(d.SDC, s.SDC) || !almost(d.Masked, s.Masked) {
+		t.Fatal("scale/add")
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	parts := []Split{{SDC: 1}, {Crash: 1}}
+	got := Weighted(parts, []int{3, 1})
+	if !almost(got.SDC, 0.75) || !almost(got.Crash, 0.25) {
+		t.Fatalf("weighted: %+v", got)
+	}
+	// Weighting is a convex combination: totals stay within bounds.
+	f := func(a, b uint8, w1, w2 uint8) bool {
+		p := []Split{{SDC: float64(a) / 255}, {SDC: float64(b) / 255}}
+		w := []int{int(w1) + 1, int(w2) + 1}
+		g := Weighted(p, w)
+		lo, hi := p[0].SDC, p[1].SDC
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return g.SDC >= lo-1e-9 && g.SDC <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarginMatchesPaper(t *testing.T) {
+	// The paper: 2,000 samples give a 2.88% margin at 99% confidence.
+	got := Margin(2000, 0.99)
+	if math.Abs(got-0.0288) > 0.0002 {
+		t.Fatalf("margin(2000, 99%%) = %.4f, want ~0.0288", got)
+	}
+	if SamplesFor(0.0288, 0.99) < 1900 || SamplesFor(0.0288, 0.99) > 2100 {
+		t.Fatalf("SamplesFor inverse: %d", SamplesFor(0.0288, 0.99))
+	}
+	if Margin(0, 0.99) != 1 {
+		t.Fatal("degenerate margin")
+	}
+	if Margin(100, 0.95) >= Margin(100, 0.99) {
+		t.Fatal("higher confidence must widen the margin")
+	}
+}
+
+func TestOppositePairs(t *testing.T) {
+	a := []float64{3, 2, 1}
+	b := []float64{1, 2, 3}
+	if OppositePairs(a, b) != 3 {
+		t.Fatal("fully reversed ranking")
+	}
+	if OppositePairs(a, a) != 0 {
+		t.Fatal("identical ranking")
+	}
+	if TotalPairs(10) != 45 {
+		t.Fatal("C(10,2)")
+	}
+	// Ties are not opposite.
+	if OppositePairs([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("ties")
+	}
+}
+
+func TestDominantEffectFlips(t *testing.T) {
+	a := []Split{{SDC: 0.3, Crash: 0.1}, {SDC: 0.1, Crash: 0.3}}
+	b := []Split{{SDC: 0.1, Crash: 0.3}, {SDC: 0.1, Crash: 0.3}}
+	if DominantEffectFlips(a, b) != 1 {
+		t.Fatal("one flip expected")
+	}
+}
+
+func TestRPVF(t *testing.T) {
+	pvf := map[micro.FPM]Split{
+		micro.FPMWD:  {SDC: 0.6},
+		micro.FPMWOI: {Crash: 0.8},
+		micro.FPMWI:  {Crash: 0.9},
+	}
+	dist := map[micro.FPM]float64{
+		micro.FPMWD: 0.25, micro.FPMWOI: 0.15, micro.FPMWI: 0.10,
+		micro.FPMESC: 0.50, // half the visible faults escape: ignored
+	}
+	got := RPVF(pvf, dist)
+	// Weights renormalize over 0.5: WD 0.5, WOI 0.3, WI 0.2.
+	if !almost(got.SDC, 0.30) || !almost(got.Crash, 0.8*0.3+0.9*0.2) {
+		t.Fatalf("rPVF: %+v", got)
+	}
+	if RPVF(pvf, map[micro.FPM]float64{}).Total() != 0 {
+		t.Fatal("empty distribution")
+	}
+}
+
+func TestRankOrderAndCorrelation(t *testing.T) {
+	v := []float64{0.2, 0.9, 0.5}
+	order := RankOrder(v)
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("rank: %v", order)
+	}
+	if c := Correlation(v, v); !almost(c, 1) {
+		t.Fatalf("self correlation %f", c)
+	}
+	neg := []float64{0.9, 0.2, 0.5}
+	if c := Correlation(v, neg); c >= 0 {
+		t.Fatalf("want negative correlation, got %f", c)
+	}
+	if Correlation([]float64{1, 1}, []float64{2, 3}) != 0 {
+		t.Fatal("zero variance")
+	}
+}

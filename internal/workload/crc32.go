@@ -1,0 +1,53 @@
+package workload
+
+import "fmt"
+
+func init() {
+	register(&Spec{
+		Name: "crc32",
+		Desc: "CRC-32 (IEEE, reflected) over a generated buffer (MiBench telecomm/CRC32)",
+		Gen:  genCRC32,
+	})
+}
+
+func genCRC32(seed int64, scale int) string {
+	r := newRng(seed)
+	n := 512 * scale
+	data := r.bytes(n)
+	return fmt.Sprintf(`
+// crc32: table-driven reflected CRC-32; the table is computed at run
+// time (as in the MiBench implementation).
+const LEN = %d
+
+var data [LEN]byte = %s
+var tab [256]int
+
+func make_table() {
+	var i int
+	var j int
+	for i = 0; i < 256; i = i + 1 {
+		var c int = i
+		for j = 0; j < 8; j = j + 1 {
+			if c & 1 {
+				c = 0xEDB88320 ^ ((c & 0xFFFFFFFF) >>> 1)
+			} else {
+				c = (c & 0xFFFFFFFF) >>> 1
+			}
+		}
+		tab[i] = c
+	}
+}
+
+func main() int {
+	make_table()
+	var crc int = 0xFFFFFFFF
+	var i int
+	for i = 0; i < LEN; i = i + 1 {
+		crc = ((crc & 0xFFFFFFFF) >>> 8) ^ tab[(crc ^ data[i]) & 255]
+	}
+	crc = (crc ^ 0xFFFFFFFF) & 0xFFFFFFFF
+	out32(crc)
+	return 0
+}
+`, n, byteList(data))
+}

@@ -1,0 +1,160 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+func init() {
+	register(&Spec{
+		Name: "fft",
+		Desc: "fixed-point radix-2 FFT with per-stage scaling (MiBench telecomm/FFT)",
+		Gen:  genFFT,
+	})
+}
+
+// FFTRef mirrors the MiniC fixed-point FFT exactly (integer arithmetic)
+// for use as a test oracle. It returns the transformed re/im arrays.
+func FFTRef(re, im []int64, costab, sintab []int64) ([]int64, []int64) {
+	n := len(re)
+	re = append([]int64(nil), re...)
+	im = append([]int64(nil), im...)
+	// Bit reversal.
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	for i := 0; i < n; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		if r > i {
+			re[i], re[r] = re[r], re[i]
+			im[i], im[r] = im[r], im[i]
+		}
+	}
+	for l := 2; l <= n; l <<= 1 {
+		half := l / 2
+		step := n / l
+		for i := 0; i < n; i += l {
+			for j := 0; j < half; j++ {
+				k := j * step
+				wr, wi := costab[k], -sintab[k]
+				pr, pi := re[i+j+half], im[i+j+half]
+				tr := (wr*pr - wi*pi) >> 14
+				ti := (wr*pi + wi*pr) >> 14
+				re[i+j+half] = (re[i+j] - tr) >> 1
+				im[i+j+half] = (im[i+j] - ti) >> 1
+				re[i+j] = (re[i+j] + tr) >> 1
+				im[i+j] = (im[i+j] + ti) >> 1
+			}
+		}
+	}
+	return re, im
+}
+
+// FFTTables returns the Q14 twiddle tables for size n.
+func FFTTables(n int) (costab, sintab []int64) {
+	costab = make([]int64, n/2)
+	sintab = make([]int64, n/2)
+	for k := 0; k < n/2; k++ {
+		th := 2 * math.Pi * float64(k) / float64(n)
+		costab[k] = int64(math.Round(math.Cos(th) * 16384))
+		sintab[k] = int64(math.Round(math.Sin(th) * 16384))
+	}
+	return costab, sintab
+}
+
+// FFTInput generates the benchmark's input samples.
+func FFTInput(seed int64, n int) (re, im []int64) {
+	r := newRng(seed)
+	re = make([]int64, n)
+	im = make([]int64, n)
+	for i := 0; i < n; i++ {
+		s := 1500*int64(math.Round(math.Sin(2*math.Pi*3*float64(i)/float64(n))*1000))/1000 +
+			700*int64(math.Round(math.Cos(2*math.Pi*9*float64(i)/float64(n))*1000))/1000
+		s += int64(r.intn(401)) - 200
+		re[i] = s
+		im[i] = 0
+	}
+	return re, im
+}
+
+func genFFT(seed int64, scale int) string {
+	n := 64
+	if scale > 1 {
+		n = 64 * scale // must remain a power of two for radix-2
+		for n&(n-1) != 0 {
+			n++
+		}
+	}
+	re, im := FFTInput(seed, n)
+	costab, sintab := FFTTables(n)
+	return fmt.Sprintf(`
+// fft: in-place fixed-point (Q14) radix-2 FFT with per-stage scaling.
+const N = %d
+
+var re [N]int = %s
+var im [N]int = %s
+var costab [N/2]int = %s
+var sintab [N/2]int = %s
+
+func bits_for(n int) int {
+	var b int = 0
+	while (1 << b) < n {
+		b = b + 1
+	}
+	return b
+}
+
+func main() int {
+	var nbits int = bits_for(N)
+	var i int
+	// Bit-reversal permutation.
+	for i = 0; i < N; i = i + 1 {
+		var r int = 0
+		var b int
+		for b = 0; b < nbits; b = b + 1 {
+			if i & (1 << b) {
+				r = r | (1 << (nbits - 1 - b))
+			}
+		}
+		if r > i {
+			var tt int = re[i]; re[i] = re[r]; re[r] = tt
+			tt = im[i]; im[i] = im[r]; im[r] = tt
+		}
+	}
+	// Butterflies.
+	var l int = 2
+	while l <= N {
+		var half int = l / 2
+		var step int = N / l
+		for i = 0; i < N; i = i + l {
+			var j int
+			for j = 0; j < half; j = j + 1 {
+				var k int = j * step
+				var wr int = costab[k]
+				var wi int = 0 - sintab[k]
+				var pr int = re[i+j+half]
+				var pi int = im[i+j+half]
+				var tr int = (wr*pr - wi*pi) >> 14
+				var ti int = (wr*pi + wi*pr) >> 14
+				re[i+j+half] = (re[i+j] - tr) >> 1
+				im[i+j+half] = (im[i+j] - ti) >> 1
+				re[i+j] = (re[i+j] + tr) >> 1
+				im[i+j] = (im[i+j] + ti) >> 1
+			}
+		}
+		l = l * 2
+	}
+	for i = 0; i < N; i = i + 1 {
+		out16(re[i] & 0xFFFF)
+		out16(im[i] & 0xFFFF)
+	}
+	return 0
+}
+`, n, intList(re), intList(im), intList(costab), intList(sintab))
+}

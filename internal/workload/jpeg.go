@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func init() {
+	register(&Spec{
+		Name: "cjpeg",
+		Desc: "JPEG-style block compression: DCT, quantization, zigzag, RLE (MiBench consumer/cjpeg)",
+		Gen:  genCjpeg,
+	})
+	register(&Spec{
+		Name: "djpeg",
+		Desc: "JPEG-style decompression: RLE, dequantization, IDCT (MiBench consumer/djpeg)",
+		Gen:  genDjpeg,
+	})
+}
+
+// jpegQuant is the standard JPEG luminance quantization table (quality
+// ~50), in row-major order.
+var jpegQuant = [64]int64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag maps zigzag positions to row-major block indices.
+var jpegZigzag = [64]int64{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// jpegCosTab returns the Q12 DCT basis c[u*8+x] =
+// round(alpha(u)/2 * cos((2x+1)u*pi/16) * 4096).
+func jpegCosTab() []int64 {
+	tab := make([]int64, 64)
+	for u := 0; u < 8; u++ {
+		alpha := 1.0
+		if u == 0 {
+			alpha = 1 / math.Sqrt2
+		}
+		for x := 0; x < 8; x++ {
+			v := alpha / 2 * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			tab[u*8+x] = int64(math.Round(v * 4096))
+		}
+	}
+	return tab
+}
+
+// jpegCommon is the MiniC code shared by the encoder and decoder.
+const jpegCommon = `
+var blk [64]int
+var tmp [64]int
+
+// dct_rows applies the 1D transform along rows of blk into tmp
+// (forward when fwd != 0, inverse otherwise), then the caller swaps.
+func dct_1d(fwd int) {
+	var u int
+	var x int
+	var r int
+	for r = 0; r < 8; r = r + 1 {
+		for u = 0; u < 8; u = u + 1 {
+			var acc int = 0
+			for x = 0; x < 8; x = x + 1 {
+				if fwd {
+					acc = acc + ctab[u*8+x] * blk[r*8+x]
+				} else {
+					acc = acc + ctab[x*8+u] * blk[r*8+x]
+				}
+			}
+			tmp[r*8+u] = acc >> 12
+		}
+	}
+	// Transpose tmp back into blk so two passes do rows then columns.
+	for r = 0; r < 8; r = r + 1 {
+		for u = 0; u < 8; u = u + 1 {
+			blk[u*8+r] = tmp[r*8+u]
+		}
+	}
+}
+`
+
+func genCjpeg(seed int64, scale int) string {
+	w, h := 16, 16
+	if scale > 1 {
+		w, h = 16*scale, 16
+	}
+	img := GenImage(seed+0x77, w, h)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, imgDecl, w, h, byteList(img))
+	fmt.Fprintf(&sb, "\nvar qtab [64]int = %s\nvar zig [64]int = %s\nvar ctab [64]int = %s\n",
+		intList(jpegQuant[:]), intList(jpegZigzag[:]), intList(jpegCosTab()))
+	sb.WriteString(jpegCommon)
+	sb.WriteString(`
+// cjpeg: per 8x8 block: level shift, 2D DCT, quantize, zigzag, RLE.
+func encode_block(bx int, by int) {
+	var y int
+	var x int
+	for y = 0; y < 8; y = y + 1 {
+		for x = 0; x < 8; x = x + 1 {
+			blk[y*8+x] = img[(by*8+y)*W + bx*8 + x] - 128
+		}
+	}
+	dct_1d(1)
+	dct_1d(1)
+	// Quantize with rounding toward zero.
+	var i int
+	for i = 0; i < 64; i = i + 1 {
+		blk[i] = blk[i] / qtab[i]
+	}
+	// Zigzag + RLE: (runlength, value) pairs, EOB = run 255.
+	var run int = 0
+	for i = 0; i < 64; i = i + 1 {
+		var v int = blk[zig[i]]
+		if v == 0 {
+			run = run + 1
+		} else {
+			out(run)
+			out16(v & 0xFFFF)
+			run = 0
+		}
+	}
+	out(255)
+}
+
+func main() int {
+	var by int
+	var bx int
+	for by = 0; by < H/8; by = by + 1 {
+		for bx = 0; bx < W/8; bx = bx + 1 {
+			encode_block(bx, by)
+		}
+	}
+	return 0
+}
+`)
+	return sb.String()
+}
+
+// CjpegOutput runs the cjpeg benchmark on the IR interpreter and
+// returns its compressed stream (used to build djpeg's input and by
+// tests).
+func CjpegOutput(seed int64, scale int) ([]byte, error) {
+	return runIR(genCjpeg(seed, scale), 64)
+}
+
+func genDjpeg(seed int64, scale int) string {
+	w, h := 16, 16
+	if scale > 1 {
+		w, h = 16*scale, 16
+	}
+	stream, err := CjpegOutput(seed, scale)
+	if err != nil {
+		// A generator bug: surface it as an uncompilable program so
+		// callers fail loudly rather than silently benchmarking noise.
+		return fmt.Sprintf("!! djpeg generator failed: %v", err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nconst W = %d\nconst H = %d\nconst SLEN = %d\n\nvar stream [SLEN]byte = %s\n",
+		w, h, len(stream), byteList(stream))
+	fmt.Fprintf(&sb, "var qtab [64]int = %s\nvar zig [64]int = %s\nvar ctab [64]int = %s\n",
+		intList(jpegQuant[:]), intList(jpegZigzag[:]), intList(jpegCosTab()))
+	sb.WriteString(jpegCommon)
+	sb.WriteString(`
+var dst [W*H]byte
+var pos int
+
+func decode_block(bx int, by int) {
+	var i int
+	for i = 0; i < 64; i = i + 1 {
+		blk[i] = 0
+	}
+	// RLE + dezigzag + dequantize.
+	var zi int = 0
+	while 1 {
+		var run int = stream[pos]
+		pos = pos + 1
+		if run == 255 {
+			break
+		}
+		zi = zi + run
+		var v int = stream[pos] | (stream[pos+1] << 8)
+		pos = pos + 2
+		// Sign-extend the 16-bit value.
+		if v & 0x8000 {
+			v = v - 0x10000
+		}
+		blk[zig[zi]] = v * qtab[zig[zi]]
+		zi = zi + 1
+	}
+	dct_1d(0)
+	dct_1d(0)
+	var y int
+	var x int
+	for y = 0; y < 8; y = y + 1 {
+		for x = 0; x < 8; x = x + 1 {
+			var p int = blk[y*8+x] + 128
+			if p < 0 { p = 0 }
+			if p > 255 { p = 255 }
+			dst[(by*8+y)*W + bx*8 + x] = p
+		}
+	}
+}
+
+func main() int {
+	pos = 0
+	var by int
+	var bx int
+	for by = 0; by < H/8; by = by + 1 {
+		for bx = 0; bx < W/8; bx = bx + 1 {
+			decode_block(bx, by)
+		}
+	}
+	var i int
+	for i = 0; i < W*H; i = i + 1 {
+		out(dst[i])
+	}
+	return 0
+}
+`)
+	return sb.String()
+}

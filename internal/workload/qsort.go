@@ -1,0 +1,88 @@
+package workload
+
+import "fmt"
+
+func init() {
+	register(&Spec{
+		Name: "qsort",
+		Desc: "recursive quicksort with insertion-sort base case (MiBench auto/qsort)",
+		Gen:  genQsort,
+	})
+}
+
+func genQsort(seed int64, scale int) string {
+	r := newRng(seed)
+	n := 160 * scale
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(int32(r.next()))
+	}
+	return fmt.Sprintf(`
+// qsort: pointer- and control-heavy sorting of embedded records.
+const N = %d
+
+var a [N]int = %s
+
+func insertion(p *int, lo int, hi int) {
+	var i int
+	for i = lo + 1; i <= hi; i = i + 1 {
+		var v int = p[i]
+		var j int = i - 1
+		while j >= lo && p[j] > v {
+			p[j+1] = p[j]
+			j = j - 1
+		}
+		p[j+1] = v
+	}
+}
+
+func quick(p *int, lo int, hi int) {
+	if hi - lo < 12 {
+		insertion(p, lo, hi)
+		return
+	}
+	// Median-of-three pivot.
+	var mid int = lo + (hi - lo) / 2
+	if p[mid] < p[lo] { var tt int = p[mid]; p[mid] = p[lo]; p[lo] = tt }
+	if p[hi] < p[lo] { var tt int = p[hi]; p[hi] = p[lo]; p[lo] = tt }
+	if p[hi] < p[mid] { var tt int = p[hi]; p[hi] = p[mid]; p[mid] = tt }
+	var pivot int = p[mid]
+	var i int = lo
+	var j int = hi
+	while i <= j {
+		while p[i] < pivot { i = i + 1 }
+		while p[j] > pivot { j = j - 1 }
+		if i <= j {
+			var tt int = p[i]
+			p[i] = p[j]
+			p[j] = tt
+			i = i + 1
+			j = j - 1
+		}
+	}
+	quick(p, lo, j)
+	quick(p, i, hi)
+}
+
+func main() int {
+	quick(a, 0, N-1)
+	// Verify ordering and emit a position-weighted checksum plus
+	// boundary samples.
+	var i int
+	var sum int = 0
+	var sorted int = 1
+	for i = 0; i < N; i = i + 1 {
+		sum = (sum + (i + 1) * (a[i] & 0xFFFF)) & 0xFFFFFFFF
+		if i > 0 && a[i-1] > a[i] {
+			sorted = 0
+		}
+	}
+	out(sorted)
+	out32(sum)
+	out32(a[0])
+	out32(a[N/2])
+	out32(a[N-1])
+	return 0
+}
+`, n, intList(vals))
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+func init() {
+	register(&Spec{
+		Name: "stringsearch",
+		Desc: "Boyer-Moore-Horspool multi-pattern search (MiBench office/stringsearch)",
+		Gen:  genSearch,
+	})
+}
+
+var searchWords = []string{
+	"fault", "vulnerability", "transient", "pipeline", "cache", "register",
+	"kernel", "commit", "squash", "masked", "silent", "corruption", "crash",
+	"inject", "bitflip", "stack", "layer", "program", "micro", "arch",
+}
+
+// SearchText builds the benchmark corpus.
+func SearchText(seed int64, n int) []byte {
+	r := newRng(seed)
+	var sb strings.Builder
+	for sb.Len() < n {
+		sb.WriteString(searchWords[r.intn(len(searchWords))])
+		sb.WriteByte(' ')
+	}
+	return []byte(sb.String()[:n])
+}
+
+// SearchPatterns picks the benchmark patterns: mostly present words,
+// plus guaranteed-absent strings.
+func SearchPatterns(seed int64) []string {
+	r := newRng(seed ^ 0xBEEF)
+	pats := make([]string, 0, 6)
+	for i := 0; i < 4; i++ {
+		pats = append(pats, searchWords[r.intn(len(searchWords))])
+	}
+	return append(pats, "zzqxj", "absentpattern")
+}
+
+func genSearch(seed int64, scale int) string {
+	n := 1024 * scale
+	text := SearchText(seed, n)
+	pats := SearchPatterns(seed)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nconst TLEN = %d\nconst NPAT = %d\n\nvar text [TLEN]byte = %s\n", n, len(pats), byteList(text))
+	// Patterns are packed into one buffer with a length table.
+	var packed []byte
+	offs := make([]int64, 0, len(pats))
+	lens := make([]int64, 0, len(pats))
+	for _, p := range pats {
+		offs = append(offs, int64(len(packed)))
+		lens = append(lens, int64(len(p)))
+		packed = append(packed, p...)
+	}
+	fmt.Fprintf(&sb, "var pats [%d]byte = %s\nvar poff [NPAT]int = %s\nvar plen [NPAT]int = %s\n",
+		len(packed), byteList(packed), intList(offs), intList(lens))
+	sb.WriteString(`
+var shift [256]int
+
+// stringsearch: Boyer-Moore-Horspool over the corpus for each pattern,
+// reporting first match position (+1) and total match count.
+func search(po int, pl int) {
+	var i int
+	for i = 0; i < 256; i = i + 1 {
+		shift[i] = pl
+	}
+	for i = 0; i < pl-1; i = i + 1 {
+		shift[pats[po+i]] = pl - 1 - i
+	}
+	var count int = 0
+	var first int = 0
+	var pos int = 0
+	while pos + pl <= TLEN {
+		var j int = pl - 1
+		while j >= 0 && text[pos+j] == pats[po+j] {
+			j = j - 1
+		}
+		if j < 0 {
+			count = count + 1
+			if first == 0 {
+				first = pos + 1
+			}
+			pos = pos + pl
+		} else {
+			pos = pos + shift[text[pos+pl-1]]
+		}
+	}
+	out16(first)
+	out(count & 255)
+}
+
+func main() int {
+	var p int
+	for p = 0; p < NPAT; p = p + 1 {
+		search(poff[p], plen[p])
+	}
+	return 0
+}
+`)
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package workload
+
+import "fmt"
+
+func init() {
+	register(&Spec{
+		Name: "sha",
+		Desc: "SHA-1 digest over a generated message (MiBench security/sha)",
+		Gen:  genSHA,
+	})
+}
+
+// shaPad applies SHA-1 message padding (done generator-side; the MiniC
+// program hashes whole 64-byte blocks).
+func shaPad(msg []byte) []byte {
+	l := len(msg)
+	out := append([]byte(nil), msg...)
+	out = append(out, 0x80)
+	for len(out)%64 != 56 {
+		out = append(out, 0)
+	}
+	bits := uint64(l) * 8
+	for i := 7; i >= 0; i-- {
+		out = append(out, byte(bits>>(8*uint(i))))
+	}
+	return out
+}
+
+func genSHA(seed int64, scale int) string {
+	r := newRng(seed)
+	msgLen := 192 * scale
+	padded := shaPad(r.bytes(msgLen))
+	return fmt.Sprintf(`
+// sha: SHA-1 over an embedded pre-padded message.
+const LEN = %d
+const NBLK = LEN / 64
+
+var msg [LEN]byte = %s
+var H [5]int = {0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0}
+var w [80]int
+
+func rol(x int, n int) int {
+	return ((x << n) | ((x & 0xFFFFFFFF) >>> (32 - n))) & 0xFFFFFFFF
+}
+
+func sha_block(off int) {
+	var i int
+	for i = 0; i < 16; i = i + 1 {
+		w[i] = (msg[off+4*i] << 24) | (msg[off+4*i+1] << 16) | (msg[off+4*i+2] << 8) | msg[off+4*i+3]
+	}
+	for i = 16; i < 80; i = i + 1 {
+		w[i] = rol(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16], 1)
+	}
+	var a int = H[0]
+	var b int = H[1]
+	var c int = H[2]
+	var d int = H[3]
+	var e int = H[4]
+	for i = 0; i < 80; i = i + 1 {
+		var f int
+		var k int
+		if i < 20 {
+			f = (b & c) | ((~b) & d)
+			k = 0x5A827999
+		} else if i < 40 {
+			f = b ^ c ^ d
+			k = 0x6ED9EBA1
+		} else if i < 60 {
+			f = (b & c) | (b & d) | (c & d)
+			k = 0x8F1BBCDC
+		} else {
+			f = b ^ c ^ d
+			k = 0xCA62C1D6
+		}
+		var tt int = (rol(a, 5) + f + e + k + w[i]) & 0xFFFFFFFF
+		e = d
+		d = c
+		c = rol(b, 30)
+		b = a
+		a = tt
+	}
+	H[0] = (H[0] + a) & 0xFFFFFFFF
+	H[1] = (H[1] + b) & 0xFFFFFFFF
+	H[2] = (H[2] + c) & 0xFFFFFFFF
+	H[3] = (H[3] + d) & 0xFFFFFFFF
+	H[4] = (H[4] + e) & 0xFFFFFFFF
+}
+
+func main() int {
+	var blk int
+	for blk = 0; blk < NBLK; blk = blk + 1 {
+		sha_block(blk * 64)
+	}
+	var i int
+	for i = 0; i < 5; i = i + 1 {
+		out((H[i] >>> 24) & 255)
+		out((H[i] >>> 16) & 255)
+		out((H[i] >>> 8) & 255)
+		out(H[i] & 255)
+	}
+	return 0
+}
+`, len(padded), byteList(padded))
+}

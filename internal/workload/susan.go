@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+func init() {
+	register(&Spec{
+		Name: "smooth",
+		Desc: "SUSAN-style 3x3 weighted image smoothing, full-image output (MiBench auto/susan -s)",
+		Gen:  genSmooth,
+	})
+	register(&Spec{
+		Name: "corner",
+		Desc: "SUSAN-style USAN corner detection (MiBench auto/susan -c)",
+		Gen:  genCorner,
+	})
+}
+
+// GenImage produces a deterministic synthetic grayscale image with
+// gradients, rectangles and noise — enough structure for corners and
+// smoothing to be meaningful.
+func GenImage(seed int64, w, h int) []byte {
+	r := newRng(seed)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 60 + (x*3+y*2)%80
+			img[y*w+x] = byte(v)
+		}
+	}
+	// Bright and dark rectangles create strong corners.
+	for i := 0; i < 4; i++ {
+		x0, y0 := r.intn(w-10), r.intn(h-10)
+		rw, rh := 4+r.intn(6), 4+r.intn(6)
+		v := byte(30 + r.intn(200))
+		for y := y0; y < y0+rh && y < h; y++ {
+			for x := x0; x < x0+rw && x < w; x++ {
+				img[y*w+x] = v
+			}
+		}
+	}
+	for i := 0; i < w*h/8; i++ {
+		p := r.intn(w * h)
+		img[p] = byte(int(img[p]) + r.intn(21) - 10)
+	}
+	return img
+}
+
+const imgDecl = `
+const W = %d
+const H = %d
+
+var img [W*H]byte = %s
+`
+
+func genSmooth(seed int64, scale int) string {
+	w, h := 24, 24
+	if scale > 1 {
+		w, h = 24*scale, 24
+	}
+	img := GenImage(seed, w, h)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, imgDecl, w, h, byteList(img))
+	sb.WriteString(`
+var dst [W*H]byte
+
+// smooth: 3x3 weighted smoothing (1 2 1 / 2 4 2 / 1 2 1) / 16.
+func main() int {
+	var y int
+	var x int
+	for y = 0; y < H; y = y + 1 {
+		for x = 0; x < W; x = x + 1 {
+			if y == 0 || y == H-1 || x == 0 || x == W-1 {
+				dst[y*W+x] = img[y*W+x]
+			} else {
+				var p int = y*W + x
+				var s int = img[p-W-1] + 2*img[p-W] + img[p-W+1]
+				s = s + 2*img[p-1] + 4*img[p] + 2*img[p+1]
+				s = s + img[p+W-1] + 2*img[p+W] + img[p+W+1]
+				dst[p] = (s + 8) / 16
+			}
+		}
+	}
+	// Emit the full smoothed frame (flushed as one large DMA write).
+	var i int
+	for i = 0; i < W*H; i = i + 1 {
+		out(dst[i])
+	}
+	return 0
+}
+`)
+	return sb.String()
+}
+
+func genCorner(seed int64, scale int) string {
+	w, h := 16, 16
+	if scale > 1 {
+		w, h = 16*scale, 16
+	}
+	img := GenImage(seed^0xC04E4, w, h)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, imgDecl, w, h, byteList(img))
+	sb.WriteString(`
+const T = 20      // brightness similarity threshold
+const GEO = 14    // USAN geometric threshold (of 24 mask pixels)
+
+// 5x5 circular USAN mask offsets (24 neighbours, centre excluded).
+var maskdx [24]int = {-1, 0, 1, -2, -1, 0, 1, 2, -2, -1, 1, 2, -2, -1, 0, 1, 2, -1, 0, 1, -2, 2, -2, 2}
+var maskdy [24]int = {-2, -2, -2, -1, -1, -1, -1, -1, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, -2, -2, 2, 2}
+
+var cornerx [128]byte
+var cornery [128]byte
+
+// corner: for every interior pixel compute the USAN area (neighbours
+// within T of the nucleus); small areas are corner candidates.
+func main() int {
+	var found int = 0
+	var y int
+	var x int
+	for y = 2; y < H-2; y = y + 1 {
+		for x = 2; x < W-2; x = x + 1 {
+			var c int = img[y*W+x]
+			var n int = 0
+			var k int
+			for k = 0; k < 24; k = k + 1 {
+				var v int = img[(y+maskdy[k])*W + x + maskdx[k]] - c
+				if v < 0 {
+					v = 0 - v
+				}
+				if v < T {
+					n = n + 1
+				}
+			}
+			if n < GEO {
+				if found < 128 {
+					cornerx[found] = x
+					cornery[found] = y
+				}
+				found = found + 1
+			}
+		}
+	}
+	out16(found)
+	var i int
+	var lim int = found
+	if lim > 128 {
+		lim = 128
+	}
+	for i = 0; i < lim; i = i + 1 {
+		out(cornerx[i])
+		out(cornery[i])
+	}
+	return 0
+}
+`)
+	return sb.String()
+}

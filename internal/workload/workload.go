@@ -1,0 +1,131 @@
+// Package workload provides the ten reproduction benchmarks — MiniC
+// analogues of the MiBench programs the paper evaluates (fft, qsort,
+// sha, rijndael, corner, smooth, cjpeg, djpeg, stringsearch, crc32) —
+// together with seeded input generators. Each benchmark is a MiniC
+// source string with its input data embedded as initialized globals, so
+// one (seed, scale) pair fully determines the program and its golden
+// output on every engine and ISA.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vulnstack/internal/ir"
+	"vulnstack/internal/minic"
+)
+
+// Spec describes one benchmark.
+type Spec struct {
+	Name string
+	// Desc is a one-line description (paper domain).
+	Desc string
+	// Gen produces the MiniC source for a seed and scale. Scale 1 is
+	// the default study size; larger values grow the input.
+	Gen func(seed int64, scale int) string
+}
+
+// registry holds all benchmarks, keyed by name.
+var registry = map[string]*Spec{}
+
+func register(s *Spec) { registry[s.Name] = s }
+
+// Names returns all benchmark names in the paper's presentation order.
+func Names() []string {
+	return []string{"fft", "qsort", "sha", "rijndael", "corner", "smooth",
+		"cjpeg", "djpeg", "stringsearch", "crc32"}
+}
+
+// Get returns a benchmark spec by name.
+func Get(name string) (*Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("workload: unknown benchmark %q (have %s)", name, strings.Join(known, ", "))
+	}
+	return s, nil
+}
+
+// All returns the specs in presentation order.
+func All() []*Spec {
+	out := make([]*Spec, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// --- generator helpers ---
+
+// rng is a splitmix64 generator for reproducible inputs.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng { return &rng{s: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.next())
+	}
+	return b
+}
+
+// intList renders values as a MiniC initializer list.
+func intList(vals []int64) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range vals {
+		if i > 0 {
+			sb.WriteString(", ")
+			if i%16 == 0 {
+				sb.WriteString("\n\t")
+			}
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// byteList renders bytes as a MiniC initializer list.
+func byteList(vals []byte) string {
+	iv := make([]int64, len(vals))
+	for i, v := range vals {
+		iv[i] = int64(v)
+	}
+	return intList(iv)
+}
+
+// runIR compiles and runs a MiniC program on the IR interpreter (used
+// by generators that derive one benchmark's input from another's
+// output, e.g. djpeg's compressed stream from cjpeg).
+func runIR(src string, width int) ([]byte, error) {
+	m, err := minic.Compile(src, width)
+	if err != nil {
+		return nil, err
+	}
+	ip := ir.NewInterp(m, width, 1<<21)
+	ip.MaxSteps = 1 << 28
+	if err := ip.Run("_start"); err != nil {
+		return nil, err
+	}
+	if !ip.Exited || ip.ExitCode != 0 {
+		return nil, fmt.Errorf("workload: helper program exited %d", ip.ExitCode)
+	}
+	return ip.Out, nil
+}

@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/sha1"
+	"encoding/binary"
+	"hash/crc32"
+	"sort"
+	"testing"
+
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/dev"
+	"vulnstack/internal/emu"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/minic"
+)
+
+const testSeed = 12345
+
+// runOnIR executes a benchmark source on the IR interpreter.
+func runOnIR(t *testing.T, src string, width int) []byte {
+	t.Helper()
+	out, err := runIR(src, width)
+	if err != nil {
+		t.Fatalf("IR run: %v", err)
+	}
+	return out
+}
+
+// runOnMachine compiles for is and boots on the functional emulator.
+func runOnMachine(t *testing.T, src string, is isa.ISA) ([]byte, uint64) {
+	t.Helper()
+	m, err := minic.Compile(src, is.XLen())
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := codegen.Build(m, is)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	img, err := kernel.BuildImage(prog, 1<<21)
+	if err != nil {
+		t.Fatalf("image: %v", err)
+	}
+	bus := dev.NewBus(img.NewMemory())
+	c := emu.New(is, bus, img.Entry)
+	if !c.Run(1 << 27) {
+		t.Fatalf("watchdog (pc=%#x instret=%d)", c.PC, c.Instret)
+	}
+	if bus.Halt != dev.HaltClean || bus.ExitCode != 0 {
+		t.Fatalf("abnormal halt %v code=%d panic=%d", bus.Halt, bus.ExitCode, bus.PanicCode)
+	}
+	return bus.Out, c.Instret
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("want 10 benchmarks, have %d", len(names))
+	}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Desc == "" {
+			t.Errorf("%s: missing description", n)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if len(All()) != 10 {
+		t.Fatal("All() size")
+	}
+}
+
+// TestAllBenchmarksCrossEngine is the central differential test: for
+// every benchmark, the IR interpreter and the compiled machine execution
+// must produce identical output on both ISAs, and the output must be
+// identical across ISAs (the workloads are written width-portably).
+func TestAllBenchmarksCrossEngine(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			src := spec.Gen(testSeed, 1)
+			ir64 := runOnIR(t, src, 64)
+			if len(ir64) == 0 {
+				t.Fatal("no output")
+			}
+			ir32 := runOnIR(t, src, 32)
+			if !bytes.Equal(ir64, ir32) {
+				t.Fatalf("width-portability: 32/64 outputs differ (%d vs %d bytes)", len(ir32), len(ir64))
+			}
+			for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+				got, instret := runOnMachine(t, src, is)
+				if !bytes.Equal(got, ir64) {
+					t.Fatalf("%v: machine output differs from IR (lens %d vs %d)", is, len(got), len(ir64))
+				}
+				t.Logf("%v: %d retired instructions, %d output bytes", is, instret, len(got))
+			}
+		})
+	}
+}
+
+func TestSHAAgainstGo(t *testing.T) {
+	// The MiniC sha must produce the true SHA-1 digest of the unpadded
+	// message bytes.
+	r := newRng(testSeed)
+	msg := r.bytes(192)
+	want := sha1.Sum(msg)
+	out := runOnIR(t, genSHA(testSeed, 1), 64)
+	if !bytes.Equal(out, want[:]) {
+		t.Fatalf("sha1: got %x want %x", out, want)
+	}
+}
+
+func TestCRC32AgainstGo(t *testing.T) {
+	r := newRng(testSeed)
+	data := r.bytes(512)
+	want := crc32.ChecksumIEEE(data)
+	out := runOnIR(t, genCRC32(testSeed, 1), 64)
+	if len(out) != 4 {
+		t.Fatalf("crc output length %d", len(out))
+	}
+	got := binary.LittleEndian.Uint32(out)
+	if got != want {
+		t.Fatalf("crc32: got %#x want %#x", got, want)
+	}
+}
+
+func TestAESAgainstGo(t *testing.T) {
+	key := AESKey(testSeed)
+	plain := AESPlain(testSeed, 4)
+	c, err := aes.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, len(plain))
+	for i := 0; i < len(plain); i += 16 {
+		c.Encrypt(want[i:i+16], plain[i:i+16])
+	}
+	out := runOnIR(t, genAES(testSeed, 1), 64)
+	if !bytes.Equal(out, want) {
+		t.Fatalf("aes: got %x\nwant %x", out[:32], want[:32])
+	}
+}
+
+func TestFFTAgainstReference(t *testing.T) {
+	re, im := FFTInput(testSeed, 64)
+	ct, st := FFTTables(64)
+	wre, wim := FFTRef(re, im, ct, st)
+	out := runOnIR(t, genFFT(testSeed, 1), 64)
+	if len(out) != 64*4 {
+		t.Fatalf("fft output length %d", len(out))
+	}
+	for i := 0; i < 64; i++ {
+		gr := int64(int16(binary.LittleEndian.Uint16(out[4*i:])))
+		gi := int64(int16(binary.LittleEndian.Uint16(out[4*i+2:])))
+		if gr != int64(int16(uint16(wre[i]))) || gi != int64(int16(uint16(wim[i]))) {
+			t.Fatalf("fft bin %d: got (%d,%d) want (%d,%d)", i, gr, gi, wre[i], wim[i])
+		}
+	}
+}
+
+func TestQsortOutputSorted(t *testing.T) {
+	out := runOnIR(t, genQsort(testSeed, 1), 64)
+	if out[0] != 1 {
+		t.Fatal("qsort: in-program sortedness check failed")
+	}
+	// Cross-check boundary samples against Go's sort.
+	r := newRng(testSeed)
+	vals := make([]int64, 160)
+	for i := range vals {
+		vals[i] = int64(int32(r.next()))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	first := int64(int32(binary.LittleEndian.Uint32(out[5:9])))
+	last := int64(int32(binary.LittleEndian.Uint32(out[13:17])))
+	if first != int64(int32(uint32(vals[0]))) || last != int64(int32(uint32(vals[159]))) {
+		t.Fatalf("qsort boundaries: got %d..%d want %d..%d", first, last, vals[0], vals[159])
+	}
+}
+
+func TestSearchFindsKnownPatterns(t *testing.T) {
+	out := runOnIR(t, genSearch(testSeed, 1), 64)
+	pats := SearchPatterns(testSeed)
+	text := SearchText(testSeed, 1024)
+	if len(out) != 3*len(pats) {
+		t.Fatalf("output len %d", len(out))
+	}
+	for i, p := range pats {
+		first := int(binary.LittleEndian.Uint16(out[3*i:]))
+		count := int(out[3*i+2])
+		idx := bytes.Index(text, []byte(p))
+		if idx < 0 {
+			if first != 0 || count != 0 {
+				t.Fatalf("pattern %q: expected no match, got pos %d count %d", p, first, count)
+			}
+			continue
+		}
+		if first != idx+1 {
+			t.Fatalf("pattern %q: first match %d, want %d", p, first, idx+1)
+		}
+		if count == 0 {
+			t.Fatalf("pattern %q: count 0", p)
+		}
+	}
+}
+
+func TestSmoothPreservesBordersAndRange(t *testing.T) {
+	const W = 24
+	out := runOnIR(t, genSmooth(testSeed, 1), 64)
+	if len(out) != W*W {
+		t.Fatalf("smooth output %d", len(out))
+	}
+	img := GenImage(testSeed, W, W)
+	for x := 0; x < W; x++ {
+		if out[x] != img[x] || out[(W-1)*W+x] != img[(W-1)*W+x] {
+			t.Fatal("smooth must copy borders")
+		}
+	}
+	// The interior must be a 16-division weighted mean: recompute one.
+	p := 5*W + 7
+	s := int(img[p-W-1]) + 2*int(img[p-W]) + int(img[p-W+1]) +
+		2*int(img[p-1]) + 4*int(img[p]) + 2*int(img[p+1]) +
+		int(img[p+W-1]) + 2*int(img[p+W]) + int(img[p+W+1])
+	if int(out[p]) != (s+8)/16 {
+		t.Fatalf("smooth interior: got %d want %d", out[p], (s+8)/16)
+	}
+}
+
+func TestCornerOutput(t *testing.T) {
+	out := runOnIR(t, genCorner(testSeed, 1), 64)
+	n := int(binary.LittleEndian.Uint16(out))
+	if n == 0 {
+		t.Fatal("corner: no corners found on an image with rectangles")
+	}
+	lim := n
+	if lim > 128 {
+		lim = 128
+	}
+	if len(out) != 2+2*lim {
+		t.Fatalf("corner output length %d for %d corners", len(out), n)
+	}
+	// Coordinates must be interior.
+	for i := 0; i < lim; i++ {
+		x, y := out[2+2*i], out[3+2*i]
+		if x < 2 || x > 13 || y < 2 || y > 13 {
+			t.Fatalf("corner %d at (%d,%d) out of range", i, x, y)
+		}
+	}
+}
+
+func TestJpegRoundTrip(t *testing.T) {
+	stream, err := CjpegOutput(testSeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) == 0 || len(stream) >= 16*16 {
+		t.Fatalf("cjpeg stream size %d not compressive", len(stream))
+	}
+	out := runOnIR(t, genDjpeg(testSeed, 1), 64)
+	if len(out) != 16*16 {
+		t.Fatalf("djpeg output %d", len(out))
+	}
+	// Lossy round trip: decoded pixels must be near the original.
+	img := GenImage(testSeed+0x77, 16, 16)
+	var worst, sum int
+	for i := range img {
+		d := int(out[i]) - int(img[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+		if d > worst {
+			worst = d
+		}
+	}
+	avg := sum / len(img)
+	if avg > 12 || worst > 120 {
+		t.Fatalf("jpeg round trip too lossy: avg err %d, worst %d", avg, worst)
+	}
+}
+
+func TestSeedsChangeInputsNotValidity(t *testing.T) {
+	for _, name := range []string{"sha", "qsort", "crc32"} {
+		spec, _ := Get(name)
+		a := runOnIR(t, spec.Gen(1, 1), 64)
+		b := runOnIR(t, spec.Gen(2, 1), 64)
+		if bytes.Equal(a, b) {
+			t.Errorf("%s: different seeds gave identical output", name)
+		}
+		c := runOnIR(t, spec.Gen(1, 1), 64)
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: same seed gave different output", name)
+		}
+	}
+}

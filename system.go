@@ -1,0 +1,273 @@
+// Package vulnstack is the public API of the system-vulnerability-stack
+// reproduction: it composes the MiniC compiler, the VSA machine models,
+// the in-simulation kernel and the three fault injectors (micro-
+// architectural AVF/HVF, architectural PVF, software-level SVF) into
+// benchmark-level vulnerability measurements, and regenerates every
+// table and figure of the paper's evaluation (see experiments.go).
+package vulnstack
+
+import (
+	"fmt"
+	"sync"
+
+	"vulnstack/internal/arch"
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/harden"
+	"vulnstack/internal/inject"
+	"vulnstack/internal/ir"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/llfi"
+	"vulnstack/internal/micro"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/vuln"
+	"vulnstack/internal/workload"
+)
+
+// RAMSize is the simulated machine memory for study runs.
+const RAMSize = 1 << 21
+
+// Target names one program under study.
+type Target struct {
+	// Bench is a workload name (see Benchmarks()).
+	Bench string
+	// Seed selects the generated input; Scale grows it (1 = default).
+	Seed  int64
+	Scale int
+	// Harden applies the software fault-tolerance transform of the
+	// case study (duplication + detection checks).
+	Harden bool
+}
+
+func (t Target) key() string {
+	return fmt.Sprintf("%s/%d/%d/%v", t.Bench, t.Seed, t.Scale, t.Harden)
+}
+
+// Benchmarks returns the ten workload names in the paper's order.
+func Benchmarks() []string { return workload.Names() }
+
+// Configs returns the four study microarchitectures (A9, A15: VSA32;
+// A57, A72: VSA64).
+func Configs() []micro.Config { return micro.Configs() }
+
+// System is a target compiled for one ISA: the IR module (SVF and PVF
+// substrate) plus the bootable machine image (AVF/HVF substrate).
+type System struct {
+	Target Target
+	ISA    isa.ISA
+	IR     *ir.Module
+	Image  *kernel.Image
+
+	mu     sync.Mutex
+	microC map[string]*inject.Campaign
+	archC  *arch.Campaign
+	llfiC  *llfi.Campaign
+	// Snapshots controls golden-run snapshot counts for campaign
+	// acceleration.
+	Snapshots int
+}
+
+// Build compiles a target for the given ISA variant.
+func Build(t Target, is isa.ISA) (*System, error) {
+	spec, err := workload.Get(t.Bench)
+	if err != nil {
+		return nil, err
+	}
+	scale := t.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	src := spec.Gen(t.Seed, scale)
+	m, err := minic.Compile(src, is.XLen())
+	if err != nil {
+		return nil, fmt.Errorf("vulnstack: compiling %s: %w", t.Bench, err)
+	}
+	if t.Harden {
+		m, err = harden.Transform(m, harden.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+	}
+	prog, err := codegen.Build(m, is)
+	if err != nil {
+		return nil, fmt.Errorf("vulnstack: code generation for %s: %w", t.Bench, err)
+	}
+	img, err := kernel.BuildImage(prog, RAMSize)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Target:    t,
+		ISA:       is,
+		IR:        m,
+		Image:     img,
+		microC:    make(map[string]*inject.Campaign),
+		Snapshots: 12,
+	}, nil
+}
+
+// MicroCampaign returns (building and caching on first use) the
+// microarchitectural fault-injection campaign for cfg.
+func (s *System) MicroCampaign(cfg micro.Config) (*inject.Campaign, error) {
+	if cfg.ISA != s.ISA {
+		return nil, fmt.Errorf("vulnstack: config %s (%v) does not match system ISA %v", cfg.Name, cfg.ISA, s.ISA)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cp, ok := s.microC[cfg.Name]; ok {
+		return cp, nil
+	}
+	cp, err := inject.Prepare(s.Image, cfg, s.Snapshots, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.microC[cfg.Name] = cp
+	return cp, nil
+}
+
+// ArchCampaign returns the PVF campaign (cached).
+func (s *System) ArchCampaign() (*arch.Campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.archC == nil {
+		cp, err := arch.Prepare(s.Image, s.Snapshots)
+		if err != nil {
+			return nil, err
+		}
+		s.archC = cp
+	}
+	return s.archC, nil
+}
+
+// LLFICampaign returns the SVF campaign. Like the real LLFI tool, it
+// only exists for the 64-bit variant.
+func (s *System) LLFICampaign() (*llfi.Campaign, error) {
+	if s.ISA != isa.VSA64 {
+		return nil, fmt.Errorf("vulnstack: SVF (LLFI) supports only the 64-bit ISA")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.llfiC == nil {
+		cp, err := llfi.Prepare(s.IR, RAMSize)
+		if err != nil {
+			return nil, err
+		}
+		s.llfiC = cp
+	}
+	return s.llfiC, nil
+}
+
+// splitOf converts outcome counts into a vuln.Split.
+func splitOf(n int, counts [inject.NumOutcomes]int) vuln.Split {
+	if n == 0 {
+		return vuln.Split{}
+	}
+	f := func(o inject.Outcome) float64 { return float64(counts[o]) / float64(n) }
+	return vuln.Split{
+		SDC: f(inject.SDC), Crash: f(inject.Crash),
+		Detected: f(inject.Detected), Masked: f(inject.Masked),
+	}
+}
+
+// StructResult is one structure's AVF/HVF measurement.
+type StructResult struct {
+	Struct micro.Structure
+	Bits   int
+	N      int
+	Split  vuln.Split
+	HVF    float64
+	// FPM holds per-model counts among visible faults.
+	FPM [micro.NumFPM]int
+	// Visible is the HVF numerator.
+	Visible int
+}
+
+// CacheSampleBoost multiplies the per-structure sample count for the
+// cache structures. Most cache faults land in invalid lines and are
+// classified without running (cheap), so spending extra samples there
+// sharpens the small cache AVFs that dominate the bit-weighted total.
+var CacheSampleBoost = map[micro.Structure]int{
+	micro.StructL1I: 3, micro.StructL1D: 3, micro.StructL2: 6,
+}
+
+// AVFAll runs injection campaigns over all five structures and returns
+// per-structure results plus the bit-weighted full-system split.
+func (s *System) AVFAll(cfg micro.Config, nPerStruct int, seed int64) ([]StructResult, vuln.Split, error) {
+	cp, err := s.MicroCampaign(cfg)
+	if err != nil {
+		return nil, vuln.Split{}, err
+	}
+	var results []StructResult
+	var parts []vuln.Split
+	var bits []int
+	for st := micro.Structure(0); st < micro.NumStructures; st++ {
+		n := nPerStruct
+		if b := CacheSampleBoost[st]; b > 1 {
+			n *= b
+		}
+		tally := cp.RunCampaign(st, n, seed+int64(st)*7919, nil)
+		r := StructResult{
+			Struct:  st,
+			Bits:    cfg.Bits(st),
+			N:       tally.N,
+			Split:   splitOf(tally.N, tally.Outcomes),
+			HVF:     tally.HVF(),
+			FPM:     tally.FPM,
+			Visible: tally.Visible,
+		}
+		results = append(results, r)
+		parts = append(parts, r.Split)
+		bits = append(bits, r.Bits)
+	}
+	return results, vuln.Weighted(parts, bits), nil
+}
+
+// PVF measures the architecture-level vulnerability for one FPM.
+func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
+	cp, err := s.ArchCampaign()
+	if err != nil {
+		return vuln.Split{}, err
+	}
+	t := cp.RunCampaign(fpm, n, seed, nil)
+	return splitOf(t.N, t.Outcomes), nil
+}
+
+// SVF measures the software-level (LLFI-style) vulnerability.
+func (s *System) SVF(n int, seed int64) (vuln.Split, error) {
+	cp, err := s.LLFICampaign()
+	if err != nil {
+		return vuln.Split{}, err
+	}
+	t := cp.RunCampaign(n, seed, nil)
+	return splitOf(t.N, t.Outcomes), nil
+}
+
+// FPMDist computes the bit-weighted fault-propagation-model
+// distribution across the five structures (the paper's Fig. 6): the
+// probability that a visible hardware fault manifests as each model,
+// ESC included.
+func FPMDist(cfg micro.Config, results []StructResult) map[micro.FPM]float64 {
+	weighted := make(map[micro.FPM]float64)
+	var total float64
+	for _, r := range results {
+		if r.N == 0 {
+			continue
+		}
+		w := float64(r.Bits)
+		for m := micro.FPM(1); m < micro.NumFPM; m++ {
+			p := float64(r.FPM[m]) / float64(r.N)
+			weighted[m] += w * p
+			total += w * p
+		}
+	}
+	if total > 0 {
+		for m := range weighted {
+			weighted[m] /= total
+		}
+	}
+	return weighted
+}
+
+// Margin reports the sampling error margin of an n-sample campaign at
+// 99% confidence (the paper's convention).
+func Margin(n int) float64 { return vuln.Margin(n, 0.99) }
