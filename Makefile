@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full gate: build, vet, and the race-enabled test suite.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

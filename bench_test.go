@@ -21,6 +21,7 @@ import (
 	"vulnstack/internal/dev"
 	"vulnstack/internal/emu"
 	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/minic"
 	"vulnstack/internal/workload"
@@ -125,12 +126,14 @@ func BenchmarkEmulator(b *testing.B) {
 }
 
 // BenchmarkInjectionRF measures microarchitectural injection throughput
-// (snapshot restore + faulty run + classification).
+// (snapshot restore + faulty run + classification) on the serial path
+// (Workers=1), the baseline for BenchmarkCampaignParallel.
 func BenchmarkInjectionRF(b *testing.B) {
 	sys, err := Build(Target{Bench: "sha", Seed: 1}, isa.VSA64)
 	if err != nil {
 		b.Fatal(err)
 	}
+	sys.Workers = 1
 	cp, err := sys.MicroCampaign(micro.ConfigA72())
 	if err != nil {
 		b.Fatal(err)
@@ -139,12 +142,61 @@ func BenchmarkInjectionRF(b *testing.B) {
 	cp.RunCampaign(micro.StructRF, b.N, 1, nil)
 }
 
+// BenchmarkCampaignSerial and BenchmarkCampaignParallel compare the
+// same RF campaign on one worker vs all CPUs; both produce bit-identical
+// tallies, so the delta is pure wall clock.
+func benchmarkCampaignWorkers(b *testing.B, workers int) {
+	sys, err := Build(Target{Bench: "sha", Seed: 1}, isa.VSA64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Workers = workers
+	cp, err := sys.MicroCampaign(micro.ConfigA72())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	cp.RunCampaign(micro.StructRF, b.N, 1, nil)
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchmarkCampaignWorkers(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchmarkCampaignWorkers(b, 0) }
+
+// BenchmarkMemRestoreFull measures the pre-change restore path: a full
+// RAM copy per injection.
+func BenchmarkMemRestoreFull(b *testing.B) {
+	golden := mem.New(RAMSize)
+	arena := golden.Clone()
+	b.SetBytes(RAMSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Write(0x11000, 8, uint64(i)) // a typical injection dirties a few pages
+		arena.CopyFrom(golden)
+	}
+}
+
+// BenchmarkMemRestoreDirty measures the dirty-page restore path used by
+// the campaign worker arenas: only touched pages are copied back.
+func BenchmarkMemRestoreDirty(b *testing.B) {
+	golden := mem.New(RAMSize)
+	arena := golden.Clone()
+	arena.EnableTracking()
+	arena.CopyFrom(golden) // baseline against the restore source
+	b.SetBytes(RAMSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Write(0x11000, 8, uint64(i))
+		arena.RestoreDirty(golden)
+	}
+}
+
 // BenchmarkInjectionL2 measures the (mostly provably-masked) cache path.
 func BenchmarkInjectionL2(b *testing.B) {
 	sys, err := Build(Target{Bench: "sha", Seed: 1}, isa.VSA64)
 	if err != nil {
 		b.Fatal(err)
 	}
+	sys.Workers = 1
 	cp, err := sys.MicroCampaign(micro.ConfigA72())
 	if err != nil {
 		b.Fatal(err)
@@ -159,6 +211,7 @@ func BenchmarkSVFInjection(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sys.Workers = 1
 	cp, err := sys.LLFICampaign()
 	if err != nil {
 		b.Fatal(err)
@@ -173,6 +226,7 @@ func BenchmarkPVFInjection(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sys.Workers = 1
 	cp, err := sys.ArchCampaign()
 	if err != nil {
 		b.Fatal(err)

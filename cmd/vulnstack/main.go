@@ -75,6 +75,7 @@ func expFlags(args []string) (*flag.FlagSet, *vulnstack.Options) {
 	fs.IntVar(&o.NSVF, "nsvf", o.NSVF, "software-level injections")
 	fs.Int64Var(&o.Seed, "seed", o.Seed, "input and sampling seed")
 	fs.IntVar(&o.Snapshots, "snapshots", o.Snapshots, "golden-run snapshots")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
 	fs.Parse(args)
 	if *benches != "" {
@@ -138,6 +139,7 @@ func cmdCampaign(args []string) error {
 	n := fs.Int("n", 200, "number of injections")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
+	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
 	fs.Parse(args)
 
 	cfg, err := micro.ConfigByName(*cfgName)
@@ -152,6 +154,7 @@ func cmdCampaign(args []string) error {
 	if err != nil {
 		return err
 	}
+	sys.Workers = *workers
 	cp, err := sys.MicroCampaign(cfg)
 	if err != nil {
 		return err

@@ -28,6 +28,11 @@ type Options struct {
 	Benches []string
 	// Snapshots tunes golden-run snapshot counts.
 	Snapshots int
+	// Workers is the campaign fan-out: 0 (the default) uses all CPUs,
+	// 1 forces the serial path. Every tally is bit-identical for every
+	// worker count, so this trades wall clock only. It also gates
+	// cross-benchmark parallelism inside the lab.
+	Workers int
 }
 
 // DefaultOptions returns the scaled-down study defaults.
@@ -52,11 +57,72 @@ type Lab struct {
 	memoAVF map[string]avfMemo
 	memoPVF map[string]vuln.Split
 	memoSVF map[string]vuln.Split
+	// flights deduplicates concurrent fills of the same memo key
+	// (single-flight), so cross-bench parallel figure generation never
+	// builds a system or runs a campaign twice.
+	flights map[string]*flight
 }
 
 type avfMemo struct {
 	results  []StructResult
 	weighted vuln.Split
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// once runs fn exactly once per key across concurrent callers; later
+// callers block until the first finishes and share its result. The
+// durable memo maps remain the long-term cache — once only serializes
+// the in-flight window.
+func (l *Lab) once(key string, fn func() (any, error)) (any, error) {
+	l.mu.Lock()
+	if f, ok := l.flights[key]; ok {
+		l.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	l.flights[key] = f
+	l.mu.Unlock()
+	f.val, f.err = fn()
+	close(f.done)
+	return f.val, f.err
+}
+
+// fill runs the given memo-filling closures, fanning them out when the
+// lab is parallel (Options.Workers != 1). Campaign results are
+// memoized and deterministic, so parallel filling never changes any
+// figure — it only overlaps golden runs and campaigns across
+// benchmarks. The first error wins; all closures finish either way.
+func (l *Lab) fill(fns ...func() error) error {
+	if len(fns) <= 1 || l.Opts.Workers == 1 {
+		for _, fn := range fns {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			errs[i] = fn()
+		}(i, fn)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // NewLab creates a lab with the given options.
@@ -82,27 +148,40 @@ func NewLab(o Options) *Lab {
 		memoAVF: make(map[string]avfMemo),
 		memoPVF: make(map[string]vuln.Split),
 		memoSVF: make(map[string]vuln.Split),
+		flights: make(map[string]*flight),
 	}
 }
 
-// System builds (or returns cached) a target for an ISA.
+// System builds (or returns cached) a target for an ISA. Concurrent
+// callers for the same target share one build; the lab lock is never
+// held across compilation.
 func (l *Lab) System(t Target, is isa.ISA) (*System, error) {
 	if t.Seed == 0 {
 		t.Seed = l.Opts.Seed
 	}
 	key := t.key() + "/" + is.String()
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if s, ok := l.systems[key]; ok {
+		l.mu.Unlock()
 		return s, nil
 	}
-	s, err := Build(t, is)
+	l.mu.Unlock()
+	v, err := l.once("sys/"+key, func() (any, error) {
+		s, err := Build(t, is)
+		if err != nil {
+			return nil, err
+		}
+		s.Snapshots = l.Opts.Snapshots
+		s.Workers = l.Opts.Workers
+		l.mu.Lock()
+		l.systems[key] = s
+		l.mu.Unlock()
+		return s, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.Snapshots = l.Opts.Snapshots
-	l.systems[key] = s
-	return s, nil
+	return v.(*System), nil
 }
 
 func (l *Lab) avf(t Target, cfg micro.Config) ([]StructResult, vuln.Split, error) {
@@ -116,18 +195,26 @@ func (l *Lab) avf(t Target, cfg micro.Config) ([]StructResult, vuln.Split, error
 		return m.results, m.weighted, nil
 	}
 	l.mu.Unlock()
-	s, err := l.System(t, cfg.ISA)
+	v, err := l.once("avf/"+key, func() (any, error) {
+		s, err := l.System(t, cfg.ISA)
+		if err != nil {
+			return nil, err
+		}
+		res, w, err := s.AVFAll(cfg, l.Opts.NAVF, l.Opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		m := avfMemo{res, w}
+		l.mu.Lock()
+		l.memoAVF[key] = m
+		l.mu.Unlock()
+		return m, nil
+	})
 	if err != nil {
 		return nil, vuln.Split{}, err
 	}
-	res, w, err := s.AVFAll(cfg, l.Opts.NAVF, l.Opts.Seed)
-	if err != nil {
-		return nil, vuln.Split{}, err
-	}
-	l.mu.Lock()
-	l.memoAVF[key] = avfMemo{res, w}
-	l.mu.Unlock()
-	return res, w, nil
+	m := v.(avfMemo)
+	return m.results, m.weighted, nil
 }
 
 func (l *Lab) pvf(t Target, is isa.ISA, fpm micro.FPM) (vuln.Split, error) {
@@ -141,18 +228,24 @@ func (l *Lab) pvf(t Target, is isa.ISA, fpm micro.FPM) (vuln.Split, error) {
 		return m, nil
 	}
 	l.mu.Unlock()
-	s, err := l.System(t, is)
+	v, err := l.once("pvf/"+key, func() (any, error) {
+		s, err := l.System(t, is)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := s.PVF(fpm, l.Opts.NPVF, l.Opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.memoPVF[key] = sp
+		l.mu.Unlock()
+		return sp, nil
+	})
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	sp, err := s.PVF(fpm, l.Opts.NPVF, l.Opts.Seed)
-	if err != nil {
-		return vuln.Split{}, err
-	}
-	l.mu.Lock()
-	l.memoPVF[key] = sp
-	l.mu.Unlock()
-	return sp, nil
+	return v.(vuln.Split), nil
 }
 
 func (l *Lab) svf(t Target) (vuln.Split, error) {
@@ -166,18 +259,24 @@ func (l *Lab) svf(t Target) (vuln.Split, error) {
 		return m, nil
 	}
 	l.mu.Unlock()
-	s, err := l.System(t, isa.VSA64)
+	v, err := l.once("svf/"+key, func() (any, error) {
+		s, err := l.System(t, isa.VSA64)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := s.SVF(l.Opts.NSVF, l.Opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.memoSVF[key] = sp
+		l.mu.Unlock()
+		return sp, nil
+	})
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	sp, err := s.SVF(l.Opts.NSVF, l.Opts.Seed)
-	if err != nil {
-		return vuln.Split{}, err
-	}
-	l.mu.Lock()
-	l.memoSVF[key] = sp
-	l.mu.Unlock()
-	return sp, nil
+	return v.(vuln.Split), nil
 }
 
 // Experiments lists the reproducible artifacts.
@@ -254,8 +353,19 @@ func (l *Lab) fig1() (*report.Report, error) {
 	cfg := micro.ConfigA72()
 	t := r.NewTable("", "Benchmark", "SVF SDC", "SVF Crash", "SVF total",
 		"AVF SDC", "AVF Crash", "AVF total")
+	benches := []string{"sha", "qsort"}
+	var fns []func() error
+	for _, b := range benches {
+		tgt := Target{Bench: b}
+		fns = append(fns,
+			func() error { _, err := l.svf(tgt); return err },
+			func() error { _, _, err := l.avf(tgt, cfg); return err })
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 	var svfT, avfT []float64
-	for _, b := range []string{"sha", "qsort"} {
+	for _, b := range benches {
 		tgt := Target{Bench: b}
 		sv, err := l.svf(tgt)
 		if err != nil {
@@ -290,22 +400,29 @@ type layerRow struct {
 }
 
 func (l *Lab) layerData(benches []string, cfg micro.Config) ([]layerRow, error) {
-	var rows []layerRow
-	for _, b := range benches {
-		tgt := Target{Bench: b}
-		pv, err := l.pvf(tgt, cfg.ISA, micro.FPMWD)
-		if err != nil {
-			return nil, err
+	rows := make([]layerRow, len(benches))
+	fns := make([]func() error, len(benches))
+	for i, b := range benches {
+		fns[i] = func() error {
+			tgt := Target{Bench: b}
+			pv, err := l.pvf(tgt, cfg.ISA, micro.FPMWD)
+			if err != nil {
+				return err
+			}
+			sv, err := l.svf(tgt)
+			if err != nil {
+				return err
+			}
+			_, av, err := l.avf(tgt, cfg)
+			if err != nil {
+				return err
+			}
+			rows[i] = layerRow{b, pv, sv, av}
+			return nil
 		}
-		sv, err := l.svf(tgt)
-		if err != nil {
-			return nil, err
-		}
-		_, av, err := l.avf(tgt, cfg)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, layerRow{b, pv, sv, av})
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -351,6 +468,21 @@ func (l *Lab) table3() (*report.Report, error) {
 	r := &report.Report{ID: "Table III", Title: "Opposite relative vulnerability comparisons per microarchitecture"}
 	t := r.NewTable("", "Config", "Pair", "Total (opposite pairs)", "Effect (dominance flips)")
 	benches := l.Opts.benches()
+	var fns []func() error
+	for _, cfg := range Configs() {
+		for _, b := range benches {
+			tgt := Target{Bench: b}
+			fns = append(fns,
+				func() error { _, err := l.pvf(tgt, cfg.ISA, micro.FPMWD); return err },
+				func() error { _, _, err := l.avf(tgt, cfg); return err })
+			if cfg.ISA == isa.VSA64 {
+				fns = append(fns, func() error { _, err := l.svf(tgt); return err })
+			}
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 	for _, cfg := range Configs() {
 		var pvfT, svfT, avfT []float64
 		var pvfS, svfS, avfS []vuln.Split
@@ -400,7 +532,18 @@ func (l *Lab) table3() (*report.Report, error) {
 func (l *Lab) fig5() (*report.Report, error) {
 	r := &report.Report{ID: "Fig. 5", Title: "HVF per hardware structure with FPM breakdown (A9-like, A15-like)"}
 	structs := []micro.Structure{micro.StructRF, micro.StructL1I, micro.StructL1D, micro.StructL2}
-	for _, cfg := range []micro.Config{micro.ConfigA9(), micro.ConfigA15()} {
+	cfgs := []micro.Config{micro.ConfigA9(), micro.ConfigA15()}
+	var fns []func() error
+	for _, cfg := range cfgs {
+		for _, b := range l.Opts.benches() {
+			tgt := Target{Bench: b}
+			fns = append(fns, func() error { _, _, err := l.avf(tgt, cfg); return err })
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
 		for _, st := range structs {
 			t := r.NewTable(fmt.Sprintf("%s / %s", cfg.Name, st),
 				"Benchmark", "HVF", "WD", "WI", "WOI", "ESC")
@@ -430,6 +573,16 @@ func (l *Lab) fig5() (*report.Report, error) {
 func (l *Lab) fig6() (*report.Report, error) {
 	r := &report.Report{ID: "Fig. 6", Title: "Bit-weighted FPM distribution (ESC included) per benchmark and microarchitecture"}
 	maxESC, sumESC, cells := 0.0, 0.0, 0
+	var fns []func() error
+	for _, cfg := range Configs() {
+		for _, b := range l.Opts.benches() {
+			tgt := Target{Bench: b}
+			fns = append(fns, func() error { _, _, err := l.avf(tgt, cfg); return err })
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 	for _, cfg := range Configs() {
 		t := r.NewTable(cfg.Name, "Benchmark", "WD", "WI", "WOI", "ESC")
 		for _, b := range l.Opts.benches() {
@@ -462,6 +615,16 @@ func (l *Lab) fig7() (*report.Report, error) {
 		"WD SDC", "WD Crash", "WD tot",
 		"WOI SDC", "WOI Crash", "WOI tot",
 		"WI SDC", "WI Crash", "WI tot")
+	var fns []func() error
+	for _, b := range l.Opts.benches() {
+		tgt := Target{Bench: b}
+		for _, m := range []micro.FPM{micro.FPMWD, micro.FPMWOI, micro.FPMWI} {
+			fns = append(fns, func() error { _, err := l.pvf(tgt, isa.VSA64, m); return err })
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 	for _, b := range l.Opts.benches() {
 		tgt := Target{Bench: b}
 		var sp [3]vuln.Split
@@ -494,6 +657,19 @@ func (l *Lab) fig8() (*report.Report, error) {
 		"AVF SDC", "AVF Crash", "AVF tot")
 	type spread struct{ rmin, rmax, amin, amax float64 }
 	spreads := map[string]*spread{}
+	var fns []func() error
+	for _, b := range benches {
+		for _, cfg := range Configs() {
+			tgt := Target{Bench: b}
+			for _, m := range []micro.FPM{micro.FPMWD, micro.FPMWOI, micro.FPMWI} {
+				fns = append(fns, func() error { _, err := l.pvf(tgt, cfg.ISA, m); return err })
+			}
+			fns = append(fns, func() error { _, _, err := l.avf(tgt, cfg); return err })
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 	for _, b := range benches {
 		for _, cfg := range Configs() {
 			tgt := Target{Bench: b}
@@ -580,6 +756,17 @@ func (l *Lab) caseStudy(id, bench string) (*report.Report, error) {
 	cfg := micro.ConfigA72()
 	base := Target{Bench: bench}
 	prot := Target{Bench: bench, Harden: true}
+
+	var fns []func() error
+	for _, tgt := range []Target{base, prot} {
+		fns = append(fns,
+			func() error { _, _, err := l.avf(tgt, cfg); return err },
+			func() error { _, err := l.pvf(tgt, cfg.ISA, micro.FPMWD); return err },
+			func() error { _, err := l.svf(tgt); return err })
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
 
 	// (a) per-structure AVF.
 	ta := r.NewTable("(a) per-structure AVF", "Structure",

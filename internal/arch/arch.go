@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"vulnstack/internal/campaign"
 	"vulnstack/internal/dev"
 	"vulnstack/internal/emu"
 	"vulnstack/internal/inject"
@@ -36,6 +37,9 @@ type Campaign struct {
 	snaps   []emu.Snapshot
 	snapMem []*mem.Memory
 	Limit   uint64
+	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
+	// The tally is bit-identical for every worker count.
+	Workers int
 }
 
 // Prepare runs the golden execution and captures snapshots.
@@ -73,30 +77,77 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 			cp.snaps = append(cp.snaps, c2.Save())
 			cp.snapMem = append(cp.snapMem, bus2.Mem.Clone())
 		}
+	} else {
+		// Keep one boot-state snapshot so worker arenas always have a
+		// restore source; the pristine image RAM is immutable, so it is
+		// shared rather than cloned.
+		cp.snaps = []emu.Snapshot{{PC: img.Entry, Mode: isa.Kernel}}
+		cp.snapMem = []*mem.Memory{img.RAM}
 	}
 	return cp, nil
+}
+
+// snapFor returns the index of the latest snapshot at or before dynamic
+// instruction k.
+func (cp *Campaign) snapFor(k uint64) int {
+	best := 0
+	for i := range cp.snaps {
+		if cp.snaps[i].Instret <= k {
+			best = i
+		}
+	}
+	return best
 }
 
 // cpuAt returns an emulator advanced to dynamic instruction k.
 func (cp *Campaign) cpuAt(k uint64) (*emu.CPU, *dev.Bus) {
 	bus := dev.NewBus(cp.Img.NewMemory())
 	c := emu.New(cp.Img.ISA, bus, cp.Img.Entry)
-	best := -1
-	for i := range cp.snaps {
-		if cp.snaps[i].Instret <= k {
-			best = i
-		}
-	}
-	if best >= 0 {
-		bus.Mem.CopyFrom(cp.snapMem[best])
-		c.Restore(cp.snaps[best])
-	}
+	best := cp.snapFor(k)
+	bus.Mem.CopyFrom(cp.snapMem[best])
+	c.Restore(cp.snaps[best])
 	for c.Instret < k {
 		if !c.Step() {
 			break
 		}
 	}
 	return c, bus
+}
+
+// worker is the reusable per-worker arena: an emulator, bus and RAM
+// image restored in place for every injection (dirty pages only when
+// the restore source repeats), keeping the hot loop allocation-free.
+type worker struct {
+	cpu *emu.CPU
+	bus *dev.Bus
+	m   *mem.Memory
+	src int // snapshot index the arena RAM was last restored from
+}
+
+// cpuFor readies the worker's arena at dynamic instruction k, restoring
+// from snapshot g.
+func (cp *Campaign) cpuFor(w *worker, k uint64, g int) (*emu.CPU, *dev.Bus) {
+	if w.m == nil {
+		w.m = cp.snapMem[g].Clone()
+		w.m.EnableTracking()
+		w.bus = dev.NewBus(w.m)
+		w.cpu = emu.New(cp.Img.ISA, w.bus, cp.Img.Entry)
+	} else {
+		w.bus.Reset()
+		if w.src == g {
+			w.m.RestoreDirty(cp.snapMem[g])
+		} else {
+			w.m.CopyFrom(cp.snapMem[g])
+		}
+	}
+	w.src = g
+	w.cpu.Restore(cp.snaps[g])
+	for w.cpu.Instret < k {
+		if !w.cpu.Step() {
+			break
+		}
+	}
+	return w.cpu, w.bus
 }
 
 // Fault is one architecture-level injection.
@@ -120,8 +171,16 @@ func (cp *Campaign) Sample(r *rand.Rand, fpm micro.FPM) Fault {
 }
 
 // Run performs one injection and classifies the program-level outcome.
+// It builds a fresh machine per call; campaigns use the worker-arena
+// path in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
 	c, bus := cp.cpuAt(f.K)
+	return cp.classify(c, bus, f)
+}
+
+// classify injects f into a machine already advanced to f.K, runs it to
+// the watchdog limit and classifies the outcome.
+func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, f Fault) inject.Outcome {
 	if bus.Halted() {
 		return inject.Masked
 	}
@@ -268,16 +327,31 @@ func (t *Tally) Frac(o inject.Outcome) float64 {
 // produced a failure (SDC or Crash).
 func (t *Tally) PVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
 
-// RunCampaign performs n injections under the given FPM.
+// RunCampaign performs n injections under the given FPM, fanned across
+// cp.Workers goroutines (<= 0: all CPUs). The fault sequence is
+// pre-drawn from the seed exactly as the serial loop drew it, so the
+// tally is bit-identical for every worker count. progress, when
+// non-nil, is called exactly once per injection, serialized and in
+// injection-index order; it must not call back into the campaign.
 func (cp *Campaign) RunCampaign(fpm micro.FPM, n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
 	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	jobs := make([]campaign.Job, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r, fpm)
+		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[i].K)}
+	}
+	outcomes := campaign.Run(jobs, cp.Workers,
+		func() *worker { return &worker{src: -1} },
+		func(w *worker, j campaign.Job) inject.Outcome {
+			f := faults[j.Index]
+			c, bus := cp.cpuFor(w, f.K, j.Group)
+			return cp.classify(c, bus, f)
+		},
+		progress)
 	var t Tally
-	for i := 0; i < n; i++ {
-		o := cp.Run(cp.Sample(r, fpm))
+	for _, o := range outcomes {
 		t.Add(o)
-		if progress != nil {
-			progress(i, o)
-		}
 	}
 	return t
 }

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"math/rand"
 	"testing"
 
 	"vulnstack/internal/codegen"
@@ -100,4 +101,39 @@ func TestPVFSimilarAcrossISAs(t *testing.T) {
 		t.Error("degenerate PVFs")
 	}
 	t.Logf("crc32 PVF(WD): VSA32 %.2f, VSA64 %.2f", a.PVF(), b.PVF())
+}
+
+// TestCampaignWorkerInvariance: the PVF tally must be bit-identical for
+// any worker count.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	cp := prep(t, "sha", isa.VSA64)
+	for _, fpm := range []micro.FPM{micro.FPMWD, micro.FPMWI} {
+		cp.Workers = 1
+		serial := cp.RunCampaign(fpm, 30, 7, nil)
+		cp.Workers = 8
+		parallel := cp.RunCampaign(fpm, 30, 7, nil)
+		if serial != parallel {
+			t.Fatalf("%v: workers=1 %+v != workers=8 %+v", fpm, serial, parallel)
+		}
+	}
+}
+
+// TestArenaMatchesFreshMachine: the worker-arena restore path must
+// classify every fault exactly like the fresh-machine Run path.
+func TestArenaMatchesFreshMachine(t *testing.T) {
+	cp := prep(t, "sha", isa.VSA64)
+	r := rand.New(rand.NewSource(7))
+	faults := make([]Fault, 25)
+	for i := range faults {
+		faults[i] = cp.Sample(r, micro.FPMWD)
+	}
+	var want Tally
+	for _, f := range faults {
+		want.Add(cp.Run(f))
+	}
+	cp.Workers = 1
+	got := cp.RunCampaign(micro.FPMWD, 25, 7, nil)
+	if got != want {
+		t.Fatalf("arena path %+v != fresh-machine path %+v", got, want)
+	}
 }

@@ -174,6 +174,19 @@ func (b *Bus) Clone() *Bus {
 	return nb
 }
 
+// RestoreFrom overwrites the device state (halt ports, DMA registers,
+// output buffers) from src without allocating, for reusable campaign
+// arenas. The RAM (Mem) and the Reader are deliberately left alone:
+// the caller restores its own memory (possibly dirty-page-wise) and
+// keeps its own snooper attached.
+func (b *Bus) RestoreFrom(src *Bus) {
+	b.Out = append(b.Out[:0], src.Out...)
+	b.Dbg = append(b.Dbg[:0], src.Dbg...)
+	b.Halt, b.ExitCode, b.DetectCode, b.PanicCode = src.Halt, src.ExitCode, src.DetectCode, src.PanicCode
+	b.DMAErr = src.DMAErr
+	b.dmaSrc, b.dmaLen = src.dmaSrc, src.dmaLen
+}
+
 // Reset clears device state for a fresh run over the same RAM object.
 func (b *Bus) Reset() {
 	b.Out = b.Out[:0]

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"vulnstack/internal/campaign"
 	"vulnstack/internal/dev"
 	"vulnstack/internal/kernel"
 	"vulnstack/internal/micro"
@@ -72,6 +73,9 @@ type Campaign struct {
 	snapAt []uint64
 	// Limit is the faulty-run watchdog in cycles.
 	Limit uint64
+	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
+	// The tally is bit-identical for every worker count.
+	Workers int
 }
 
 // Prepare runs the golden execution (twice: once to learn its length,
@@ -119,24 +123,56 @@ func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) 
 			cp.snaps = append(cp.snaps, c2.Clone())
 			cp.snapAt = append(cp.snapAt, c2.Cycle)
 		}
+	} else {
+		// Even without snapshotting, keep one boot-state (cycle 0)
+		// snapshot so worker arenas always have a restore source.
+		cp.snaps = []*micro.Core{micro.New(cfg, img.NewMemory(), img.Entry)}
+		cp.snapAt = []uint64{0}
 	}
 	return cp, nil
 }
 
-// coreAt returns a fresh machine advanced to the given cycle.
-func (cp *Campaign) coreAt(cycle uint64) *micro.Core {
-	var core *micro.Core
-	best := -1
+// snapFor returns the index of the latest snapshot at or before cycle.
+func (cp *Campaign) snapFor(cycle uint64) int {
+	best := 0
 	for i, at := range cp.snapAt {
 		if at <= cycle {
 			best = i
 		}
 	}
-	if best >= 0 {
-		core = cp.snaps[best].Clone()
-	} else {
-		core = micro.New(cp.Cfg, cp.Img.NewMemory(), cp.Img.Entry)
+	return best
+}
+
+// coreAt returns a fresh machine advanced to the given cycle.
+func (cp *Campaign) coreAt(cycle uint64) *micro.Core {
+	core := cp.snaps[cp.snapFor(cycle)].Clone()
+	for core.Cycle < cycle {
+		if !core.Step() {
+			break
+		}
 	}
+	return core
+}
+
+// worker is the reusable per-worker machine arena: one cloned core that
+// is restored in place (dirty RAM pages only, when the restore source
+// repeats) instead of deep-copied for every injection.
+type worker struct {
+	arena *micro.Core
+	src   int // snapshot index the arena was last restored from
+}
+
+// coreFor readies the worker's arena at the given cycle, restoring from
+// snapshot g.
+func (cp *Campaign) coreFor(w *worker, cycle uint64, g int) *micro.Core {
+	if w.arena == nil {
+		w.arena = cp.snaps[g].Clone()
+		w.arena.Bus.Mem.EnableTracking()
+	} else {
+		w.arena.RestoreFrom(cp.snaps[g], w.src == g)
+	}
+	w.src = g
+	core := w.arena
 	for core.Cycle < cycle {
 		if !core.Step() {
 			break
@@ -157,9 +193,16 @@ func (cp *Campaign) Sample(r *rand.Rand, s micro.Structure) Fault {
 	}
 }
 
-// Run performs one injection and classifies its effect.
+// Run performs one injection and classifies its effect. It deep-copies
+// a snapshot for the faulty run; campaigns use the worker-arena path in
+// RunCampaign instead, which restores state in place.
 func (cp *Campaign) Run(f Fault) Result {
-	core := cp.coreAt(f.Cycle)
+	return cp.classify(cp.coreAt(f.Cycle), f)
+}
+
+// classify injects f into a machine already advanced to f.Cycle, runs
+// it to completion and classifies the effect.
+func (cp *Campaign) classify(core *micro.Core, f Fault) Result {
 	if core.Bus.Halted() {
 		// Injection cycle raced with the halt: nothing to corrupt.
 		return Result{Fault: f, Outcome: Masked}
@@ -241,17 +284,31 @@ func (t *Tally) FPMShare(m micro.FPM) float64 {
 	return float64(t.FPM[m]) / float64(t.Visible)
 }
 
-// RunCampaign performs n sampled injections into structure s.
-// progress, when non-nil, is called after every injection.
+// RunCampaign performs n sampled injections into structure s, fanned
+// across cp.Workers goroutines (<= 0: all CPUs). The fault sequence is
+// pre-drawn from the seed exactly as the serial loop drew it, so the
+// tally is bit-identical for every worker count. progress, when
+// non-nil, is called exactly once per injection, serialized and in
+// injection-index order (the thread-safe callback contract shared by
+// all three layers); it must not call back into the campaign.
 func (cp *Campaign) RunCampaign(s micro.Structure, n int, seed int64, progress func(i int, r Result)) Tally {
 	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	jobs := make([]campaign.Job, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r, s)
+		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[i].Cycle)}
+	}
+	results := campaign.Run(jobs, cp.Workers,
+		func() *worker { return &worker{src: -1} },
+		func(w *worker, j campaign.Job) Result {
+			f := faults[j.Index]
+			return cp.classify(cp.coreFor(w, f.Cycle, j.Group), f)
+		},
+		progress)
 	var t Tally
-	for i := 0; i < n; i++ {
-		res := cp.Run(cp.Sample(r, s))
+	for _, res := range results {
 		t.Add(res)
-		if progress != nil {
-			progress(i, res)
-		}
 	}
 	return t
 }

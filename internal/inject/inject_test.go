@@ -204,3 +204,58 @@ func TestProgressCallback(t *testing.T) {
 		t.Fatalf("progress calls: %d", calls)
 	}
 }
+
+// TestCampaignWorkerInvariance: the tally must be bit-identical for any
+// worker count (the engine pre-draws the fault sequence serially).
+func TestCampaignWorkerInvariance(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 6)
+	for _, st := range []micro.Structure{micro.StructRF, micro.StructL1D} {
+		cp.Workers = 1
+		serial := cp.RunCampaign(st, 24, 2021, nil)
+		cp.Workers = 8
+		parallel := cp.RunCampaign(st, 24, 2021, nil)
+		if serial != parallel {
+			t.Fatalf("%v: workers=1 %+v != workers=8 %+v", st, serial, parallel)
+		}
+	}
+}
+
+// TestArenaMatchesFreshClone: the reusable worker-arena restore path
+// (RunCampaign) must classify every fault exactly like the fresh-clone
+// path (Run), which rebuilds the machine per injection.
+func TestArenaMatchesFreshClone(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 6)
+	r := rand.New(rand.NewSource(2021))
+	faults := make([]Fault, 20)
+	for i := range faults {
+		faults[i] = cp.Sample(r, micro.StructRF)
+	}
+	var want Tally
+	for _, f := range faults {
+		want.Add(cp.Run(f))
+	}
+	cp.Workers = 1
+	got := cp.RunCampaign(micro.StructRF, 20, 2021, nil)
+	if got != want {
+		t.Fatalf("arena path %+v != fresh-clone path %+v", got, want)
+	}
+}
+
+// TestProgressContract: progress fires exactly once per injection, in
+// strictly increasing index order, even with many workers.
+func TestProgressContract(t *testing.T) {
+	cp := shaCampaign(t, micro.ConfigA72(), 6)
+	cp.Workers = 8
+	var seen []int
+	cp.RunCampaign(micro.StructRF, 16, 7, func(i int, r Result) {
+		seen = append(seen, i)
+	})
+	if len(seen) != 16 {
+		t.Fatalf("progress called %d times, want 16", len(seen))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("progress order %v, want 0..15 in order", seen)
+		}
+	}
+}

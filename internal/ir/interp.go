@@ -49,7 +49,21 @@ type Interp struct {
 	Hook DefHook
 
 	mask uint64
+
+	// Reusable-arena support (EnableReset/Reset): init holds the
+	// pristine [0, heapEnd) image, dirtyBit/dirtyPages track pages
+	// written by store so Reset restores only what a run touched.
+	track      bool
+	init       []byte
+	dirtyBit   []uint64
+	dirtyPages []int32
 }
+
+// Page granularity of the Reset dirty tracking.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
 
 // NewInterp prepares an interpreter with the given memory size (0
 // selects 1 MiB). Globals are laid out from the bottom; the stack grows
@@ -80,6 +94,56 @@ func NewInterp(m *Module, width int, memSize int) *Interp {
 	ip.heapEnd = (addr + 7) &^ 7
 	ip.sp = int64(memSize)
 	return ip
+}
+
+// EnableReset turns the interpreter into a reusable arena: memory
+// writes are tracked at page granularity so Reset can restore the
+// just-constructed state by touching only the pages a run dirtied,
+// instead of reallocating (and re-zeroing) the whole memory.
+func (ip *Interp) EnableReset() {
+	if ip.track {
+		return
+	}
+	ip.track = true
+	ip.init = append([]byte(nil), ip.Mem[:ip.heapEnd]...)
+	pages := (len(ip.Mem) + pageSize - 1) >> pageShift
+	ip.dirtyBit = make([]uint64, (pages+63)/64)
+}
+
+func (ip *Interp) markPage(p int64) {
+	if ip.dirtyBit[p>>6]&(1<<(p&63)) == 0 {
+		ip.dirtyBit[p>>6] |= 1 << (p & 63)
+		ip.dirtyPages = append(ip.dirtyPages, int32(p))
+	}
+}
+
+// Reset restores the interpreter to its just-constructed state: global
+// images back in place, dirtied stack/heap pages zeroed, counters and
+// output cleared, Hook removed. Requires EnableReset.
+func (ip *Interp) Reset() {
+	for _, p := range ip.dirtyPages {
+		ip.dirtyBit[p>>6] &^= 1 << (p & 63)
+		lo := int64(p) << pageShift
+		hi := lo + pageSize
+		if hi > int64(len(ip.Mem)) {
+			hi = int64(len(ip.Mem))
+		}
+		n := int64(0)
+		if lo < int64(len(ip.init)) {
+			n = int64(copy(ip.Mem[lo:hi], ip.init[lo:]))
+		}
+		zero := ip.Mem[lo+n : hi]
+		for i := range zero {
+			zero[i] = 0
+		}
+	}
+	ip.dirtyPages = ip.dirtyPages[:0]
+	ip.sp = int64(len(ip.Mem))
+	ip.Out = ip.Out[:0]
+	ip.Exited, ip.ExitCode = false, 0
+	ip.Detected, ip.DetectCode = false, 0
+	ip.Steps, ip.DefSeq = 0, 0
+	ip.Hook = nil
 }
 
 // GlobalAddr returns the interpreter-assigned address of a global.
@@ -321,6 +385,11 @@ func (ip *Interp) store(addr int64, n int, val int64) error {
 		return err
 	}
 	a := uint64(addr) & ip.mask
+	if ip.track {
+		// Stores are size-aligned (checkAddr), so they never straddle a
+		// page boundary.
+		ip.markPage(int64(a) >> pageShift)
+	}
 	for i := 0; i < n; i++ {
 		ip.Mem[a+uint64(i)] = byte(uint64(val) >> (8 * i))
 	}

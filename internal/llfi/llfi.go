@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"vulnstack/internal/campaign"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/ir"
 )
@@ -34,6 +35,9 @@ type Campaign struct {
 
 	MemSize int
 	Limit   uint64
+	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
+	// The tally is bit-identical for every worker count.
+	Workers int
 }
 
 // Prepare runs the golden execution.
@@ -71,9 +75,15 @@ func (cp *Campaign) Sample(r *rand.Rand) Fault {
 	}
 }
 
-// Run performs one injection and classifies the outcome.
+// Run performs one injection and classifies the outcome. It allocates
+// a fresh interpreter per call; campaigns use reusable per-worker
+// interpreter arenas in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
-	ip := ir.NewInterp(cp.M, Width, cp.MemSize)
+	return cp.runOn(ir.NewInterp(cp.M, Width, cp.MemSize), f)
+}
+
+// runOn performs one injection on a ready (fresh or Reset) interpreter.
+func (cp *Campaign) runOn(ip *ir.Interp, f Fault) inject.Outcome {
 	ip.MaxSteps = cp.Limit
 	ip.Hook = func(seq uint64, in *ir.Instr, v int64) int64 {
 		if seq == f.Seq {
@@ -117,16 +127,34 @@ func (t *Tally) Frac(o inject.Outcome) float64 {
 // SVF is the software vulnerability factor: failures per injection.
 func (t *Tally) SVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
 
-// RunCampaign performs n injections.
+// RunCampaign performs n injections, fanned across cp.Workers
+// goroutines (<= 0: all CPUs). The fault sequence is pre-drawn from the
+// seed exactly as the serial loop drew it, so the tally is
+// bit-identical for every worker count. progress, when non-nil, is
+// called exactly once per injection, serialized and in injection-index
+// order; it must not call back into the campaign.
 func (cp *Campaign) RunCampaign(n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
 	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	jobs := make([]campaign.Job, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r)
+		jobs[i] = campaign.Job{Index: i}
+	}
+	outcomes := campaign.Run(jobs, cp.Workers,
+		func() *ir.Interp {
+			ip := ir.NewInterp(cp.M, Width, cp.MemSize)
+			ip.EnableReset()
+			return ip
+		},
+		func(ip *ir.Interp, j campaign.Job) inject.Outcome {
+			ip.Reset()
+			return cp.runOn(ip, faults[j.Index])
+		},
+		progress)
 	var t Tally
-	for i := 0; i < n; i++ {
-		o := cp.Run(cp.Sample(r))
+	for _, o := range outcomes {
 		t.Add(o)
-		if progress != nil {
-			progress(i, o)
-		}
 	}
 	return t
 }

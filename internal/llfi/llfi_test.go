@@ -1,6 +1,7 @@
 package llfi
 
 import (
+	"math/rand"
 	"testing"
 
 	"vulnstack/internal/inject"
@@ -77,5 +78,38 @@ func TestSingleFaultIsFlippedOnce(t *testing.T) {
 	// fault-free (never fires): must be Masked.
 	if got := cp.Run(Fault{Seq: cp.GoldenDefs + 1000, Bit: 3}); got != inject.Masked {
 		t.Fatalf("out-of-stream fault: %v", got)
+	}
+}
+
+// TestCampaignWorkerInvariance: the SVF tally must be bit-identical for
+// any worker count.
+func TestCampaignWorkerInvariance(t *testing.T) {
+	cp := prep(t, "sha")
+	cp.Workers = 1
+	serial := cp.RunCampaign(60, 7, nil)
+	cp.Workers = 8
+	parallel := cp.RunCampaign(60, 7, nil)
+	if serial != parallel {
+		t.Fatalf("workers=1 %+v != workers=8 %+v", serial, parallel)
+	}
+}
+
+// TestResetMatchesFreshInterp: the per-worker Reset path must classify
+// every fault exactly like a fresh interpreter.
+func TestResetMatchesFreshInterp(t *testing.T) {
+	cp := prep(t, "sha")
+	r := rand.New(rand.NewSource(7))
+	faults := make([]Fault, 30)
+	for i := range faults {
+		faults[i] = cp.Sample(r)
+	}
+	var want Tally
+	for _, f := range faults {
+		want.Add(cp.Run(f))
+	}
+	cp.Workers = 1
+	got := cp.RunCampaign(30, 7, nil)
+	if got != want {
+		t.Fatalf("reset path %+v != fresh-interp path %+v", got, want)
 	}
 }

@@ -28,9 +28,24 @@ const (
 // given size.
 func UserStackTop(size uint64) uint64 { return size - 16 }
 
+// Page granularity of dirty tracking (see EnableTracking): restoring a
+// run's golden state copies only the pages the faulty run touched,
+// instead of the whole multi-MiB image.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+)
+
 // Memory is a flat byte-addressable RAM image, little-endian.
 type Memory struct {
 	data []byte
+
+	// Dirty-page tracking, enabled only on reusable campaign arenas:
+	// dirtyBit is a page bitmap, dirtyPages the list of pages written
+	// since the last RestoreDirty/CopyFrom.
+	track      bool
+	dirtyBit   []uint64
+	dirtyPages []uint32
 }
 
 // New creates a RAM of the given size in bytes (0 selects DefaultSize).
@@ -44,9 +59,77 @@ func New(size uint64) *Memory {
 // Size returns the RAM size in bytes.
 func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
 
-// Valid reports whether [addr, addr+n) lies inside mapped RAM.
+// Valid reports whether [addr, addr+n) lies inside mapped RAM. The end
+// address is checked for uint64 wraparound explicitly, and a negative n
+// (which would wrap through uint64 conversion) is always invalid.
 func (m *Memory) Valid(addr uint64, n int) bool {
-	return addr >= GuardTop && addr+uint64(n) <= uint64(len(m.data)) && addr+uint64(n) >= addr
+	if n < 0 {
+		return false
+	}
+	end := addr + uint64(n)
+	if end < addr { // wrapped past 2^64
+		return false
+	}
+	return addr >= GuardTop && end <= uint64(len(m.data))
+}
+
+// EnableTracking turns on dirty-page tracking so RestoreDirty can
+// restore golden state by copying only the pages written since the last
+// restore. Intended for reusable campaign arenas; snapshots and golden
+// images stay untracked (tracking does not survive Clone).
+func (m *Memory) EnableTracking() {
+	if m.track {
+		return
+	}
+	m.track = true
+	pages := (len(m.data) + PageSize - 1) >> PageShift
+	m.dirtyBit = make([]uint64, (pages+63)/64)
+}
+
+// mark records the pages of a validated write [addr, addr+n).
+func (m *Memory) mark(addr uint64, n int) {
+	last := (addr + uint64(n) - 1) >> PageShift
+	for p := addr >> PageShift; p <= last; p++ {
+		if m.dirtyBit[p>>6]&(1<<(p&63)) == 0 {
+			m.dirtyBit[p>>6] |= 1 << (p & 63)
+			m.dirtyPages = append(m.dirtyPages, uint32(p))
+		}
+	}
+}
+
+func (m *Memory) clearDirty() {
+	for _, p := range m.dirtyPages {
+		m.dirtyBit[p>>6] &^= 1 << (p & 63)
+	}
+	m.dirtyPages = m.dirtyPages[:0]
+}
+
+// DirtyPages returns how many pages have been written since the last
+// restore (0 when tracking is disabled).
+func (m *Memory) DirtyPages() int { return len(m.dirtyPages) }
+
+// RestoreDirty restores this memory to equal src by copying back only
+// the pages written since the last RestoreDirty/CopyFrom. The caller
+// must guarantee the untracked pages already equal src (i.e. src was
+// also the source of the previous restore). Without tracking enabled it
+// degrades to a full CopyFrom. Sizes must match.
+func (m *Memory) RestoreDirty(src *Memory) {
+	if !m.track {
+		m.CopyFrom(src)
+		return
+	}
+	if len(m.data) != len(src.data) {
+		panic(fmt.Sprintf("mem.RestoreDirty: size mismatch %d != %d", len(m.data), len(src.data)))
+	}
+	for _, p := range m.dirtyPages {
+		lo := int(p) << PageShift
+		hi := lo + PageSize
+		if hi > len(m.data) {
+			hi = len(m.data)
+		}
+		copy(m.data[lo:hi], src.data[lo:hi])
+	}
+	m.clearDirty()
 }
 
 // Read loads an n-byte little-endian value (n in {1,2,4,8}).
@@ -65,6 +148,9 @@ func (m *Memory) Read(addr uint64, n int) (uint64, bool) {
 func (m *Memory) Write(addr uint64, n int, val uint64) bool {
 	if !m.Valid(addr, n) {
 		return false
+	}
+	if m.track {
+		m.mark(addr, n)
 	}
 	for i := 0; i < n; i++ {
 		m.data[addr+uint64(i)] = byte(val >> (8 * i))
@@ -86,6 +172,9 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) bool {
 	if !m.Valid(addr, len(src)) {
 		return false
 	}
+	if m.track && len(src) > 0 {
+		m.mark(addr, len(src))
+	}
 	copy(m.data[addr:], src)
 	return true
 }
@@ -104,6 +193,9 @@ func (m *Memory) FlipBit(addr uint64, bit uint) bool {
 	if !m.Valid(addr, 1) || bit > 7 {
 		return false
 	}
+	if m.track {
+		m.mark(addr, 1)
+	}
 	m.data[addr] ^= 1 << bit
 	return true
 }
@@ -115,12 +207,17 @@ func (m *Memory) Clone() *Memory {
 	return &Memory{data: d}
 }
 
-// CopyFrom overwrites this memory's contents from src (sizes must match).
+// CopyFrom overwrites this memory's contents from src (sizes must
+// match). With tracking enabled this re-baselines the dirty set: the
+// memory now equals src everywhere, so pending dirty pages are cleared.
 func (m *Memory) CopyFrom(src *Memory) {
 	if len(m.data) != len(src.data) {
 		panic(fmt.Sprintf("mem.CopyFrom: size mismatch %d != %d", len(m.data), len(src.data)))
 	}
 	copy(m.data, src.data)
+	if m.track {
+		m.clearDirty()
+	}
 }
 
 // Word32 reads an aligned 32-bit word (instruction fetch helper).

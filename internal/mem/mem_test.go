@@ -104,6 +104,87 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestValidBoundaries(t *testing.T) {
+	m := New(1 << 16)
+	size := m.Size()
+	cases := []struct {
+		addr uint64
+		n    int
+		want bool
+	}{
+		{GuardTop, 0, true},               // zero-length access at the floor
+		{GuardTop, 8, true},               // first valid word
+		{GuardTop - 1, 8, false},          // straddles the guard floor
+		{size - 8, 8, true},               // last full word
+		{size - 7, 8, false},              // one past the last word
+		{size, 0, true},                   // zero-length access at the end
+		{size, 1, false},                  // first invalid byte
+		{GuardTop, -1, false},             // negative length
+		{^uint64(0), 1, false},            // addr+n wraps to 0
+		{^uint64(0) - 7, 8, false},        // addr+n wraps exactly to 0
+		{^uint64(0) - 7, 16, false},       // wraps past 0 into low addresses
+		{size, int(^uint(0) >> 1), false}, // huge length far past the end
+		{0, 8, false},                     // null page
+		{GuardTop / 2, 4, false},          // inside the guard region
+	}
+	for _, c := range cases {
+		if got := m.Valid(c.addr, c.n); got != c.want {
+			t.Errorf("Valid(%#x, %d) = %v, want %v", c.addr, c.n, got, c.want)
+		}
+	}
+}
+
+func TestDirtyTracking(t *testing.T) {
+	golden := New(1 << 16)
+	golden.Write(0x2000, 8, 0x1111)
+	arena := golden.Clone()
+	arena.EnableTracking()
+	arena.CopyFrom(golden) // baseline; must clear the dirty set
+	if n := arena.DirtyPages(); n != 0 {
+		t.Fatalf("dirty after CopyFrom baseline: %d pages", n)
+	}
+
+	arena.Write(0x2000, 8, 0xFFFF)
+	arena.FlipBit(0x5000, 3)
+	if n := arena.DirtyPages(); n != 2 {
+		t.Fatalf("dirty pages = %d, want 2", n)
+	}
+	// A multi-page WriteBytes must mark every page it touches.
+	span := make([]byte, 2*PageSize+16)
+	for i := range span {
+		span[i] = 0xAB
+	}
+	if !arena.WriteBytes(PageSize*4-8, span) {
+		t.Fatal("WriteBytes failed")
+	}
+	if n := arena.DirtyPages(); n < 5 {
+		t.Fatalf("dirty pages = %d, want >= 5 (2 + 3-4 spanned)", n)
+	}
+
+	arena.RestoreDirty(golden)
+	if n := arena.DirtyPages(); n != 0 {
+		t.Fatalf("dirty after RestoreDirty: %d pages", n)
+	}
+	for _, a := range []uint64{0x2000, 0x5000, PageSize*4 - 8, PageSize * 5} {
+		got, _ := arena.Read(a, 8)
+		want, _ := golden.Read(a, 8)
+		if got != want {
+			t.Fatalf("addr %#x not restored: %#x != %#x", a, got, want)
+		}
+	}
+}
+
+func TestRestoreDirtyUntrackedFallsBack(t *testing.T) {
+	golden := New(1 << 16)
+	golden.Write(0x3000, 8, 7)
+	arena := golden.Clone()
+	arena.Write(0x3000, 8, 9) // no tracking enabled
+	arena.RestoreDirty(golden)
+	if v, _ := arena.Read(0x3000, 8); v != 7 {
+		t.Fatalf("untracked RestoreDirty must full-copy: got %d", v)
+	}
+}
+
 func TestIsMMIO(t *testing.T) {
 	if !IsMMIO(MMIOBase) || !IsMMIO(MMIOBase+MMIOSize-1) || IsMMIO(MMIOBase-1) || IsMMIO(MMIOBase+MMIOSize) {
 		t.Fatal("MMIO window")

@@ -34,6 +34,54 @@ func (c *Core) Clone() *Core {
 	return d
 }
 
+// RestoreFrom overwrites this core's state from src, reusing this
+// core's allocations: the in-place analogue of Clone for per-worker
+// campaign arenas, so the injection hot loop stays allocation-free.
+// Both cores must share the same Config and RAM size. sameSrc asserts
+// that src was also the source of the previous restore; combined with
+// dirty-page tracking on this core's memory (mem.EnableTracking), the
+// multi-MiB RAM restore then copies only the pages the previous faulty
+// run touched.
+func (c *Core) RestoreFrom(src *Core, sameSrc bool) {
+	bus, ram, l1i, l1d, l2, bp := c.Bus, c.ram, c.l1i, c.l1d, c.l2, c.bp
+	prf, prfReady, prfTaint := c.prf, c.prfReady, c.prfTaint
+	freeList, rob, iq := c.freeList, c.rob, c.iq
+	lq, sq, fq, ring := c.lq, c.sq, c.fq, c.ring
+
+	*c = *src
+	c.OnCommit = nil
+	c.Bus, c.ram, c.l1i, c.l1d, c.l2, c.bp = bus, ram, l1i, l1d, l2, bp
+
+	c.prf = append(prf[:0], src.prf...)
+	c.prfReady = append(prfReady[:0], src.prfReady...)
+	c.prfTaint = append(prfTaint[:0], src.prfTaint...)
+	c.freeList = append(freeList[:0], src.freeList...)
+	c.rob = append(rob[:0], src.rob...)
+	c.iq = append(iq[:0], src.iq...)
+	c.lq = append(lq[:0], src.lq...)
+	c.sq = append(sq[:0], src.sq...)
+	c.fq = append(fq[:0], src.fq...)
+	if len(ring) != len(src.ring) {
+		ring = make([][]ringEnt, len(src.ring))
+	}
+	for i := range src.ring {
+		ring[i] = append(ring[i][:0], src.ring[i]...)
+	}
+	c.ring = ring
+
+	c.Bus.RestoreFrom(src.Bus)
+	if sameSrc {
+		c.Bus.Mem.RestoreDirty(src.Bus.Mem)
+	} else {
+		c.Bus.Mem.CopyFrom(src.Bus.Mem)
+	}
+	c.Bus.Reader = (*dmaSnooper)(c)
+	c.ram.restoreFrom(src.ram)
+	c.l2.restoreFrom(src.l2)
+	c.l1i.restoreFrom(src.l1i)
+	c.l1d.restoreFrom(src.l1d)
+	c.bp.restoreFrom(src.bp)
+}
 
 func (bp *branchPred) clone() *branchPred {
 	nb := &branchPred{
@@ -46,6 +94,16 @@ func (bp *branchPred) clone() *branchPred {
 		bpMask:   bp.bpMask,
 	}
 	return nb
+}
+
+func (bp *branchPred) restoreFrom(src *branchPred) {
+	copy(bp.counters, src.counters)
+	copy(bp.btbTag, src.btbTag)
+	copy(bp.btbTgt, src.btbTgt)
+	copy(bp.ras, src.ras)
+	bp.rasTop = src.rasTop
+	bp.btbMask = src.btbMask
+	bp.bpMask = src.bpMask
 }
 
 func (c *cache) clone(lower memLevel) *cache {
@@ -76,4 +134,33 @@ func (c *cache) clone(lower memLevel) *cache {
 		nc.sets[si] = nw
 	}
 	return nc
+}
+
+// restoreFrom overwrites the cache's contents from src (same geometry)
+// without allocating, except for per-line taint slices appearing for
+// the first time on a line of this arena.
+func (c *cache) restoreFrom(src *cache) {
+	c.tick = src.tick
+	copy(c.backing, src.backing)
+	for si := range src.sets {
+		for wi := range src.sets[si] {
+			dl, sl := &c.sets[si][wi], &src.sets[si][wi]
+			dl.valid, dl.dirty, dl.tag, dl.lru = sl.valid, sl.dirty, sl.tag, sl.lru
+			if sl.taint == nil {
+				dl.taint = nil
+			} else {
+				dl.taint = append(dl.taint[:0], sl.taint...)
+			}
+		}
+	}
+}
+
+// restoreFrom resets the RAM level's taint bookkeeping from src (its
+// *mem.Memory stays the arena's own, restored separately).
+func (r *ramLevel) restoreFrom(src *ramLevel) {
+	r.lat = src.lat
+	clear(r.taints)
+	for k, v := range src.taints {
+		r.taints[k] = v
+	}
 }

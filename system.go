@@ -65,6 +65,9 @@ type System struct {
 	// Snapshots controls golden-run snapshot counts for campaign
 	// acceleration.
 	Snapshots int
+	// Workers is the injection-campaign fan-out (<= 0: all CPUs).
+	// Tallies are bit-identical for every worker count.
+	Workers int
 }
 
 // Build compiles a target for the given ISA variant.
@@ -121,6 +124,7 @@ func (s *System) MicroCampaign(cfg micro.Config) (*inject.Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp.Workers = s.Workers
 	s.microC[cfg.Name] = cp
 	return cp, nil
 }
@@ -134,6 +138,7 @@ func (s *System) ArchCampaign() (*arch.Campaign, error) {
 		if err != nil {
 			return nil, err
 		}
+		cp.Workers = s.Workers
 		s.archC = cp
 	}
 	return s.archC, nil
@@ -152,6 +157,7 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 		if err != nil {
 			return nil, err
 		}
+		cp.Workers = s.Workers
 		s.llfiC = cp
 	}
 	return s.llfiC, nil
