@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check cover bench
 
 all: check
 
@@ -16,11 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the full gate: build, vet, and the race-enabled test suite.
+# cover writes a coverage profile and prints the per-package and total
+# coverage summary.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
+# check is the full gate: build, vet, and the race-enabled test suite
+# with per-package coverage in the output.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -82,7 +82,7 @@ func BenchmarkAblationLSQFields(b *testing.B) {
 					bit += x
 				}
 				f.Bit = bit
-				t.Add(cp.Run(f))
+				t.Add(cp.Run(f).Record())
 			}
 			return t
 		}

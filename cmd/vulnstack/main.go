@@ -4,9 +4,10 @@
 // Usage:
 //
 //	vulnstack list
-//	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S]
+//	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S] [-store DIR]
 //	vulnstack run -bench sha [-config A72] [-harden]
-//	vulnstack campaign -bench sha -config A72 -struct L2 -n 200
+//	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR]
+//	vulnstack results -store DIR [-id ID]
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"vulnstack"
 	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
+	case "results":
+		err = cmdResults(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -50,7 +54,8 @@ func usage() {
   vulnstack list                          benchmarks, configs, experiments
   vulnstack experiment <id> [flags]       regenerate a paper table/figure
   vulnstack run [flags]                   run one benchmark on a core model
-  vulnstack campaign [flags]              one fault-injection campaign`)
+  vulnstack campaign [flags]              one fault-injection campaign
+  vulnstack results -store DIR [-id ID]   list / inspect stored campaign records`)
 }
 
 func cmdList() error {
@@ -76,6 +81,7 @@ func expFlags(args []string) (*flag.FlagSet, *vulnstack.Options) {
 	fs.Int64Var(&o.Seed, "seed", o.Seed, "input and sampling seed")
 	fs.IntVar(&o.Snapshots, "snapshots", o.Snapshots, "golden-run snapshots")
 	fs.IntVar(&o.Workers, "workers", o.Workers, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
+	fs.StringVar(&o.StoreDir, "store", o.StoreDir, "persistent results store directory (reuse + top-up of stored records)")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
 	fs.Parse(args)
 	if *benches != "" {
@@ -140,6 +146,7 @@ func cmdCampaign(args []string) error {
 	seed := fs.Int64("seed", 1, "sampling seed")
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
+	storeDir := fs.String("store", "", "persistent results store directory (reuse + top-up of stored records)")
 	fs.Parse(args)
 
 	cfg, err := micro.ConfigByName(*cfgName)
@@ -155,16 +162,27 @@ func cmdCampaign(args []string) error {
 		return err
 	}
 	sys.Workers = *workers
-	cp, err := sys.MicroCampaign(cfg)
+	stored := 0
+	if *storeDir != "" {
+		store, err := results.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		sys.Store = store
+		if m, ok, err := store.Manifest(sys.MicroKey(cfg, st, *seed)); err != nil {
+			return err
+		} else if ok {
+			stored = m.N
+		}
+	}
+	start := time.Now()
+	tally, err := sys.MicroTally(cfg, st, *n, *seed)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	tally := cp.RunCampaign(st, *n, *seed, nil)
 	elapsed := time.Since(start)
 
-	fmt.Printf("%s on %s, %d faults into %s (golden: %d cycles)\n",
-		*bench, cfg.Name, tally.N, st, cp.Golden.Cycles)
+	fmt.Printf("%s on %s, %d faults into %s\n", *bench, cfg.Name, tally.N, st)
 	fmt.Printf("  Masked   %6.2f%%\n", 100*tally.Frac(0))
 	fmt.Printf("  SDC      %6.2f%%\n", 100*tally.Frac(1))
 	fmt.Printf("  Crash    %6.2f%%\n", 100*tally.Frac(2))
@@ -174,9 +192,78 @@ func cmdCampaign(args []string) error {
 	fmt.Printf("  FPM of visible: WD %.0f%% WI %.0f%% WOI %.0f%% ESC %.0f%%\n",
 		100*tally.FPMShare(micro.FPMWD), 100*tally.FPMShare(micro.FPMWI),
 		100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
+	if sys.Store != nil {
+		reused := min(stored, *n)
+		fmt.Printf("  store: reused %d records, ran %d new (id %s)\n",
+			reused, *n-reused, sys.MicroKey(cfg, st, *seed).ID())
+	}
 	fmt.Printf("  %d injections in %v (%.1f/s)\n", tally.N, elapsed.Round(time.Millisecond),
 		float64(tally.N)/elapsed.Seconds())
 	return nil
+}
+
+// cmdResults lists or inspects the campaigns of a persistent store,
+// re-aggregating tallies from the per-injection records on disk.
+func cmdResults(args []string) error {
+	fs := flag.NewFlagSet("results", flag.ExitOnError)
+	storeDir := fs.String("store", "", "persistent results store directory")
+	id := fs.String("id", "", "campaign id to inspect (default: list all)")
+	fs.Parse(args)
+	if *storeDir == "" {
+		return fmt.Errorf("results: -store DIR is required")
+	}
+	store, err := results.OpenStore(*storeDir)
+	if err != nil {
+		return err
+	}
+	if *id != "" {
+		return showCampaign(store, *id)
+	}
+	ms, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		fmt.Println("store is empty")
+		return nil
+	}
+	fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6s  %8s  %s\n",
+		"ID", "LAYER", "CONFIG", "WHERE", "N", "MARGIN", "TARGET/SEED")
+	for _, m := range ms {
+		fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6d  ±%6.2f%%  %s seed=%d\n",
+			m.Key.ID(), m.Key.Layer, orDash(m.Key.Config), orDash(m.Key.Struct),
+			m.N, 100*vulnstackMargin(m.N), m.Key.Target, m.Key.Seed)
+	}
+	fmt.Printf("%d campaigns; inspect one with -id ID\n", len(ms))
+	return nil
+}
+
+func showCampaign(store *results.Store, id string) error {
+	m, recs, err := store.LoadID(id)
+	if err != nil {
+		return err
+	}
+	tally := results.TallyOf(recs)
+	fmt.Printf("campaign %s (schema v%d)\n", id, m.Schema)
+	fmt.Printf("  key     %s\n", m.Key)
+	fmt.Printf("  records %d (±%.2f%% at 99%%)\n", m.N, 100*vulnstackMargin(m.N))
+	for o := results.Outcome(0); o < results.NumOutcomes; o++ {
+		fmt.Printf("  %-8s %6.2f%%  (%d)\n", o, 100*tally.Frac(o), tally.Outcomes[o])
+	}
+	fmt.Printf("  failures (SDC+Crash) %.2f%%\n", 100*tally.Failures())
+	if tally.Visible > 0 {
+		fmt.Printf("  HVF %.2f%%  FPM of visible: WD %.0f%% WI %.0f%% WOI %.0f%% ESC %.0f%%\n",
+			100*tally.HVF(), 100*tally.FPMShare(micro.FPMWD), 100*tally.FPMShare(micro.FPMWI),
+			100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
 }
 
 func vulnstackMargin(n int) float64 { return vulnstack.Margin(n) }

@@ -9,6 +9,7 @@ import (
 	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/report"
+	"vulnstack/internal/results"
 	"vulnstack/internal/vuln"
 )
 
@@ -33,6 +34,11 @@ type Options struct {
 	// worker count, so this trades wall clock only. It also gates
 	// cross-benchmark parallelism inside the lab.
 	Workers int
+	// StoreDir, when non-empty, persists per-injection records under
+	// this directory and serves repeat runs from them: fully stored
+	// campaigns re-run as cache hits (no golden run, no injections),
+	// and larger n values top up only the missing tail.
+	StoreDir string
 }
 
 // DefaultOptions returns the scaled-down study defaults.
@@ -61,6 +67,12 @@ type Lab struct {
 	// (single-flight), so cross-bench parallel figure generation never
 	// builds a system or runs a campaign twice.
 	flights map[string]*flight
+
+	// store backs memo fills with on-disk records when
+	// Options.StoreDir is set (opened lazily, once).
+	storeOnce sync.Once
+	store     *results.Store
+	storeErr  error
 }
 
 type avfMemo struct {
@@ -152,6 +164,18 @@ func NewLab(o Options) *Lab {
 	}
 }
 
+// Store returns the lab's persistent record store (nil when
+// Options.StoreDir is unset), opening it on first use.
+func (l *Lab) Store() (*results.Store, error) {
+	if l.Opts.StoreDir == "" {
+		return nil, nil
+	}
+	l.storeOnce.Do(func() {
+		l.store, l.storeErr = results.OpenStore(l.Opts.StoreDir)
+	})
+	return l.store, l.storeErr
+}
+
 // System builds (or returns cached) a target for an ISA. Concurrent
 // callers for the same target share one build; the lab lock is never
 // held across compilation.
@@ -167,12 +191,17 @@ func (l *Lab) System(t Target, is isa.ISA) (*System, error) {
 	}
 	l.mu.Unlock()
 	v, err := l.once("sys/"+key, func() (any, error) {
+		st, err := l.Store()
+		if err != nil {
+			return nil, err
+		}
 		s, err := Build(t, is)
 		if err != nil {
 			return nil, err
 		}
 		s.Snapshots = l.Opts.Snapshots
 		s.Workers = l.Opts.Workers
+		s.Store = st
 		l.mu.Lock()
 		l.systems[key] = s
 		l.mu.Unlock()
@@ -290,8 +319,42 @@ func RunExperiment(id string, o Options) (*report.Report, error) {
 	return NewLab(o).Run(id)
 }
 
-// Run regenerates one paper artifact, reusing this lab's caches.
+// Run regenerates one paper artifact, reusing this lab's caches, and
+// stamps its provenance (seed, per-cell n, margins, store state).
 func (l *Lab) Run(id string) (*report.Report, error) {
+	r, err := l.run(id)
+	if err != nil {
+		return nil, err
+	}
+	l.stamp(r)
+	return r, nil
+}
+
+// stamp appends the provenance note: everything needed to reproduce
+// the artifact's campaigns, pulled from the options and — when a store
+// is attached — the stored campaign manifests.
+func (l *Lab) stamp(r *report.Report) {
+	if r.ID == "Table II" {
+		return // static hardware parameters, no campaigns behind it
+	}
+	r.Notef("provenance: seed %d; injections per cell AVF=%d PVF=%d SVF=%d; margins at 99%%: ±%s / ±%s / ±%s",
+		l.Opts.Seed, l.Opts.NAVF, l.Opts.NPVF, l.Opts.NSVF,
+		report.Pct(Margin(l.Opts.NAVF)), report.Pct(Margin(l.Opts.NPVF)), report.Pct(Margin(l.Opts.NSVF)))
+	st, err := l.Store()
+	if err != nil || st == nil {
+		return
+	}
+	if ms, err := st.List(); err == nil {
+		var records int
+		for _, m := range ms {
+			records += m.N
+		}
+		r.Notef("results store: %s — %d campaigns, %d records (inspect with: vulnstack results -store %s)",
+			st.Dir(), len(ms), records, st.Dir())
+	}
+}
+
+func (l *Lab) run(id string) (*report.Report, error) {
 	switch strings.ToLower(id) {
 	case "table2", "tab2":
 		return l.table2()

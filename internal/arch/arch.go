@@ -22,6 +22,7 @@ import (
 	"vulnstack/internal/kernel"
 	"vulnstack/internal/mem"
 	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
 )
 
 // Campaign prepares PVF injections for one image.
@@ -303,29 +304,21 @@ func nthSetBit(m uint32, n int) int {
 	return 0
 }
 
-// Tally aggregates PVF outcomes for one FPM.
-type Tally struct {
-	N        int
-	Outcomes [inject.NumOutcomes]int
-}
+// Tally aggregates PVF outcomes for one FPM. It is the shared
+// record-stream aggregate; PVF() reads it at this layer.
+type Tally = results.Tally
 
-// Add accumulates one outcome.
-func (t *Tally) Add(o inject.Outcome) {
-	t.N++
-	t.Outcomes[o]++
-}
-
-// Frac returns the fraction of outcome o.
-func (t *Tally) Frac(o inject.Outcome) float64 {
-	if t.N == 0 {
-		return 0
+// record converts a classified fault into the layer-agnostic form.
+func record(f Fault, o inject.Outcome) results.Record {
+	return results.Record{
+		Layer:   results.LayerArch,
+		Target:  f.FPM.String(),
+		Coord:   f.K,
+		Bit:     f.Bit,
+		Slot:    f.Slot,
+		Outcome: o,
 	}
-	return float64(t.Outcomes[o]) / float64(t.N)
 }
-
-// PVF is 1 - software masking: the fraction of injected faults that
-// produced a failure (SDC or Crash).
-func (t *Tally) PVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
 
 // RunCampaign performs n injections under the given FPM, fanned across
 // cp.Workers goroutines (<= 0: all CPUs). The fault sequence is
@@ -333,25 +326,43 @@ func (t *Tally) PVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash)
 // tally is bit-identical for every worker count. progress, when
 // non-nil, is called exactly once per injection, serialized and in
 // injection-index order; it must not call back into the campaign.
-func (cp *Campaign) RunCampaign(fpm micro.FPM, n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
+func (cp *Campaign) RunCampaign(fpm micro.FPM, n int, seed int64, progress func(i int, r results.Record)) Tally {
+	return results.TallyOf(cp.Records(fpm, n, 0, seed, progress))
+}
+
+// Records executes injections [from, n) of the n-fault sequence
+// pre-drawn from seed and returns their records, indexed absolutely.
+// Records for [0, from) from an earlier shorter campaign with the same
+// key concatenate into exactly a one-shot n-injection record set (the
+// top-up resume primitive).
+func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress func(i int, r results.Record)) []results.Record {
 	r := rand.New(rand.NewSource(seed))
 	faults := make([]Fault, n)
-	jobs := make([]campaign.Job, n)
 	for i := range faults {
 		faults[i] = cp.Sample(r, fpm)
-		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[i].K)}
 	}
-	outcomes := campaign.Run(jobs, cp.Workers,
+	if from < 0 {
+		from = 0
+	}
+	if from >= n {
+		return nil
+	}
+	jobs := make([]campaign.Job, n-from)
+	for i := range jobs {
+		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].K)}
+	}
+	var emit func(i int, rec results.Record)
+	if progress != nil {
+		emit = func(i int, rec results.Record) { progress(from+i, rec) }
+	}
+	return campaign.Run(jobs, cp.Workers,
 		func() *worker { return &worker{src: -1} },
-		func(w *worker, j campaign.Job) inject.Outcome {
-			f := faults[j.Index]
+		func(w *worker, j campaign.Job) results.Record {
+			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			return cp.classify(c, bus, f)
+			rec := record(f, cp.classify(c, bus, f))
+			rec.Index = from + j.Index
+			return rec
 		},
-		progress)
-	var t Tally
-	for _, o := range outcomes {
-		t.Add(o)
-	}
-	return t
+		emit)
 }

@@ -129,7 +129,7 @@ func TestArenaMatchesFreshMachine(t *testing.T) {
 	}
 	var want Tally
 	for _, f := range faults {
-		want.Add(cp.Run(f))
+		want.AddOutcome(cp.Run(f))
 	}
 	cp.Workers = 1
 	got := cp.RunCampaign(micro.FPMWD, 25, 7, nil)

@@ -14,22 +14,27 @@ import (
 	"vulnstack/internal/dev"
 	"vulnstack/internal/kernel"
 	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
 )
 
-// Outcome is the end-to-end fault effect class.
-type Outcome int
+// Outcome is the end-to-end fault effect class. It lives in the
+// layer-agnostic results package; the aliases keep this package the
+// canonical vocabulary for all three injectors.
+type Outcome = results.Outcome
 
 const (
-	Masked Outcome = iota
-	SDC
-	Crash
-	Detected
-	NumOutcomes
+	Masked      = results.Masked
+	SDC         = results.SDC
+	Crash       = results.Crash
+	Detected    = results.Detected
+	NumOutcomes = results.NumOutcomes
 )
 
-var outcomeNames = [...]string{"Masked", "SDC", "Crash", "Detected"}
+// Record is the layer-agnostic per-injection record all campaigns emit.
+type Record = results.Record
 
-func (o Outcome) String() string { return outcomeNames[o] }
+// Tally is the record-stream aggregate shared by every layer.
+type Tally = results.Tally
 
 // Fault is one sampled single-bit transient fault.
 type Fault struct {
@@ -51,6 +56,23 @@ type Result struct {
 	ContactCycle uint64
 	// Live is false when the flip was provably dead at injection time.
 	Live bool
+}
+
+// Record converts the result into the layer-agnostic record form
+// (Index is the caller's position in the pre-drawn fault sequence).
+func (r Result) Record() results.Record {
+	return results.Record{
+		Layer:   results.LayerMicro,
+		Target:  r.Fault.Struct.String(),
+		Coord:   r.Fault.Cycle,
+		Entry:   r.Fault.Entry,
+		Bit:     r.Fault.Bit,
+		Outcome: r.Outcome,
+		Visible: r.Visible,
+		FPM:     r.FPM,
+		Contact: r.ContactCycle,
+		Live:    r.Live,
+	}
 }
 
 // Golden describes the fault-free reference run.
@@ -234,56 +256,6 @@ func (cp *Campaign) classify(core *micro.Core, f Fault) Result {
 	return res
 }
 
-// Tally aggregates campaign results.
-type Tally struct {
-	N        int
-	Outcomes [NumOutcomes]int
-	FPM      [micro.NumFPM]int
-	Visible  int
-}
-
-// Add accumulates one result.
-func (t *Tally) Add(r Result) {
-	t.N++
-	t.Outcomes[r.Outcome]++
-	if r.Visible {
-		t.Visible++
-		t.FPM[r.FPM]++
-	}
-}
-
-// Frac returns the fraction of outcome o.
-func (t *Tally) Frac(o Outcome) float64 {
-	if t.N == 0 {
-		return 0
-	}
-	return float64(t.Outcomes[o]) / float64(t.N)
-}
-
-// AVF is the architectural vulnerability factor: the probability a
-// fault produces a program-visible failure (SDC or Crash). Detected
-// faults are excluded, following the paper's case-study accounting.
-func (t *Tally) AVF() float64 {
-	return t.Frac(SDC) + t.Frac(Crash)
-}
-
-// HVF is the fraction of faults that reached architectural visibility.
-func (t *Tally) HVF() float64 {
-	if t.N == 0 {
-		return 0
-	}
-	return float64(t.Visible) / float64(t.N)
-}
-
-// FPMShare returns the share of propagation model m among visible
-// faults.
-func (t *Tally) FPMShare(m micro.FPM) float64 {
-	if t.Visible == 0 {
-		return 0
-	}
-	return float64(t.FPM[m]) / float64(t.Visible)
-}
-
 // RunCampaign performs n sampled injections into structure s, fanned
 // across cp.Workers goroutines (<= 0: all CPUs). The fault sequence is
 // pre-drawn from the seed exactly as the serial loop drew it, so the
@@ -291,24 +263,44 @@ func (t *Tally) FPMShare(m micro.FPM) float64 {
 // non-nil, is called exactly once per injection, serialized and in
 // injection-index order (the thread-safe callback contract shared by
 // all three layers); it must not call back into the campaign.
-func (cp *Campaign) RunCampaign(s micro.Structure, n int, seed int64, progress func(i int, r Result)) Tally {
+func (cp *Campaign) RunCampaign(s micro.Structure, n int, seed int64, progress func(i int, r Record)) Tally {
+	return results.TallyOf(cp.Records(s, n, 0, seed, progress))
+}
+
+// Records executes injections [from, n) of the n-fault sequence
+// pre-drawn from seed and returns their records, indexed absolutely.
+// Because the sequence is drawn deterministically from the seed,
+// records for [0, from) produced by an earlier (shorter) campaign with
+// the same key concatenate with this slice into exactly the record set
+// a one-shot n-injection campaign yields — the top-up resume primitive
+// the persistent store builds on.
+func (cp *Campaign) Records(s micro.Structure, n, from int, seed int64, progress func(i int, r Record)) []Record {
 	r := rand.New(rand.NewSource(seed))
 	faults := make([]Fault, n)
-	jobs := make([]campaign.Job, n)
 	for i := range faults {
 		faults[i] = cp.Sample(r, s)
-		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[i].Cycle)}
 	}
-	results := campaign.Run(jobs, cp.Workers,
+	if from < 0 {
+		from = 0
+	}
+	if from >= n {
+		return nil
+	}
+	jobs := make([]campaign.Job, n-from)
+	for i := range jobs {
+		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].Cycle)}
+	}
+	var emit func(i int, rec Record)
+	if progress != nil {
+		emit = func(i int, rec Record) { progress(from+i, rec) }
+	}
+	return campaign.Run(jobs, cp.Workers,
 		func() *worker { return &worker{src: -1} },
-		func(w *worker, j campaign.Job) Result {
-			f := faults[j.Index]
-			return cp.classify(cp.coreFor(w, f.Cycle, j.Group), f)
+		func(w *worker, j campaign.Job) Record {
+			f := faults[from+j.Index]
+			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f).Record()
+			rec.Index = from + j.Index
+			return rec
 		},
-		progress)
-	var t Tally
-	for _, res := range results {
-		t.Add(res)
-	}
-	return t
+		emit)
 }

@@ -194,7 +194,7 @@ func TestL1IFaultsClassifyAsInstructionModels(t *testing.T) {
 func TestProgressCallback(t *testing.T) {
 	cp := shaCampaign(t, micro.ConfigA9(), 4)
 	calls := 0
-	cp.RunCampaign(micro.StructRF, 5, 1, func(i int, r Result) {
+	cp.RunCampaign(micro.StructRF, 5, 1, func(i int, r Record) {
 		if i != calls {
 			t.Fatalf("progress index %d at call %d", i, calls)
 		}
@@ -232,7 +232,7 @@ func TestArenaMatchesFreshClone(t *testing.T) {
 	}
 	var want Tally
 	for _, f := range faults {
-		want.Add(cp.Run(f))
+		want.Add(cp.Run(f).Record())
 	}
 	cp.Workers = 1
 	got := cp.RunCampaign(micro.StructRF, 20, 2021, nil)
@@ -247,7 +247,7 @@ func TestProgressContract(t *testing.T) {
 	cp := shaCampaign(t, micro.ConfigA72(), 6)
 	cp.Workers = 8
 	var seen []int
-	cp.RunCampaign(micro.StructRF, 16, 7, func(i int, r Result) {
+	cp.RunCampaign(micro.StructRF, 16, 7, func(i int, r Record) {
 		seen = append(seen, i)
 	})
 	if len(seen) != 16 {

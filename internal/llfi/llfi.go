@@ -15,6 +15,7 @@ import (
 	"vulnstack/internal/campaign"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/ir"
+	"vulnstack/internal/results"
 )
 
 // Width is the only word width LLFI-style injection supports (the
@@ -104,28 +105,19 @@ func (cp *Campaign) runOn(ip *ir.Interp, f Fault) inject.Outcome {
 	}
 }
 
-// Tally aggregates SVF outcomes.
-type Tally struct {
-	N        int
-	Outcomes [inject.NumOutcomes]int
-}
+// Tally aggregates SVF outcomes. It is the shared record-stream
+// aggregate; SVF() reads it at this layer.
+type Tally = results.Tally
 
-// Add accumulates one outcome.
-func (t *Tally) Add(o inject.Outcome) {
-	t.N++
-	t.Outcomes[o]++
-}
-
-// Frac returns the fraction of outcome o.
-func (t *Tally) Frac(o inject.Outcome) float64 {
-	if t.N == 0 {
-		return 0
+// record converts a classified fault into the layer-agnostic form.
+func record(f Fault, o inject.Outcome) results.Record {
+	return results.Record{
+		Layer:   results.LayerSoft,
+		Coord:   f.Seq,
+		Bit:     int(f.Bit),
+		Outcome: o,
 	}
-	return float64(t.Outcomes[o]) / float64(t.N)
 }
-
-// SVF is the software vulnerability factor: failures per injection.
-func (t *Tally) SVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash) }
 
 // RunCampaign performs n injections, fanned across cp.Workers
 // goroutines (<= 0: all CPUs). The fault sequence is pre-drawn from the
@@ -133,28 +125,47 @@ func (t *Tally) SVF() float64 { return t.Frac(inject.SDC) + t.Frac(inject.Crash)
 // bit-identical for every worker count. progress, when non-nil, is
 // called exactly once per injection, serialized and in injection-index
 // order; it must not call back into the campaign.
-func (cp *Campaign) RunCampaign(n int, seed int64, progress func(i int, o inject.Outcome)) Tally {
+func (cp *Campaign) RunCampaign(n int, seed int64, progress func(i int, r results.Record)) Tally {
+	return results.TallyOf(cp.Records(n, 0, seed, progress))
+}
+
+// Records executes injections [from, n) of the n-fault sequence
+// pre-drawn from seed and returns their records, indexed absolutely.
+// Records for [0, from) from an earlier shorter campaign with the same
+// key concatenate into exactly a one-shot n-injection record set (the
+// top-up resume primitive).
+func (cp *Campaign) Records(n, from int, seed int64, progress func(i int, r results.Record)) []results.Record {
 	r := rand.New(rand.NewSource(seed))
 	faults := make([]Fault, n)
-	jobs := make([]campaign.Job, n)
 	for i := range faults {
 		faults[i] = cp.Sample(r)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= n {
+		return nil
+	}
+	jobs := make([]campaign.Job, n-from)
+	for i := range jobs {
 		jobs[i] = campaign.Job{Index: i}
 	}
-	outcomes := campaign.Run(jobs, cp.Workers,
+	var emit func(i int, rec results.Record)
+	if progress != nil {
+		emit = func(i int, rec results.Record) { progress(from+i, rec) }
+	}
+	return campaign.Run(jobs, cp.Workers,
 		func() *ir.Interp {
 			ip := ir.NewInterp(cp.M, Width, cp.MemSize)
 			ip.EnableReset()
 			return ip
 		},
-		func(ip *ir.Interp, j campaign.Job) inject.Outcome {
+		func(ip *ir.Interp, j campaign.Job) results.Record {
 			ip.Reset()
-			return cp.runOn(ip, faults[j.Index])
+			f := faults[from+j.Index]
+			rec := record(f, cp.runOn(ip, f))
+			rec.Index = from + j.Index
+			return rec
 		},
-		progress)
-	var t Tally
-	for _, o := range outcomes {
-		t.Add(o)
-	}
-	return t
+		emit)
 }

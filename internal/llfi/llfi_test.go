@@ -105,7 +105,7 @@ func TestResetMatchesFreshInterp(t *testing.T) {
 	}
 	var want Tally
 	for _, f := range faults {
-		want.Add(cp.Run(f))
+		want.AddOutcome(cp.Run(f))
 	}
 	cp.Workers = 1
 	got := cp.RunCampaign(30, 7, nil)

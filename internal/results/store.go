@@ -1,0 +1,287 @@
+// The persistent campaign store: per-injection records on disk as
+// JSONL, one manifest JSON per campaign, keyed by the campaign's full
+// identity (layer, target, config, structure/FPM, seed). Campaign
+// length is manifest data, not key material: because fault sequences
+// are pre-drawn from the seed, a stored n=1000 campaign is a strict
+// prefix of the n=2000 campaign, so topping up appends only the missing
+// records and the merged tally is bit-identical to a one-shot run.
+package results
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SchemaVersion is the on-disk record schema. Loads of a different
+// version fail loudly rather than silently misaggregating.
+const SchemaVersion = 1
+
+// Key is the full identity of one stored campaign. Two runs with equal
+// keys draw identical fault sequences, so their record sets are
+// prefix-compatible for any n.
+type Key struct {
+	// Layer is the injector: "micro", "arch" or "soft".
+	Layer string `json:"layer"`
+	// Target identifies the program under injection, including its
+	// build inputs and ISA (bench/seed/scale/harden/ISA).
+	Target string `json:"target"`
+	// Config is the microarchitecture name (micro layer only).
+	Config string `json:"config,omitempty"`
+	// Struct is the structure (micro) or FPM (arch) under injection.
+	Struct string `json:"struct,omitempty"`
+	// Seed drives the pre-drawn fault sequence.
+	Seed int64 `json:"seed"`
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/%s/seed=%d", k.Layer, k.Target, k.Config, k.Struct, k.Seed)
+}
+
+// ID is the key's stable store filename stem.
+func (k Key) ID() string {
+	h := sha256.Sum256([]byte(k.String()))
+	return hex.EncodeToString(h[:8])
+}
+
+// Manifest describes one stored campaign.
+type Manifest struct {
+	Schema int `json:"schema"`
+	Key    Key `json:"key"`
+	// N is the number of records on disk (grows on top-up).
+	N int `json:"n"`
+}
+
+// Store is a directory of campaign record files. It assumes a single
+// writer process; concurrent goroutines within that process are safe.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// OpenStore opens (creating if needed) a store rooted at dir.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("results: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) manifestPath(id string) string { return filepath.Join(s.dir, id+".json") }
+func (s *Store) recordsPath(id string) string  { return filepath.Join(s.dir, id+".jsonl") }
+
+// readManifest loads a manifest by id; ok=false when absent.
+func (s *Store) readManifest(id string) (Manifest, bool, error) {
+	data, err := os.ReadFile(s.manifestPath(id))
+	if os.IsNotExist(err) {
+		return Manifest{}, false, nil
+	}
+	if err != nil {
+		return Manifest{}, false, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, false, fmt.Errorf("results: manifest %s: %w", id, err)
+	}
+	if m.Schema != SchemaVersion {
+		return Manifest{}, false, fmt.Errorf("results: manifest %s has schema %d, want %d", id, m.Schema, SchemaVersion)
+	}
+	return m, true, nil
+}
+
+func (s *Store) writeManifest(m Manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	path := s.manifestPath(m.Key.ID())
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Manifest returns the stored manifest for k; ok=false when the
+// campaign has never been stored.
+func (s *Store) Manifest(k Key) (Manifest, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok, err := s.readManifest(k.ID())
+	if err != nil || !ok {
+		return Manifest{}, ok, err
+	}
+	if m.Key != k {
+		return Manifest{}, false, fmt.Errorf("results: id collision: %q vs %q", m.Key, k)
+	}
+	return m, true, nil
+}
+
+// Load returns the stored records for k in index order; ok=false when
+// the campaign has never been stored.
+func (s *Store) Load(k Key) ([]Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok, err := s.readManifest(k.ID())
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	if m.Key != k {
+		return nil, false, fmt.Errorf("results: id collision: %q vs %q", m.Key, k)
+	}
+	recs, err := s.readRecords(k.ID(), m.N)
+	if err != nil {
+		return nil, false, err
+	}
+	return recs, true, nil
+}
+
+// LoadID loads a stored campaign by its id (the results CLI surface).
+func (s *Store) LoadID(id string) (Manifest, []Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok, err := s.readManifest(id)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	if !ok {
+		return Manifest{}, nil, fmt.Errorf("results: no stored campaign %q", id)
+	}
+	recs, err := s.readRecords(id, m.N)
+	return m, recs, err
+}
+
+// readRecords reads the first n records of a campaign file. The
+// manifest is written after record appends, so trailing lines beyond N
+// (a crashed append) are ignored; fewer lines than N is corruption.
+func (s *Store) readRecords(id string, n int) ([]Record, error) {
+	f, err := os.Open(s.recordsPath(id))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs := make([]Record, 0, n)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() && len(recs) < n {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("results: %s record %d: %w", id, len(recs), err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(recs) < n {
+		return nil, fmt.Errorf("results: %s has %d records, manifest says %d", id, len(recs), n)
+	}
+	return recs, nil
+}
+
+func appendRecords(path string, recs []Record) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range recs {
+		data, err := json.Marshal(r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		w.Write(data)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Save stores a fresh campaign, replacing any previous records for k.
+func (s *Store) Save(k Key, recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := k.ID()
+	tmp := s.recordsPath(id) + ".tmp"
+	os.Remove(tmp)
+	if err := appendRecords(tmp, recs); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.recordsPath(id)); err != nil {
+		return err
+	}
+	return s.writeManifest(Manifest{Schema: SchemaVersion, Key: k, N: len(recs)})
+}
+
+// Append tops up a stored campaign with records continuing its
+// pre-drawn fault sequence: recs[0].Index must equal the stored N. The
+// manifest is updated last, so a crash mid-append leaves a loadable
+// prefix.
+func (s *Store) Append(k Key, recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := k.ID()
+	m, ok, err := s.readManifest(id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("results: append to unknown campaign %q", k)
+	}
+	if m.Key != k {
+		return fmt.Errorf("results: id collision: %q vs %q", m.Key, k)
+	}
+	if recs[0].Index != m.N {
+		return fmt.Errorf("results: non-contiguous append: have %d records, next starts at %d", m.N, recs[0].Index)
+	}
+	if err := appendRecords(s.recordsPath(id), recs); err != nil {
+		return err
+	}
+	m.N += len(recs)
+	return s.writeManifest(m)
+}
+
+// List returns every stored campaign manifest, sorted by key.
+func (s *Store) List() ([]Manifest, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ms []Manifest
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		m, ok, err := s.readManifest(strings.TrimSuffix(name, ".json"))
+		if err != nil || !ok {
+			continue // tolerate foreign or half-written files in the dir
+		}
+		ms = append(ms, m)
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Key.String() < ms[j].Key.String() })
+	return ms, nil
+}

@@ -1,7 +1,10 @@
 // Package vuln implements the vulnerability arithmetic of the study:
 // statistical error margins for fault sampling, bit-weighted (FIT-style)
 // aggregation of per-structure AVFs, the refined-PVF (rPVF) combination,
-// and the opposite-ranking analysis behind the paper's Table III.
+// and the opposite-ranking analysis behind the paper's Table III. Every
+// estimator is a pure function of per-injection record streams (see
+// internal/results): tallies in, aggregates out, so stored campaigns
+// can be re-aggregated and re-weighted without re-injection.
 package vuln
 
 import (
@@ -9,6 +12,7 @@ import (
 	"sort"
 
 	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
 )
 
 // Split is a vulnerability measurement broken into the paper's fault
@@ -32,6 +36,54 @@ func (s Split) Add(o Split) Split {
 // Scale returns s scaled by w.
 func (s Split) Scale(w float64) Split {
 	return Split{s.SDC * w, s.Crash * w, s.Detected * w, s.Masked * w}
+}
+
+// SplitOf converts a record-stream tally into the fault-effect split:
+// the pure function from records to the fractions every report prints.
+func SplitOf(t results.Tally) Split {
+	if t.N == 0 {
+		return Split{}
+	}
+	f := func(o results.Outcome) float64 { return float64(t.Outcomes[o]) / float64(t.N) }
+	return Split{
+		SDC: f(results.SDC), Crash: f(results.Crash),
+		Detected: f(results.Detected), Masked: f(results.Masked),
+	}
+}
+
+// SplitRecords aggregates a record stream directly into a split.
+func SplitRecords(recs []results.Record) Split {
+	return SplitOf(results.TallyOf(recs))
+}
+
+// FPMDist computes the bit-weighted fault-propagation-model
+// distribution from per-structure record tallies (the paper's Fig. 6):
+// the probability that a visible hardware fault manifests as each
+// model, ESC included. tallies and bits are parallel slices; a
+// mismatch yields nil.
+func FPMDist(tallies []results.Tally, bits []int) map[micro.FPM]float64 {
+	if len(tallies) != len(bits) {
+		return nil
+	}
+	weighted := make(map[micro.FPM]float64)
+	var total float64
+	for i, t := range tallies {
+		if t.N == 0 {
+			continue
+		}
+		w := float64(bits[i])
+		for m := micro.FPM(1); m < micro.NumFPM; m++ {
+			p := float64(t.FPM[m]) / float64(t.N)
+			weighted[m] += w * p
+			total += w * p
+		}
+	}
+	if total > 0 {
+		for m := range weighted {
+			weighted[m] /= total
+		}
+	}
+	return weighted
 }
 
 // Weighted combines per-structure splits using bit counts as weights:
@@ -109,7 +161,11 @@ func RPVF(pvf map[micro.FPM]Split, dist map[micro.FPM]float64) Split {
 // OppositePairs counts benchmark pairs (i<j) that the two measures rank
 // in strictly opposite order — the paper's headline evidence that
 // higher-level measurements mislead (13 of 45 pairs in Fig. 4).
+// Mismatched-length inputs are not a valid comparison and count 0.
 func OppositePairs(a, b []float64) int {
+	if len(a) != len(b) {
+		return 0
+	}
 	n := 0
 	for i := 0; i < len(a); i++ {
 		for j := i + 1; j < len(a); j++ {
@@ -126,8 +182,11 @@ func TotalPairs(n int) int { return n * (n - 1) / 2 }
 
 // DominantEffectFlips counts benchmarks whose dominant fault-effect
 // class (SDC vs Crash) differs between the two measures — the paper's
-// "Effect" columns in Table III.
+// "Effect" columns in Table III. Mismatched-length inputs count 0.
 func DominantEffectFlips(a, b []Split) int {
+	if len(a) != len(b) {
+		return 0
+	}
 	n := 0
 	for i := range a {
 		da := a[i].SDC > a[i].Crash
@@ -151,7 +210,8 @@ func RankOrder(vals []float64) []int {
 }
 
 // Correlation returns the Pearson correlation of two measurement
-// vectors (used to quantify cross-layer agreement).
+// vectors (used to quantify cross-layer agreement). Mismatched-length,
+// empty and zero-variance inputs return 0 rather than NaN.
 func Correlation(a, b []float64) float64 {
 	if len(a) != len(b) || len(a) == 0 {
 		return 0

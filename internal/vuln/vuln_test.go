@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
 )
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
@@ -103,6 +104,83 @@ func TestRPVF(t *testing.T) {
 	}
 	if RPVF(pvf, map[micro.FPM]float64{}).Total() != 0 {
 		t.Fatal("empty distribution")
+	}
+}
+
+// TestDegenerateInputs: ranking and correlation estimators must answer
+// 0 — never NaN, never panic — on mismatched-length, empty, and
+// zero-variance inputs, since stored campaigns of different vintages
+// can legitimately produce vectors of different lengths.
+func TestDegenerateInputs(t *testing.T) {
+	short := []float64{1, 2}
+	long := []float64{3, 2, 1}
+	if OppositePairs(short, long) != 0 || OppositePairs(long, short) != 0 {
+		t.Error("mismatched lengths must count 0 opposite pairs")
+	}
+	if OppositePairs(nil, nil) != 0 {
+		t.Error("empty inputs")
+	}
+	if DominantEffectFlips([]Split{{SDC: 1}}, nil) != 0 {
+		t.Error("mismatched split lengths must count 0 flips")
+	}
+	if DominantEffectFlips(nil, nil) != 0 {
+		t.Error("empty split inputs")
+	}
+	for _, tc := range [][2][]float64{
+		{short, long},     // mismatched lengths
+		{nil, nil},        // empty
+		{{1, 1, 1}, long}, // zero variance left
+		{long, {2, 2, 2}}, // zero variance right
+		{{5, 5}, {7, 7}},  // zero variance both
+	} {
+		if c := Correlation(tc[0], tc[1]); c != 0 {
+			t.Errorf("Correlation(%v, %v) = %v, want 0", tc[0], tc[1], c)
+		}
+		if math.IsNaN(Correlation(tc[0], tc[1])) {
+			t.Errorf("Correlation(%v, %v) is NaN", tc[0], tc[1])
+		}
+	}
+}
+
+func TestSplitOf(t *testing.T) {
+	var tl results.Tally
+	if SplitOf(tl) != (Split{}) {
+		t.Fatal("empty tally must give a zero split")
+	}
+	recs := []results.Record{
+		{Index: 0, Outcome: results.Masked},
+		{Index: 1, Outcome: results.SDC},
+		{Index: 2, Outcome: results.Crash},
+		{Index: 3, Outcome: results.SDC},
+	}
+	got := SplitRecords(recs)
+	if !almost(got.SDC, 0.5) || !almost(got.Crash, 0.25) || !almost(got.Masked, 0.25) {
+		t.Fatalf("split %+v", got)
+	}
+	if !almost(got.Total(), results.TallyOf(recs).Failures()) {
+		t.Fatal("Split.Total must agree with Tally.Failures")
+	}
+}
+
+func TestFPMDistFromTallies(t *testing.T) {
+	var a, b results.Tally
+	a.N, b.N = 10, 10
+	a.FPM[micro.FPMWD] = 4
+	b.FPM[micro.FPMWI] = 2
+	// Mismatched parallel slices are invalid: nil, not a panic.
+	if FPMDist([]results.Tally{a, b}, []int{8}) != nil {
+		t.Fatal("length mismatch must yield nil")
+	}
+	dist := FPMDist([]results.Tally{a, b}, []int{8, 8})
+	if !almost(dist[micro.FPMWD]+dist[micro.FPMWI], 1) {
+		t.Fatalf("dist must normalize: %v", dist)
+	}
+	if !almost(dist[micro.FPMWD], 4.0/6) {
+		t.Fatalf("WD share %v", dist[micro.FPMWD])
+	}
+	// All-zero tallies: an empty (but non-nil-safe) distribution.
+	if d := FPMDist([]results.Tally{{}, {}}, []int{8, 8}); len(d) != 0 {
+		t.Fatalf("no visible faults must give an empty dist: %v", d)
 	}
 }
 

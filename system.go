@@ -20,6 +20,7 @@ import (
 	"vulnstack/internal/llfi"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/minic"
+	"vulnstack/internal/results"
 	"vulnstack/internal/vuln"
 	"vulnstack/internal/workload"
 )
@@ -68,6 +69,12 @@ type System struct {
 	// Workers is the injection-campaign fan-out (<= 0: all CPUs).
 	// Tallies are bit-identical for every worker count.
 	Workers int
+	// Store, when set, persists per-injection records on disk and
+	// serves repeat measurements from them: a fully stored campaign is
+	// answered without preparing the injector (no golden run, no
+	// injections), and a larger n tops up only the missing tail of the
+	// pre-drawn fault sequence (bit-identical to a one-shot run).
+	Store *results.Store
 }
 
 // Build compiles a target for the given ISA variant.
@@ -163,18 +170,6 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 	return s.llfiC, nil
 }
 
-// splitOf converts outcome counts into a vuln.Split.
-func splitOf(n int, counts [inject.NumOutcomes]int) vuln.Split {
-	if n == 0 {
-		return vuln.Split{}
-	}
-	f := func(o inject.Outcome) float64 { return float64(counts[o]) / float64(n) }
-	return vuln.Split{
-		SDC: f(inject.SDC), Crash: f(inject.Crash),
-		Detected: f(inject.Detected), Masked: f(inject.Masked),
-	}
-}
-
 // StructResult is one structure's AVF/HVF measurement.
 type StructResult struct {
 	Struct micro.Structure
@@ -186,6 +181,83 @@ type StructResult struct {
 	FPM [micro.NumFPM]int
 	// Visible is the HVF numerator.
 	Visible int
+	// Tally is the underlying record-stream aggregate every field
+	// above derives from.
+	Tally results.Tally
+}
+
+// targetKey is the store identity of this system's program: build
+// inputs plus ISA.
+func (s *System) targetKey() string {
+	return s.Target.key() + "/" + s.ISA.String()
+}
+
+// MicroKey is the store key of one microarchitectural campaign.
+func (s *System) MicroKey(cfg micro.Config, st micro.Structure, seed int64) results.Key {
+	return results.Key{Layer: results.LayerMicro.String(), Target: s.targetKey(),
+		Config: cfg.Name, Struct: st.String(), Seed: seed}
+}
+
+// ArchKey is the store key of one architecture-level (PVF) campaign.
+func (s *System) ArchKey(fpm micro.FPM, seed int64) results.Key {
+	return results.Key{Layer: results.LayerArch.String(), Target: s.targetKey(),
+		Struct: fpm.String(), Seed: seed}
+}
+
+// SoftKey is the store key of the software-level (SVF) campaign.
+func (s *System) SoftKey(seed int64) results.Key {
+	return results.Key{Layer: results.LayerSoft.String(), Target: s.targetKey(), Seed: seed}
+}
+
+// storeRecords returns n records for campaign key k, serving as many as
+// possible from the store. run(from) must execute injections [from, n)
+// of the key's pre-drawn fault sequence — it is only invoked when the
+// store is missing records, so a fully stored campaign never prepares
+// an injector. Freshly run records are persisted before returning.
+func (s *System) storeRecords(k results.Key, n int, run func(from int) ([]results.Record, error)) ([]results.Record, error) {
+	if s.Store == nil {
+		return run(0)
+	}
+	stored, ok, err := s.Store.Load(k)
+	if err != nil {
+		return nil, err
+	}
+	if ok && len(stored) >= n {
+		return stored[:n], nil
+	}
+	fresh, err := run(len(stored))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		if err := s.Store.Save(k, fresh); err != nil {
+			return nil, err
+		}
+		return fresh, nil
+	}
+	if err := s.Store.Append(k, fresh); err != nil {
+		return nil, err
+	}
+	return append(stored, fresh...), nil
+}
+
+// MicroTally measures one structure's AVF/HVF tally with n sampled
+// injections, store-aware: stored records are reused and topped up.
+func (s *System) MicroTally(cfg micro.Config, st micro.Structure, n int, seed int64) (results.Tally, error) {
+	if cfg.ISA != s.ISA {
+		return results.Tally{}, fmt.Errorf("vulnstack: config %s (%v) does not match system ISA %v", cfg.Name, cfg.ISA, s.ISA)
+	}
+	recs, err := s.storeRecords(s.MicroKey(cfg, st, seed), n, func(from int) ([]results.Record, error) {
+		cp, err := s.MicroCampaign(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return cp.Records(st, n, from, seed, nil), nil
+	})
+	if err != nil {
+		return results.Tally{}, err
+	}
+	return results.TallyOf(recs), nil
 }
 
 // CacheSampleBoost multiplies the per-structure sample count for the
@@ -197,13 +269,11 @@ var CacheSampleBoost = map[micro.Structure]int{
 }
 
 // AVFAll runs injection campaigns over all five structures and returns
-// per-structure results plus the bit-weighted full-system split.
+// per-structure results plus the bit-weighted full-system split. With a
+// store attached, fully stored structures are tallied from disk without
+// preparing the campaign.
 func (s *System) AVFAll(cfg micro.Config, nPerStruct int, seed int64) ([]StructResult, vuln.Split, error) {
-	cp, err := s.MicroCampaign(cfg)
-	if err != nil {
-		return nil, vuln.Split{}, err
-	}
-	var results []StructResult
+	var srs []StructResult
 	var parts []vuln.Split
 	var bits []int
 	for st := micro.Structure(0); st < micro.NumStructures; st++ {
@@ -211,67 +281,75 @@ func (s *System) AVFAll(cfg micro.Config, nPerStruct int, seed int64) ([]StructR
 		if b := CacheSampleBoost[st]; b > 1 {
 			n *= b
 		}
-		tally := cp.RunCampaign(st, n, seed+int64(st)*7919, nil)
+		tally, err := s.MicroTally(cfg, st, n, seed+int64(st)*7919)
+		if err != nil {
+			return nil, vuln.Split{}, err
+		}
 		r := StructResult{
 			Struct:  st,
 			Bits:    cfg.Bits(st),
 			N:       tally.N,
-			Split:   splitOf(tally.N, tally.Outcomes),
+			Split:   vuln.SplitOf(tally),
 			HVF:     tally.HVF(),
 			FPM:     tally.FPM,
 			Visible: tally.Visible,
+			Tally:   tally,
 		}
-		results = append(results, r)
+		srs = append(srs, r)
 		parts = append(parts, r.Split)
 		bits = append(bits, r.Bits)
 	}
-	return results, vuln.Weighted(parts, bits), nil
+	return srs, vuln.Weighted(parts, bits), nil
 }
 
-// PVF measures the architecture-level vulnerability for one FPM.
+// PVF measures the architecture-level vulnerability for one FPM,
+// store-aware like MicroTally.
 func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
-	cp, err := s.ArchCampaign()
+	recs, err := s.storeRecords(s.ArchKey(fpm, seed), n, func(from int) ([]results.Record, error) {
+		cp, err := s.ArchCampaign()
+		if err != nil {
+			return nil, err
+		}
+		return cp.Records(fpm, n, from, seed, nil), nil
+	})
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	t := cp.RunCampaign(fpm, n, seed, nil)
-	return splitOf(t.N, t.Outcomes), nil
+	return vuln.SplitRecords(recs), nil
 }
 
-// SVF measures the software-level (LLFI-style) vulnerability.
+// SVF measures the software-level (LLFI-style) vulnerability,
+// store-aware like MicroTally.
 func (s *System) SVF(n int, seed int64) (vuln.Split, error) {
-	cp, err := s.LLFICampaign()
+	if s.ISA != isa.VSA64 {
+		return vuln.Split{}, fmt.Errorf("vulnstack: SVF (LLFI) supports only the 64-bit ISA")
+	}
+	recs, err := s.storeRecords(s.SoftKey(seed), n, func(from int) ([]results.Record, error) {
+		cp, err := s.LLFICampaign()
+		if err != nil {
+			return nil, err
+		}
+		return cp.Records(n, from, seed, nil), nil
+	})
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	t := cp.RunCampaign(n, seed, nil)
-	return splitOf(t.N, t.Outcomes), nil
+	return vuln.SplitRecords(recs), nil
 }
 
 // FPMDist computes the bit-weighted fault-propagation-model
 // distribution across the five structures (the paper's Fig. 6): the
 // probability that a visible hardware fault manifests as each model,
-// ESC included.
-func FPMDist(cfg micro.Config, results []StructResult) map[micro.FPM]float64 {
-	weighted := make(map[micro.FPM]float64)
-	var total float64
-	for _, r := range results {
-		if r.N == 0 {
-			continue
-		}
-		w := float64(r.Bits)
-		for m := micro.FPM(1); m < micro.NumFPM; m++ {
-			p := float64(r.FPM[m]) / float64(r.N)
-			weighted[m] += w * p
-			total += w * p
-		}
+// ESC included. It is a pure function of the per-structure record
+// tallies (vuln.FPMDist does the arithmetic).
+func FPMDist(cfg micro.Config, srs []StructResult) map[micro.FPM]float64 {
+	tallies := make([]results.Tally, len(srs))
+	bits := make([]int, len(srs))
+	for i, r := range srs {
+		tallies[i] = r.Tally
+		bits[i] = r.Bits
 	}
-	if total > 0 {
-		for m := range weighted {
-			weighted[m] /= total
-		}
-	}
-	return weighted
+	return vuln.FPMDist(tallies, bits)
 }
 
 // Margin reports the sampling error margin of an n-sample campaign at
