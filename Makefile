@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check cover bench
+.PHONY: all build test vet lint race check cover bench
 
 all: check
 
@@ -9,6 +9,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the repo's determinism linter over the injection and
+# results packages (see tools/lint): no wall-clock reads, no global
+# math/rand source, no unannotated map iteration.
+lint:
+	$(GO) run ./tools/lint
 
 test:
 	$(GO) test ./...
@@ -22,11 +28,12 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-# check is the full gate: build, vet, and the race-enabled test suite
-# with per-package coverage in the output.
+# check is the full gate: build, vet, the determinism linter, and the
+# race-enabled test suite with per-package coverage in the output.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./tools/lint
 	$(GO) test -race -cover ./...
 
 bench:

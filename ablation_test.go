@@ -18,8 +18,44 @@ import (
 	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/report"
+	"vulnstack/internal/static"
 	"vulnstack/internal/vuln"
 )
+
+// TestAblationDominanceChain asserts the provable dominance chain on
+// every seed benchmark: the no-execution static bound dominates the
+// dynamic-trace ACE bound, which dominates the register-uniform
+// injected PVF (bit flips uniform over (register, bit, instant) — the
+// sampling model the ACE argument covers; see static's package doc).
+func TestAblationDominanceChain(t *testing.T) {
+	for _, bench := range []string{"sha", "crc32", "qsort", "fft"} {
+		sys, err := Build(Target{Bench: bench, Seed: 2021}, isa.VSA64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := static.Analyze(sys.Image)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dyn, err := ace.Analyze(sys.Image, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pvf, err := sys.UniformPVF(60, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.RegBound < dyn.RegACE {
+			t.Errorf("%s: static RegBound %.4f < dynamic RegACE %.4f", bench, st.RegBound, dyn.RegACE)
+		}
+		if dyn.RegACE < pvf.Total() {
+			t.Errorf("%s: dynamic RegACE %.4f < uniform PVF %.4f", bench, dyn.RegACE, pvf.Total())
+		}
+		if st.MemBound < dyn.MemACE {
+			t.Errorf("%s: static MemBound %.4f < dynamic MemACE %.4f", bench, st.MemBound, dyn.MemACE)
+		}
+	}
+}
 
 // BenchmarkAblationACE compares the analytical ACE upper bound with
 // injection-measured architecture-level vulnerability: the paper's

@@ -1,0 +1,42 @@
+package vulnstack
+
+import (
+	"testing"
+)
+
+// TestAnalyzeZeroInjections: the static-analysis report is a
+// no-injection artifact. After a full Analyze pass (including the
+// dynamic-ACE golden runs and hardening-coverage verification), no
+// cached system may have prepared any injector — microarchitectural,
+// architectural or software-level.
+func TestAnalyzeZeroInjections(t *testing.T) {
+	o := DefaultOptions()
+	o.Benches = []string{"crc32", "qsort"}
+	l := NewLab(o)
+	r, err := l.Analyze(DefaultAnalyzeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) < 4 {
+		t.Fatalf("analyze report has %d tables, want >= 4", len(r.Tables))
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.systems) == 0 {
+		t.Fatal("analyze built no systems")
+	}
+	for key, s := range l.systems {
+		s.mu.Lock()
+		if s.archC != nil {
+			t.Errorf("system %s prepared an arch (PVF) injector", key)
+		}
+		if len(s.microC) != 0 {
+			t.Errorf("system %s prepared %d micro injection campaigns", key, len(s.microC))
+		}
+		if s.llfiC != nil {
+			t.Errorf("system %s prepared a software (LLFI) injector", key)
+		}
+		s.mu.Unlock()
+	}
+}

@@ -5,6 +5,7 @@
 //
 //	vulnstack list
 //	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S] [-store DIR]
+//	vulnstack analyze [-bench a,b] [-seed S] [-store DIR] [-ace=false]
 //	vulnstack run -bench sha [-config A72] [-harden]
 //	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR]
 //	vulnstack results -store DIR [-id ID]
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"vulnstack"
+	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
 )
@@ -33,6 +35,8 @@ func main() {
 		err = cmdList()
 	case "experiment", "exp":
 		err = cmdExperiment(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
 	case "campaign":
@@ -53,6 +57,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vulnstack list                          benchmarks, configs, experiments
   vulnstack experiment <id> [flags]       regenerate a paper table/figure
+  vulnstack analyze [flags]               static no-execution analysis report
   vulnstack run [flags]                   run one benchmark on a core model
   vulnstack campaign [flags]              one fault-injection campaign
   vulnstack results -store DIR [-id ID]   list / inspect stored campaign records`)
@@ -106,6 +111,32 @@ func cmdExperiment(args []string) error {
 	return nil
 }
 
+// cmdAnalyze emits the static-analysis report: no-execution PVF/FPM
+// bounds, hardening-coverage verification, and — when a store is
+// attached — the diff against stored injection campaigns. It performs
+// zero fault injections.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	o := vulnstack.DefaultOptions()
+	fs.Int64Var(&o.Seed, "seed", o.Seed, "input and sampling seed (also selects stored campaigns)")
+	fs.IntVar(&o.Workers, "workers", o.Workers, "analysis fan-out across benchmarks (0 = all CPUs)")
+	fs.StringVar(&o.StoreDir, "store", o.StoreDir, "results store to diff static bounds against stored injection campaigns")
+	benches := fs.String("bench", "", "comma-separated benchmark subset")
+	withACE := fs.Bool("ace", true, "include the dynamic-trace ACE column (runs a golden execution, still no injections)")
+	fs.Parse(args)
+	if *benches != "" {
+		o.Benches = strings.Split(*benches, ",")
+	}
+	start := time.Now()
+	r, err := vulnstack.NewLab(o).Analyze(vulnstack.AnalyzeOptions{WithACE: *withACE})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+	fmt.Printf("\n[static analysis in %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	bench := fs.String("bench", "sha", "benchmark name")
@@ -142,6 +173,7 @@ func cmdCampaign(args []string) error {
 	bench := fs.String("bench", "sha", "benchmark name")
 	cfgName := fs.String("config", "A72", "microarchitecture")
 	stName := fs.String("struct", "RF", "structure (RF, LSQ, L1i, L1d, L2)")
+	layer := fs.String("layer", "micro", "injection layer: micro (structure faults) or uniform (register-uniform PVF, the quantity the static/ACE bounds dominate)")
 	n := fs.Int("n", 200, "number of injections")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
@@ -149,6 +181,12 @@ func cmdCampaign(args []string) error {
 	storeDir := fs.String("store", "", "persistent results store directory (reuse + top-up of stored records)")
 	fs.Parse(args)
 
+	if *layer == "uniform" {
+		return uniformCampaign(*bench, *n, *seed, *hard, *workers, *storeDir)
+	}
+	if *layer != "micro" {
+		return fmt.Errorf("campaign: unknown -layer %q (micro or uniform)", *layer)
+	}
 	cfg, err := micro.ConfigByName(*cfgName)
 	if err != nil {
 		return err
@@ -199,6 +237,52 @@ func cmdCampaign(args []string) error {
 	}
 	fmt.Printf("  %d injections in %v (%.1f/s)\n", tally.N, elapsed.Round(time.Millisecond),
 		float64(tally.N)/elapsed.Seconds())
+	return nil
+}
+
+// uniformCampaign runs a register-uniform PVF campaign: bit flips
+// uniform over (register, bit, dynamic instant). Its failure rate is
+// the measured quantity that the dynamic ACE bound — and transitively
+// the static bound of `vulnstack analyze` — provably dominates.
+func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, storeDir string) error {
+	// The input seed doubles as the sampling seed, matching the lab's
+	// convention so `analyze -seed S -store DIR` finds these records.
+	sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: seed, Harden: hard}, isa.VSA64)
+	if err != nil {
+		return err
+	}
+	sys.Workers = workers
+	stored := 0
+	if storeDir != "" {
+		store, err := results.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		sys.Store = store
+		if m, ok, err := store.Manifest(sys.UniformKey(seed)); err != nil {
+			return err
+		} else if ok {
+			stored = m.N
+		}
+	}
+	start := time.Now()
+	sp, err := sys.UniformPVF(n, seed)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s (harden=%v), %d register-uniform injections\n", bench, hard, n)
+	fmt.Printf("  SDC      %6.2f%%\n", 100*sp.SDC)
+	fmt.Printf("  Crash    %6.2f%%\n", 100*sp.Crash)
+	fmt.Printf("  Detected %6.2f%%\n", 100*sp.Detected)
+	fmt.Printf("  uniform PVF %.2f%%  (±%.2f%% at 99%%)\n", 100*sp.Total(), 100*vulnstackMargin(n))
+	if sys.Store != nil {
+		reused := min(stored, n)
+		fmt.Printf("  store: reused %d records, ran %d new (id %s)\n",
+			reused, n-reused, sys.UniformKey(seed).ID())
+	}
+	fmt.Printf("  %d injections in %v (%.1f/s)\n", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
 	return nil
 }
 

@@ -308,10 +308,11 @@ func (l *Lab) svf(t Target) (vuln.Split, error) {
 	return v.(vuln.Split), nil
 }
 
-// Experiments lists the reproducible artifacts.
+// Experiments lists the reproducible artifacts. "static" is the
+// no-execution analysis report (vulnstack analyze).
 func Experiments() []string {
 	return []string{"table2", "fig1", "fig4", "table3", "fig5", "fig6",
-		"fig7", "fig8", "fig9", "fig10", "fig11"}
+		"fig7", "fig8", "fig9", "fig10", "fig11", "static"}
 }
 
 // RunExperiment regenerates one paper artifact with fresh campaigns.
@@ -334,8 +335,8 @@ func (l *Lab) Run(id string) (*report.Report, error) {
 // the artifact's campaigns, pulled from the options and — when a store
 // is attached — the stored campaign manifests.
 func (l *Lab) stamp(r *report.Report) {
-	if r.ID == "Table II" {
-		return // static hardware parameters, no campaigns behind it
+	if r.ID == "Table II" || r.ID == "Static" {
+		return // no campaigns behind these (hardware parameters / no-execution analysis)
 	}
 	r.Notef("provenance: seed %d; injections per cell AVF=%d PVF=%d SVF=%d; margins at 99%%: ±%s / ±%s / ±%s",
 		l.Opts.Seed, l.Opts.NAVF, l.Opts.NPVF, l.Opts.NSVF,
@@ -378,6 +379,8 @@ func (l *Lab) run(id string) (*report.Report, error) {
 		return l.caseStudy("fig10", "sha")
 	case "fig11":
 		return l.caseStudy("fig11", "smooth")
+	case "static", "analyze":
+		return l.Analyze(DefaultAnalyzeOptions())
 	}
 	return nil, fmt.Errorf("vulnstack: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 }

@@ -171,21 +171,50 @@ func (cp *Campaign) Sample(r *rand.Rand, fpm micro.FPM) Fault {
 	}
 }
 
+// UniformTarget labels register-uniform injections in the record
+// stream and the results store, distinguishing them from the per-FPM
+// operand-targeted campaigns.
+const UniformTarget = "reg-uniform"
+
+// SampleUniform draws a register-uniform fault: a bit flip in a
+// uniformly chosen architectural register (r1..r(N-1); r0 is
+// hard-wired) at a uniformly chosen dynamic instant, with no
+// conditioning on whether the register is about to be consumed. This is
+// the sampling model that ACE analysis upper-bounds: a flip outside a
+// def-to-last-use interval is overwritten before any read and cannot
+// alter the outcome, so P(visible) <= RegACE <= the static bound. The
+// per-FPM Sample path instead corrupts a *consumed* operand, a
+// liveness-conditioned probability that legitimately exceeds ACE.
+func (cp *Campaign) SampleUniform(r *rand.Rand) Fault {
+	return Fault{
+		FPM:  micro.FPMNone,
+		K:    1 + uint64(r.Int63n(int64(cp.GoldenInstr-1))),
+		Bit:  r.Intn(cp.Img.ISA.XLen()),
+		Slot: 1 + r.Intn(cp.Img.ISA.NumRegs()-1),
+	}
+}
+
+// applyUniform flips f.Bit of register f.Slot in place.
+func applyUniform(c *emu.CPU, f Fault) {
+	c.SetReg(f.Slot, c.Reg(f.Slot)^(1<<uint(f.Bit)))
+}
+
 // Run performs one injection and classifies the program-level outcome.
 // It builds a fresh machine per call; campaigns use the worker-arena
 // path in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
 	c, bus := cp.cpuAt(f.K)
-	return cp.classify(c, bus, f)
+	return cp.classify(c, bus, func() { cp.apply(c, f) })
 }
 
-// classify injects f into a machine already advanced to f.K, runs it to
-// the watchdog limit and classifies the outcome.
-func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, f Fault) inject.Outcome {
+// classify applies an injection to a machine already advanced to the
+// fault instant, runs it to the watchdog limit and classifies the
+// outcome.
+func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, apply func()) inject.Outcome {
 	if bus.Halted() {
 		return inject.Masked
 	}
-	cp.apply(c, f)
+	apply()
 	for c.Instret < cp.Limit {
 		if !c.Step() {
 			break
@@ -360,9 +389,51 @@ func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress fun
 		func(w *worker, j campaign.Job) results.Record {
 			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			rec := record(f, cp.classify(c, bus, f))
+			rec := record(f, cp.classify(c, bus, func() { cp.apply(c, f) }))
 			rec.Index = from + j.Index
 			return rec
+		},
+		emit)
+}
+
+// UniformRecords executes register-uniform injections [from, n) of the
+// n-fault sequence pre-drawn from seed (see SampleUniform), with the
+// same absolute indexing and top-up resume discipline as Records.
+func (cp *Campaign) UniformRecords(n, from int, seed int64, progress func(i int, r results.Record)) []results.Record {
+	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = cp.SampleUniform(r)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from >= n {
+		return nil
+	}
+	jobs := make([]campaign.Job, n-from)
+	for i := range jobs {
+		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].K)}
+	}
+	var emit func(i int, rec results.Record)
+	if progress != nil {
+		emit = func(i int, rec results.Record) { progress(from+i, rec) }
+	}
+	return campaign.Run(jobs, cp.Workers,
+		func() *worker { return &worker{src: -1} },
+		func(w *worker, j campaign.Job) results.Record {
+			f := faults[from+j.Index]
+			c, bus := cp.cpuFor(w, f.K, j.Group)
+			o := cp.classify(c, bus, func() { applyUniform(c, f) })
+			return results.Record{
+				Layer:   results.LayerArch,
+				Target:  UniformTarget,
+				Coord:   f.K,
+				Bit:     f.Bit,
+				Slot:    f.Slot,
+				Outcome: o,
+				Index:   from + j.Index,
+			}
 		},
 		emit)
 }

@@ -1,0 +1,191 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vulnstack/internal/isa"
+)
+
+// opByName maps assembly mnemonics back to operations, the inverse of
+// Op.String for every defined operation.
+var opByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, int(isa.NumOps))
+	for o := isa.Op(0); o < isa.NumOps; o++ {
+		m[o.String()] = o
+	}
+	return m
+}()
+
+// csrByName maps CSR names back to indices, the inverse of CsrName.
+var csrByName = func() map[string]int {
+	m := make(map[string]int, isa.NumCSRs)
+	for c := 0; c < isa.NumCSRs; c++ {
+		m[isa.CsrName(c)] = c
+	}
+	return m
+}()
+
+// ParseInstr parses one instruction in the disassembler's syntax
+// (isa.Instr.String) back into structured form: the inverse of
+// isa.Disasm for every legal encoding. The ISA bounds register names.
+func ParseInstr(text string, is isa.ISA) (isa.Instr, error) {
+	fields := strings.Fields(strings.ReplaceAll(text, ",", " "))
+	if len(fields) == 0 {
+		return isa.Instr{}, fmt.Errorf("asm: empty instruction")
+	}
+	op, ok := opByName[fields[0]]
+	if !ok {
+		return isa.Instr{}, fmt.Errorf("asm: unknown mnemonic %q", fields[0])
+	}
+	in := isa.Instr{Op: op}
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("asm: %s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	var err error
+	switch {
+	case op.Fmt() == isa.FmtR:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			if in.Rs1, err = parseReg(args[1], is); err == nil {
+				in.Rs2, err = parseReg(args[2], is)
+			}
+		}
+	case op.IsLoad() || op == isa.JALR:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			in.Imm, in.Rs1, err = parseMem(args[1], is)
+		}
+	case op.Fmt() == isa.FmtI:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			if in.Rs1, err = parseReg(args[1], is); err == nil {
+				in.Imm, err = parseImm(args[2])
+			}
+		}
+	case op.Fmt() == isa.FmtS:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rs2, err = parseReg(args[0], is); err == nil {
+			in.Imm, in.Rs1, err = parseMem(args[1], is)
+		}
+	case op.Fmt() == isa.FmtB:
+		if err = need(3); err != nil {
+			return in, err
+		}
+		if in.Rs1, err = parseReg(args[0], is); err == nil {
+			if in.Rs2, err = parseReg(args[1], is); err == nil {
+				in.Imm, err = parseImm(args[2])
+			}
+		}
+	case op.Fmt() == isa.FmtU:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			// The disassembler renders the shifted immediate as the
+			// unsigned 64-bit hex of the sign-extended value.
+			var u uint64
+			u, err = strconv.ParseUint(args[1], 0, 64)
+			in.Imm = int64(u)
+		}
+	case op.Fmt() == isa.FmtJ:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			in.Imm, err = parseImm(args[1])
+		}
+	case op == isa.CSRW:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		var csr int
+		if csr, err = parseCsr(args[0]); err == nil {
+			in.Imm = int64(csr)
+			in.Rs1, err = parseReg(args[1], is)
+		}
+	case op == isa.CSRR:
+		if err = need(2); err != nil {
+			return in, err
+		}
+		if in.Rd, err = parseReg(args[0], is); err == nil {
+			var csr int
+			csr, err = parseCsr(args[1])
+			in.Imm = int64(csr)
+		}
+	default: // ecall, eret
+		err = need(0)
+	}
+	if err != nil {
+		return in, fmt.Errorf("asm: %q: %w", text, err)
+	}
+	return in, nil
+}
+
+// parseReg resolves a register name ("zero", "ra", "sp", "tp", "rN").
+func parseReg(s string, is isa.ISA) (int, error) {
+	r := -1
+	switch s {
+	case "zero":
+		r = isa.RegZero
+	case "ra":
+		r = isa.RegRA
+	case "sp":
+		r = isa.RegSP
+	case "tp":
+		r = isa.RegTMP
+	default:
+		if len(s) > 1 && s[0] == 'r' {
+			if n, err := strconv.Atoi(s[1:]); err == nil {
+				r = n
+			}
+		}
+	}
+	if r < 0 || r >= is.NumRegs() {
+		return 0, fmt.Errorf("bad register %q for %v", s, is)
+	}
+	return r, nil
+}
+
+// parseMem splits the "imm(reg)" addressing form.
+func parseMem(s string, is isa.ISA) (int64, int, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	imm, err := parseImm(s[:open])
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err := parseReg(s[open+1:len(s)-1], is)
+	return imm, reg, err
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func parseCsr(s string) (int, error) {
+	c, ok := csrByName[s]
+	if !ok {
+		return 0, fmt.Errorf("unknown CSR %q", s)
+	}
+	return c, nil
+}

@@ -1,0 +1,118 @@
+package asm
+
+import (
+	"testing"
+
+	"vulnstack/internal/isa"
+)
+
+// candidates enumerates representative instructions of every encodable
+// form of op on is: register operands sweep the conventional and
+// boundary registers, immediates sweep sign and range extremes of each
+// format.
+func candidates(op isa.Op, is isa.ISA) []isa.Instr {
+	regs := []int{0, 1, 2, 3, 5, is.NumRegs() - 1}
+	var out []isa.Instr
+	switch {
+	case op.Fmt() == isa.FmtR:
+		for _, rd := range regs {
+			for _, rs1 := range regs {
+				for _, rs2 := range regs {
+					out = append(out, isa.Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+				}
+			}
+		}
+	case op == isa.SLLI || op == isa.SRLI || op == isa.SRAI:
+		for _, rd := range regs {
+			for _, sh := range []int64{0, 1, int64(is.XLen() - 1)} {
+				out = append(out, isa.Instr{Op: op, Rd: rd, Rs1: 5, Imm: sh})
+			}
+		}
+	case op.IsLoad() || op == isa.JALR || op.Fmt() == isa.FmtS:
+		for _, r := range regs {
+			for _, imm := range []int64{-2048, -1, 0, 16, 2047} {
+				in := isa.Instr{Op: op, Rs1: 2, Imm: imm}
+				if op.Fmt() == isa.FmtS {
+					in.Rs2 = r
+				} else {
+					in.Rd = r
+				}
+				out = append(out, in)
+			}
+		}
+	case op.Fmt() == isa.FmtI:
+		for _, rd := range regs {
+			for _, imm := range []int64{-2048, -1, 0, 16, 2047} {
+				out = append(out, isa.Instr{Op: op, Rd: rd, Rs1: 5, Imm: imm})
+			}
+		}
+	case op.Fmt() == isa.FmtB:
+		for _, rs1 := range regs {
+			for _, imm := range []int64{-8192, -4, 0, 4, 8188} {
+				out = append(out, isa.Instr{Op: op, Rs1: rs1, Rs2: 5, Imm: imm})
+			}
+		}
+	case op.Fmt() == isa.FmtJ:
+		for _, rd := range regs {
+			for _, imm := range []int64{-1048576, -4, 0, 4, 1048572} {
+				out = append(out, isa.Instr{Op: op, Rd: rd, Imm: imm})
+			}
+		}
+	case op.Fmt() == isa.FmtU:
+		for _, rd := range regs {
+			for _, imm := range []int64{0, 4096, 0x10000, -4096, -1 << 31} {
+				out = append(out, isa.Instr{Op: op, Rd: rd, Imm: imm})
+			}
+		}
+	case op == isa.CSRW:
+		for _, rs1 := range regs {
+			for c := 0; c < isa.NumCSRs; c++ {
+				out = append(out, isa.Instr{Op: op, Rs1: rs1, Imm: int64(c)})
+			}
+		}
+	case op == isa.CSRR:
+		for _, rd := range regs {
+			for c := 0; c < isa.NumCSRs; c++ {
+				out = append(out, isa.Instr{Op: op, Rd: rd, Imm: int64(c)})
+			}
+		}
+	default: // ecall, eret
+		out = append(out, isa.Instr{Op: op})
+	}
+	return out
+}
+
+// TestDisasmRoundTrip: for every encodable instruction form of both
+// ISAs, the binary round-trips through decode (Encode∘Decode identity)
+// and the disassembly re-assembles through ParseInstr to the identical
+// word.
+func TestDisasmRoundTrip(t *testing.T) {
+	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+		for op := isa.Op(0); op < isa.NumOps; op++ {
+			legal := 0
+			for _, in := range candidates(op, is) {
+				w := isa.Encode(in)
+				dec, ok := isa.Decode(w, is)
+				if !ok {
+					continue // form not encodable on this ISA variant
+				}
+				legal++
+				if w2 := isa.Encode(dec); w2 != w {
+					t.Fatalf("%v/%v: Encode(Decode(%#08x)) = %#08x", is, op, w, w2)
+				}
+				text := isa.Disasm(w, is)
+				parsed, err := ParseInstr(text, is)
+				if err != nil {
+					t.Fatalf("%v/%v: ParseInstr(%q): %v", is, op, text, err)
+				}
+				if w2 := isa.Encode(parsed); w2 != w {
+					t.Fatalf("%v/%v: reassembling %q: got %#08x want %#08x (parsed %+v)",
+						is, op, text, w2, w, parsed)
+				}
+			}
+			if legal == 0 && !(is == isa.VSA32 && (op == isa.LD || op == isa.LWU || op == isa.SD)) {
+				t.Errorf("%v/%v: no candidate form decoded as legal", is, op)
+			}
+		}
+	}
+}

@@ -17,17 +17,28 @@ import (
 	"fmt"
 
 	"vulnstack/internal/ir"
+	"vulnstack/internal/minic"
 )
 
 // CheckFunc is the synthesized detection routine's name.
 const CheckFunc = "__ftcheck"
 
-// unprotected lists runtime functions the transform must not touch
-// (the "library calls" that remain unprotected in the paper's study).
-var unprotected = map[string]bool{
-	"_start": true, "exit": true, "detect": true, "out": true,
-	"out16": true, "out32": true, "__flush": true, CheckFunc: true,
-}
+// unprotected lists functions the transform must not touch — the
+// runtime library (the "library calls" that remain unprotected in the
+// paper's study) plus the detection routine itself. Derived from the
+// compiler's own runtime-function list so the two can never drift.
+var unprotected = func() map[string]bool {
+	m := map[string]bool{CheckFunc: true}
+	for _, name := range minic.RuntimeFuncs() {
+		m[name] = true
+	}
+	return m
+}()
+
+// Protectable reports whether the transform hardens a function of the
+// given name. The static coverage verifier uses the same predicate to
+// decide which functions owe duplication-and-check obligations.
+func Protectable(name string) bool { return !unprotected[name] }
 
 // Options tunes the transform.
 type Options struct {

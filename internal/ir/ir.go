@@ -95,6 +95,35 @@ type Instr struct {
 // have Dst == -1 even though OpCall can define one.
 func (in *Instr) HasDst() bool { return in.Dst >= 0 }
 
+// Def returns the vreg the instruction defines, or -1.
+func (in *Instr) Def() int { return in.Dst }
+
+// Uses returns the vregs the instruction reads, in operand order
+// (A, B, Args). Dataflow analyses (and the static hardening-coverage
+// verifier) iterate uses through here rather than re-deriving operand
+// roles per opcode.
+func (in *Instr) Uses() []int {
+	var u []int
+	switch in.Op {
+	case OpConst, OpGlobal, OpFrame, OpBr:
+		// no register uses
+	case OpCopy, OpLoad, OpCondBr:
+		u = append(u, in.A)
+	case OpBin, OpStore:
+		u = append(u, in.A, in.B)
+	case OpRet:
+		if in.A >= 0 {
+			u = append(u, in.A)
+		}
+	case OpCall:
+		u = append(u, in.Args...)
+	case OpSyscall:
+		u = append(u, in.A)
+		u = append(u, in.Args...)
+	}
+	return u
+}
+
 // Block is a basic block: straight-line instructions ending in a
 // terminator (ret/br/condbr).
 type Block struct {

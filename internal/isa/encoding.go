@@ -596,6 +596,76 @@ const (
 	FieldOperand
 )
 
+// BitClass is the encoding-determined effect of flipping one bit of an
+// instruction word: the static analogue of the fault propagation model
+// a corrupted instruction fetch manifests as. Unlike OperationMask's
+// two-way field split, BitClass is computed by actually decoding the
+// flipped word, so it also captures flips that leave illegal encodings
+// (trapped by the hardware) or dead encoding space (masked).
+type BitClass int
+
+const (
+	// BitMasked flips decode to the identical instruction (dead
+	// encoding space, e.g. the ignored rd field of CSRW).
+	BitMasked BitClass = iota
+	// BitWD flips change only a pure data immediate (ALU immediates,
+	// shift amounts, LUI): the executed operation and the resources it
+	// touches are unchanged, but the value computed is wrong.
+	BitWD
+	// BitWI flips change which operation executes.
+	BitWI
+	// BitWOI flips change which resource is touched: a register
+	// specifier, a memory or branch offset, or a CSR index.
+	BitWOI
+	// BitTrap flips leave a word that no longer decodes; the hardware
+	// raises an illegal-instruction trap.
+	BitTrap
+	NumBitClasses
+)
+
+var bitClassNames = [...]string{"masked", "WD", "WI", "WOI", "trap"}
+
+func (c BitClass) String() string { return bitClassNames[c] }
+
+// immSelectsData reports whether op's immediate is a pure data value
+// (rather than an address offset, branch target or CSR index).
+func immSelectsData(o Op) bool {
+	switch o {
+	case ADDI, SLLI, SLTI, SLTIU, XORI, SRLI, SRAI, ORI, ANDI, LUI:
+		return true
+	}
+	return false
+}
+
+// FlipClass classifies the effect of flipping bit (0..31) of the valid
+// instruction word w under ISA variant is, from the encoding alone. If
+// w itself does not decode, every flip is reported as BitTrap (the
+// word traps whether or not the flipped bit repairs it — conservative,
+// but undecodable words do not appear in generated code).
+func FlipClass(w uint32, bit int, is ISA) BitClass {
+	orig, ok := Decode(w, is)
+	if !ok {
+		return BitTrap
+	}
+	flipped, ok := Decode(w^(1<<uint(bit)), is)
+	if !ok {
+		return BitTrap
+	}
+	switch {
+	case flipped.Op != orig.Op:
+		return BitWI
+	case flipped.Rd != orig.Rd, flipped.Rs1 != orig.Rs1, flipped.Rs2 != orig.Rs2:
+		return BitWOI
+	case flipped.Imm != orig.Imm:
+		if immSelectsData(orig.Op) {
+			return BitWD
+		}
+		return BitWOI
+	default:
+		return BitMasked
+	}
+}
+
 // OperationMask returns the mask of operation-field bits for a valid
 // instruction word w: flipping a bit under the mask executes a different
 // operation (WI), flipping any other bit changes an operand (WOI).

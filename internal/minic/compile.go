@@ -47,6 +47,23 @@ func detect(code int) {
 }
 `
 
+// RuntimeFuncs returns the names of the runtime-library functions every
+// compiled module contains: the prelude functions plus the synthesized
+// _start entry stub. This is the authoritative list consumers (the
+// hardening transform, the static coverage verifier) use to separate
+// user code from the unprotected runtime.
+func RuntimeFuncs() []string {
+	f, err := Parse(Prelude)
+	if err != nil {
+		panic("minic: prelude does not parse: " + err.Error())
+	}
+	names := []string{"_start"}
+	for _, fn := range f.Funcs {
+		names = append(names, fn.Name)
+	}
+	return names
+}
+
 // mergeFiles concatenates parsed files (prelude first).
 func mergeFiles(files ...*File) *File {
 	out := &File{}

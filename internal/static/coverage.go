@@ -1,0 +1,300 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+
+	"vulnstack/internal/harden"
+	"vulnstack/internal/ir"
+)
+
+// Hole is one hardening-coverage violation: an instruction in a
+// protectable function that is not duplicated-and-checked, or a
+// sphere-of-replication exit that is not guarded.
+type Hole struct {
+	Func   string
+	Block  int
+	Index  int
+	Instr  string
+	Reason string
+}
+
+func (h Hole) String() string {
+	return fmt.Sprintf("%s b%d.%d [%s]: %s", h.Func, h.Block, h.Index, h.Instr, h.Reason)
+}
+
+// Coverage is the verifier's report over one module.
+type Coverage struct {
+	// Funcs is the number of protectable functions verified.
+	Funcs int
+	// Obligations is the number of instructions owing protection
+	// (computations owing duplicates, exits owing guards); Covered of
+	// them are satisfied.
+	Obligations, Covered int
+	// Holes lists every violation, in program order.
+	Holes []Hole
+}
+
+// Frac returns the covered fraction (1 when nothing is owed).
+func (c *Coverage) Frac() float64 {
+	if c.Obligations == 0 {
+		return 1
+	}
+	return float64(c.Covered) / float64(c.Obligations)
+}
+
+// Full reports complete coverage.
+func (c *Coverage) Full() bool { return len(c.Holes) == 0 }
+
+// VerifyHardening statically checks that a module carries the
+// duplication-and-check protection harden.Transform installs, under
+// the same options: every computation in a protectable function is
+// mirrored into the shadow data flow, and every sphere-of-replication
+// exit (store, branch, call, syscall, return) is preceded by a guard
+// comparing each escaping value against its shadow. The verifier is
+// independent of the transform's implementation — it infers the
+// shadow-register mapping from the code and re-derives each
+// obligation — so it detects coverage holes in hand-weakened or
+// miscompiled modules, not just unhardened ones.
+func VerifyHardening(m *ir.Module, opts harden.Options) *Coverage {
+	cov := &Coverage{}
+	for _, f := range m.Funcs {
+		if !harden.Protectable(f.Name) {
+			continue
+		}
+		cov.Funcs++
+		verifyFunc(f, opts, cov)
+	}
+	return cov
+}
+
+// shadowDelta infers the primary→shadow vreg distance n (the transform
+// maps v to v+n). Candidates come from the entry-block argument copies
+// (copy dst, a with a < NumArgs) and from adjacent identical-payload
+// duplicate pairs; the majority wins. Returns 0 when the function
+// carries no recognizable shadow flow at all.
+func shadowDelta(f *ir.Func) int {
+	votes := map[int]int{}
+	if len(f.Blocks) > 0 {
+		for i, in := range f.Blocks[0].Instrs {
+			if i >= f.NumArgs || in.Op != ir.OpCopy || in.A != i || in.Dst <= in.A {
+				break
+			}
+			votes[in.Dst-in.A]++
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := 0; i+1 < len(b.Instrs); i++ {
+			a, d := &b.Instrs[i], &b.Instrs[i+1]
+			if a.Op != d.Op || d.Dst <= a.Dst {
+				continue
+			}
+			switch a.Op {
+			case ir.OpConst:
+				if a.Imm == d.Imm {
+					votes[d.Dst-a.Dst]++
+				}
+			case ir.OpGlobal:
+				if a.Sym == d.Sym {
+					votes[d.Dst-a.Dst]++
+				}
+			case ir.OpFrame:
+				if a.Slot == d.Slot {
+					votes[d.Dst-a.Dst]++
+				}
+			case ir.OpBin:
+				if a.Bin == d.Bin && d.A == a.A+(d.Dst-a.Dst) && d.B == a.B+(d.Dst-a.Dst) {
+					votes[d.Dst-a.Dst]++
+				}
+			}
+		}
+	}
+	best, bestN := 0, 0
+	deltas := make([]int, 0, len(votes))
+	for d := range votes {
+		deltas = append(deltas, d)
+	}
+	sort.Ints(deltas)
+	for _, d := range deltas {
+		if votes[d] > bestN {
+			best, bestN = d, votes[d]
+		}
+	}
+	return best
+}
+
+// verifyFunc checks one protectable function, appending holes.
+func verifyFunc(f *ir.Func, opts harden.Options, cov *Coverage) {
+	n := shadowDelta(f)
+	hole := func(bi, i int, in *ir.Instr, reason string) {
+		cov.Holes = append(cov.Holes, Hole{
+			Func: f.Name, Block: bi, Index: i,
+			Instr: in.Op.String(), Reason: reason,
+		})
+	}
+	owe := func(ok bool, bi, i int, in *ir.Instr, reason string) {
+		cov.Obligations++
+		if ok {
+			cov.Covered++
+		} else {
+			hole(bi, i, in, reason)
+		}
+	}
+
+	for bi, b := range f.Blocks {
+		classified := make([]bool, len(b.Instrs))
+
+		// guardSet[t] is the set of primary vregs whose primary/shadow
+		// comparison feeds temp t (Xor leaves joined by Or).
+		guardSet := map[int][]int{}
+		isGuardInstr := make([]bool, len(b.Instrs))
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch {
+			case in.Op == ir.OpBin && in.Bin == ir.Xor && n > 0 && in.B == in.A+n:
+				guardSet[in.Dst] = []int{in.A}
+				isGuardInstr[i] = true
+			case in.Op == ir.OpBin && in.Bin == ir.Or && guardSet[in.A] != nil && guardSet[in.B] != nil:
+				guardSet[in.Dst] = append(append([]int{}, guardSet[in.A]...), guardSet[in.B]...)
+				isGuardInstr[i] = true
+			case in.Op == ir.OpCall && in.Sym == harden.CheckFunc:
+				isGuardInstr[i] = true
+			}
+		}
+		for i := range b.Instrs {
+			if isGuardInstr[i] {
+				classified[i] = true
+			}
+		}
+
+		// guardedBefore returns the union of vregs guarded by the
+		// contiguous run of guard instructions immediately before i.
+		guardedBefore := func(i int) map[int]bool {
+			got := map[int]bool{}
+			for j := i - 1; j >= 0 && isGuardInstr[j]; j-- {
+				in := &b.Instrs[j]
+				if in.Op == ir.OpCall && in.Sym == harden.CheckFunc && len(in.Args) == 1 {
+					for _, v := range guardSet[in.Args[0]] {
+						got[v] = true
+					}
+				}
+			}
+			return got
+		}
+		guarded := func(i int, vs ...int) bool {
+			got := guardedBefore(i)
+			for _, v := range vs {
+				if !got[v] {
+					return false
+				}
+			}
+			return true
+		}
+		// dupAfter finds and consumes an unclassified match for want
+		// at position > i.
+		dupAfter := func(i int, match func(*ir.Instr) bool) bool {
+			for j := i + 1; j < len(b.Instrs); j++ {
+				if !classified[j] && match(&b.Instrs[j]) {
+					classified[j] = true
+					return true
+				}
+			}
+			return false
+		}
+
+		// Entry-block argument shadow copies.
+		if bi == 0 {
+			for i := 0; i < f.NumArgs && i < len(b.Instrs); i++ {
+				in := &b.Instrs[i]
+				if in.Op == ir.OpCopy && in.A == i && n > 0 && in.Dst == i+n {
+					classified[i] = true
+				}
+			}
+			for a := 0; a < f.NumArgs; a++ {
+				ok := false
+				for i := range b.Instrs {
+					if classified[i] {
+						in := &b.Instrs[i]
+						if in.Op == ir.OpCopy && in.A == a && in.Dst == a+n {
+							ok = true
+							break
+						}
+					}
+				}
+				arg := ir.Instr{Op: ir.OpCopy, Dst: a, A: a}
+				owe(ok, 0, a, &arg, fmt.Sprintf("argument %%%d never mirrored into shadow flow", a))
+			}
+		}
+
+		for i := 0; i < len(b.Instrs); i++ {
+			if classified[i] {
+				continue
+			}
+			in := &b.Instrs[i]
+			classified[i] = true
+			switch in.Op {
+			case ir.OpConst:
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpConst && d.Dst == in.Dst+n && d.Imm == in.Imm
+				}), bi, i, in, "computation not duplicated")
+			case ir.OpGlobal:
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpGlobal && d.Dst == in.Dst+n && d.Sym == in.Sym
+				}), bi, i, in, "computation not duplicated")
+			case ir.OpFrame:
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpFrame && d.Dst == in.Dst+n && d.Slot == in.Slot
+				}), bi, i, in, "computation not duplicated")
+			case ir.OpCopy:
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpCopy && d.Dst == in.Dst+n && d.A == in.A+n
+				}), bi, i, in, "computation not duplicated")
+			case ir.OpBin:
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpBin && d.Bin == in.Bin &&
+						d.Dst == in.Dst+n && d.A == in.A+n && d.B == in.B+n
+				}), bi, i, in, "computation not duplicated")
+			case ir.OpLoad:
+				if opts.CheckStores {
+					owe(guarded(i, in.A), bi, i, in, "load address not guarded")
+				}
+				owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+					return d.Op == ir.OpCopy && d.Dst == in.Dst+n && d.A == in.Dst
+				}), bi, i, in, "loaded value not mirrored into shadow flow")
+			case ir.OpStore:
+				if opts.CheckStores {
+					owe(guarded(i, in.A, in.B), bi, i, in, "store not guarded")
+				}
+			case ir.OpCall:
+				if opts.CheckCalls && len(in.Args) > 0 {
+					owe(guarded(i, in.Args...), bi, i, in, "call arguments not guarded")
+				}
+				if in.HasDst() {
+					owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+						return d.Op == ir.OpCopy && d.Dst == in.Dst+n && d.A == in.Dst
+					}), bi, i, in, "call result not mirrored into shadow flow")
+				}
+			case ir.OpSyscall:
+				if opts.CheckCalls {
+					owe(guarded(i, append([]int{in.A}, in.Args...)...),
+						bi, i, in, "syscall not guarded")
+				}
+				if in.HasDst() {
+					owe(n > 0 && dupAfter(i, func(d *ir.Instr) bool {
+						return d.Op == ir.OpCopy && d.Dst == in.Dst+n && d.A == in.Dst
+					}), bi, i, in, "syscall result not mirrored into shadow flow")
+				}
+			case ir.OpCondBr:
+				if opts.CheckBranches {
+					owe(guarded(i, in.A), bi, i, in, "branch condition not guarded")
+				}
+			case ir.OpRet:
+				if opts.CheckCalls && in.A >= 0 {
+					owe(guarded(i, in.A), bi, i, in, "return value not guarded")
+				}
+			case ir.OpBr:
+				// unconditional: nothing escapes
+			}
+		}
+	}
+}

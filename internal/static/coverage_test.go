@@ -1,0 +1,157 @@
+package static_test
+
+import (
+	"strings"
+	"testing"
+
+	"vulnstack/internal/harden"
+	"vulnstack/internal/ir"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/static"
+	"vulnstack/internal/workload"
+)
+
+func compileBench(t *testing.T, bench string) *ir.Module {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := minic.Compile(spec.Gen(2021, 1), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestCoverageFullOnTransform: the verifier must certify 100% coverage
+// on the transform's own output, for every seed benchmark.
+func TestCoverageFullOnTransform(t *testing.T) {
+	opts := harden.DefaultOptions()
+	for _, bench := range workload.Names() {
+		m := compileBench(t, bench)
+		hm, err := harden.Transform(m, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		cov := static.VerifyHardening(hm, opts)
+		if !cov.Full() {
+			for _, h := range cov.Holes[:min(5, len(cov.Holes))] {
+				t.Errorf("%s: hole: %s", bench, h)
+			}
+			t.Fatalf("%s: %d/%d obligations covered, %d holes",
+				bench, cov.Covered, cov.Obligations, len(cov.Holes))
+		}
+		if cov.Frac() != 1 || cov.Obligations == 0 || cov.Funcs == 0 {
+			t.Fatalf("%s: frac=%v obligations=%d funcs=%d",
+				bench, cov.Frac(), cov.Obligations, cov.Funcs)
+		}
+	}
+}
+
+// TestCoverageUnhardened: an unhardened module must be reported almost
+// entirely uncovered, not certified.
+func TestCoverageUnhardened(t *testing.T) {
+	m := compileBench(t, "crc32")
+	cov := static.VerifyHardening(m, harden.DefaultOptions())
+	if cov.Full() {
+		t.Fatal("unhardened module certified as fully covered")
+	}
+	if cov.Frac() > 0.5 {
+		t.Fatalf("unhardened module %.0f%% covered, expected mostly holes", 100*cov.Frac())
+	}
+}
+
+// weaken drops protection from one instruction of one protectable
+// function, returning what was removed.
+func weaken(m *ir.Module, drop func(f *ir.Func, b *ir.Block, i int) bool) bool {
+	for _, f := range m.Funcs {
+		if !harden.Protectable(f.Name) {
+			continue
+		}
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if drop(f, b, i) {
+					b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// TestCoverageSeededHoles: deliberately weakened programs must produce
+// holes — a dropped duplicate, and a dropped guard before a store.
+func TestCoverageSeededHoles(t *testing.T) {
+	opts := harden.DefaultOptions()
+
+	t.Run("dropped-duplicate", func(t *testing.T) {
+		hm, err := harden.Transform(compileBench(t, "crc32"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Remove the shadow duplicate of the first Bin: a Bin whose
+		// operands all sit in the shadow range right after its primary.
+		ok := weaken(hm, func(f *ir.Func, b *ir.Block, i int) bool {
+			if i == 0 {
+				return false
+			}
+			p, d := &b.Instrs[i-1], &b.Instrs[i]
+			return p.Op == ir.OpBin && d.Op == ir.OpBin && p.Bin == d.Bin &&
+				d.Dst > p.Dst && d.A > p.A && d.B > p.B
+		})
+		if !ok {
+			t.Fatal("no duplicate pair found to weaken")
+		}
+		cov := static.VerifyHardening(hm, opts)
+		if cov.Full() {
+			t.Fatal("verifier certified a module with a dropped duplicate")
+		}
+		found := false
+		for _, h := range cov.Holes {
+			if strings.Contains(h.Reason, "not duplicated") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no 'not duplicated' hole among %d holes: %v", len(cov.Holes), cov.Holes)
+		}
+	})
+
+	t.Run("dropped-store-guard", func(t *testing.T) {
+		hm, err := harden.Transform(compileBench(t, "crc32"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Remove the __ftcheck call immediately preceding a store.
+		ok := weaken(hm, func(f *ir.Func, b *ir.Block, i int) bool {
+			return i+1 < len(b.Instrs) &&
+				b.Instrs[i].Op == ir.OpCall && b.Instrs[i].Sym == harden.CheckFunc &&
+				b.Instrs[i+1].Op == ir.OpStore
+		})
+		if !ok {
+			t.Fatal("no store guard found to weaken")
+		}
+		cov := static.VerifyHardening(hm, opts)
+		if cov.Full() {
+			t.Fatal("verifier certified a module with an unguarded store")
+		}
+		found := false
+		for _, h := range cov.Holes {
+			if strings.Contains(h.Reason, "store not guarded") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no 'store not guarded' hole among %d holes: %v", len(cov.Holes), cov.Holes)
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,332 @@
+package static
+
+import (
+	"vulnstack/internal/isa"
+)
+
+// Liveness solves backward may-liveness over registers to a fixpoint:
+//
+//	liveOut(n) = union of liveIn(s) over known successors s,
+//	             or ReadRef when n's successors are unresolvable
+//	liveIn(n)  = use(n) | (liveOut(n) &^ def(n))
+//
+// Unresolvable successors (jalr, ecall, eret, undecodable words, edges
+// leaving the text) take the whole ReadRef set: a register can only be
+// live if some instruction somewhere reads it, so ReadRef bounds every
+// possible live set and keeps the analysis sound without resolving
+// indirect control flow.
+func (g *CFG) Liveness() {
+	work := make([]int, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		n := &g.Nodes[i]
+
+		var out uint32
+		if n.unknown {
+			out = g.ReadRef
+		}
+		for _, s := range n.succ {
+			out |= g.Nodes[s].liveIn
+		}
+		in := n.use | (out &^ n.def)
+		if out == n.liveOut && in == n.liveIn {
+			continue
+		}
+		n.liveOut, n.liveIn = out, in
+		for _, p := range n.preds {
+			if !inWork[p] {
+				work = append(work, p)
+				inWork[p] = true
+			}
+		}
+	}
+}
+
+// bitset is a dense bit vector over definition sites.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// orInto ors src into b, reporting whether b changed.
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i, w := range src {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ReachingDefs solves forward reaching definitions over the known CFG
+// edges: which defining instructions can reach each node. Values
+// flowing through unresolvable edges (returns, traps) are not tracked
+// — uses they feed show up as boundary uses, values produced outside
+// the statically visible flow.
+type ReachingDefs struct {
+	// DefSite[d] is the node index of definition site d.
+	DefSite []int
+	// In[n] is the set of definition sites reaching node n.
+	In []bitset
+	// defsOf[r] is the set of all definition sites of register r.
+	defsOf map[int]bitset
+}
+
+// SolveReachingDefs runs the forward dataflow to a fixpoint.
+func (g *CFG) SolveReachingDefs() *ReachingDefs {
+	rd := &ReachingDefs{defsOf: make(map[int]bitset)}
+	defAt := make([]int, len(g.Nodes)) // def site id per node, -1 if none
+	for i := range g.Nodes {
+		defAt[i] = -1
+		if g.Nodes[i].def != 0 {
+			defAt[i] = len(rd.DefSite)
+			rd.DefSite = append(rd.DefSite, i)
+		}
+	}
+	nd := len(rd.DefSite)
+	for d, i := range rd.DefSite {
+		r := g.Nodes[i].in.Rd
+		s, ok := rd.defsOf[r]
+		if !ok {
+			s = newBitset(nd)
+			rd.defsOf[r] = s
+		}
+		s.set(d)
+	}
+
+	rd.In = make([]bitset, len(g.Nodes))
+	out := make([]bitset, len(g.Nodes))
+	for i := range g.Nodes {
+		rd.In[i] = newBitset(nd)
+		out[i] = newBitset(nd)
+	}
+
+	work := make([]int, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	for i := range g.Nodes {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	tmp := newBitset(nd)
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		n := &g.Nodes[i]
+
+		for _, p := range n.preds {
+			rd.In[i].orInto(out[p])
+		}
+		// out = gen | (in &^ kill)
+		copy(tmp, rd.In[i])
+		if d := defAt[i]; d >= 0 {
+			kill := rd.defsOf[n.in.Rd]
+			for w := range tmp {
+				tmp[w] &^= kill[w]
+			}
+			tmp.set(d)
+		}
+		if out[i].orInto(tmp) {
+			for _, s := range n.succ {
+				if !inWork[s] {
+					work = append(work, s)
+					inWork[s] = true
+				}
+			}
+		}
+	}
+	return rd
+}
+
+// ReachingAt returns the definition sites of register r reaching node
+// n (node indices of the defining instructions).
+func (rd *ReachingDefs) ReachingAt(n, r int) []int {
+	defs, ok := rd.defsOf[r]
+	if !ok {
+		return nil
+	}
+	var sites []int
+	for d, site := range rd.DefSite {
+		if defs.has(d) && rd.In[n].has(d) {
+			sites = append(sites, site)
+		}
+	}
+	return sites
+}
+
+// SlotLiveness analyzes stack-slot lifetimes: backward may-liveness
+// over sp-relative byte intervals. Anything the analysis cannot see
+// through — writes to sp itself (frame setup/teardown), calls, traps,
+// unresolvable control flow, and memory accesses through computed
+// pointers (frame addresses escape via addi rd, sp, off) — makes every
+// slot live, so a store reported dead is dead on every path.
+type SlotLiveness struct {
+	// Slots is the distinct sp-relative access intervals observed,
+	// as [offset, offset+width) byte ranges.
+	Slots [][2]int64
+	// DeadStores lists node indices of sp-relative stores whose slot
+	// is provably not live out (never read again on any path).
+	DeadStores []int
+	// Stores is the total count of sp-relative stores.
+	Stores int
+}
+
+// SolveSlots runs the stack-slot liveness analysis. Slots are byte
+// intervals; overlap (a byte store into a word slot) is handled
+// conservatively — a load makes every overlapping slot live, a store
+// kills only slots its interval fully covers.
+func (g *CFG) SolveSlots() *SlotLiveness {
+	sl := &SlotLiveness{}
+	spBase := func(n *node) bool { return n.ok && n.in.Rs1 == isa.RegSP }
+	slotID := make(map[[2]int64]int)
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.ok && (n.in.Op.IsLoad() || n.in.Op.IsStore()) && spBase(n) {
+			iv := [2]int64{n.in.Imm, n.in.Imm + int64(n.in.Op.MemBytes())}
+			if _, seen := slotID[iv]; !seen {
+				slotID[iv] = len(sl.Slots)
+				sl.Slots = append(sl.Slots, iv)
+			}
+		}
+	}
+	ns := len(sl.Slots)
+	if ns == 0 {
+		return sl
+	}
+
+	// Per-node use/kill masks over slot intervals: a load uses every
+	// slot it overlaps; a store kills only slots it fully covers.
+	overlaps := func(a, b [2]int64) bool { return a[0] < b[1] && b[0] < a[1] }
+	covers := func(outer, inner [2]int64) bool {
+		return outer[0] <= inner[0] && inner[1] <= outer[1]
+	}
+	use := make([]bitset, len(g.Nodes))
+	kill := make([]bitset, len(g.Nodes))
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.ok || !spBase(n) || !(n.in.Op.IsLoad() || n.in.Op.IsStore()) {
+			continue
+		}
+		iv := [2]int64{n.in.Imm, n.in.Imm + int64(n.in.Op.MemBytes())}
+		m := newBitset(ns)
+		for s, sv := range sl.Slots {
+			if n.in.Op.IsLoad() && overlaps(iv, sv) {
+				m.set(s)
+			}
+			if n.in.Op.IsStore() && covers(iv, sv) {
+				m.set(s)
+			}
+		}
+		if n.in.Op.IsLoad() {
+			use[i] = m
+		} else {
+			kill[i] = m
+		}
+	}
+
+	// barrier reports whether a node forces all slots live: the
+	// analysis cannot prove any slot dead across it.
+	barrier := func(n *node) bool {
+		if !n.ok || n.unknown {
+			return true
+		}
+		in := n.in
+		switch {
+		case in.Op == isa.JAL: // call: callee may read the frame
+			return true
+		case in.Op.WritesRd() && in.Rd == isa.RegSP: // frame change
+			return true
+		case (in.Op.IsLoad() || in.Op.IsStore()) && !spBase(n): // alias
+			return true
+		}
+		return false
+	}
+
+	all := newBitset(ns)
+	for s := 0; s < ns; s++ {
+		all.set(s)
+	}
+	liveIn := make([]bitset, len(g.Nodes))
+	liveOut := make([]bitset, len(g.Nodes))
+	for i := range g.Nodes {
+		liveIn[i] = newBitset(ns)
+		liveOut[i] = newBitset(ns)
+	}
+
+	work := make([]int, 0, len(g.Nodes))
+	inWork := make([]bool, len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	tmp := newBitset(ns)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		n := &g.Nodes[i]
+
+		copy(tmp, liveOut[i])
+		if n.unknown {
+			copy(tmp, all)
+		}
+		for _, s := range n.succ {
+			tmp.orInto(liveIn[s])
+		}
+		outChanged := liveOut[i].orInto(tmp)
+
+		// in = use | (out &^ kill), or everything at a barrier.
+		copy(tmp, liveOut[i])
+		if barrier(n) {
+			copy(tmp, all)
+		} else {
+			if kill[i] != nil {
+				for w := range tmp {
+					tmp[w] &^= kill[i][w]
+				}
+			}
+			if use[i] != nil {
+				tmp.orInto(use[i])
+			}
+		}
+		if liveIn[i].orInto(tmp) || outChanged {
+			for _, p := range n.preds {
+				if !inWork[p] {
+					work = append(work, p)
+					inWork[p] = true
+				}
+			}
+		}
+	}
+
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.ok || !n.in.Op.IsStore() || !spBase(n) {
+			continue
+		}
+		sl.Stores++
+		iv := [2]int64{n.in.Imm, n.in.Imm + int64(n.in.Op.MemBytes())}
+		dead := true
+		for s, sv := range sl.Slots {
+			if overlaps(iv, sv) && liveOut[i].has(s) {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			sl.DeadStores = append(sl.DeadStores, i)
+		}
+	}
+	return sl
+}

@@ -1,0 +1,65 @@
+package static
+
+import "vulnstack/internal/isa"
+
+// FPMDist is the static fault-propagation-model distribution of an
+// image: for every instruction word in text, each of its 32 bits is
+// classified by what a single-bit fetch corruption of that bit would
+// do, from the encoding alone (isa.FlipClass). It is the no-execution
+// analogue of the measured HVF FPM split — with two honest gaps: it
+// cannot weight instructions by execution frequency, and it cannot see
+// the ESC class (faults that corrupt state without entering the
+// program flow), which only dynamic measurement exposes.
+type FPMDist struct {
+	// Bits counts classified bits per class.
+	Bits [isa.NumBitClasses]int
+	// Words is the number of instruction words classified.
+	Words int
+}
+
+// ClassifyText accumulates the flip classification of every decodable
+// instruction word in the segments.
+func ClassifyText(is isa.ISA, segs []Seg) FPMDist {
+	var d FPMDist
+	for _, s := range segs {
+		for off := 0; off+4 <= len(s.Text); off += 4 {
+			w := uint32(s.Text[off]) | uint32(s.Text[off+1])<<8 |
+				uint32(s.Text[off+2])<<16 | uint32(s.Text[off+3])<<24
+			if _, ok := isa.Decode(w, is); !ok {
+				continue
+			}
+			d.Words++
+			for bit := 0; bit < 32; bit++ {
+				d.Bits[isa.FlipClass(w, bit, is)]++
+			}
+		}
+	}
+	return d
+}
+
+// Total returns the number of classified bits.
+func (d FPMDist) Total() int { return d.Words * 32 }
+
+// Share returns the fraction of bits in class c.
+func (d FPMDist) Share(c isa.BitClass) float64 {
+	if d.Total() == 0 {
+		return 0
+	}
+	return float64(d.Bits[c]) / float64(d.Total())
+}
+
+// ModelShare returns class c's share among the bits that manifest as a
+// propagation model (WD, WI, WOI) — renormalized to compare against
+// the measured FPM split, which is conditioned on faults becoming
+// architecturally visible.
+func (d FPMDist) ModelShare(c isa.BitClass) float64 {
+	n := d.Bits[isa.BitWD] + d.Bits[isa.BitWI] + d.Bits[isa.BitWOI]
+	if n == 0 {
+		return 0
+	}
+	switch c {
+	case isa.BitWD, isa.BitWI, isa.BitWOI:
+		return float64(d.Bits[c]) / float64(n)
+	}
+	return 0
+}

@@ -1,0 +1,139 @@
+// Package static is the no-execution vulnerability analyzer: it bounds
+// PVF/ACE, classifies fault-propagation models, and verifies hardening
+// coverage purely from program structure — no emulator, no injections.
+//
+// The paper measures the vulnerability stack by injection and contrasts
+// it with analytical ACE-style bounds it characterizes as pessimistic.
+// This package supplies that analytical end of the comparison, built so
+// a strict dominance chain holds by construction:
+//
+//	static bound  >=  dynamic ACE bound  >=  injection PVF
+//
+// The static register bound is max over program points of the live-out
+// register fraction. Dynamic ACE (internal/ace) charges register r for
+// the instants between a definition and its last use; at every such
+// instant r is live-out at the executed instruction along the actual
+// path, and the actual path is a path of the recovered CFG (nodes with
+// statically unresolvable successors take the full ReadRef set, which
+// contains every possible live register). The dynamic ACE fraction is
+// therefore an average of per-instant live fractions, each bounded by
+// the static maximum — so the static bound dominates the dynamic bound
+// for any trap-free execution of the image, and the dynamic bound in
+// turn dominates injection PVF by the ACE property (un-ACE bits never
+// alter the outcome).
+package static
+
+import (
+	"math/bits"
+
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+)
+
+// Result is the no-execution analysis of one image.
+type Result struct {
+	ISA isa.ISA
+	// Instrs is the number of decodable instruction words in text;
+	// Illegal counts words that do not decode.
+	Instrs, Illegal int
+
+	// RegBound is the static upper bound on the register-file ACE
+	// fraction (and hence on register PVF): the maximum live-out
+	// register fraction over all program points.
+	RegBound float64
+	// BoundAddr is a program point attaining RegBound (reporting aid).
+	BoundAddr uint64
+	// MeanLive is the unweighted mean live-out fraction over static
+	// instructions — not a bound (no execution frequencies), but a
+	// gauge of how much slack the max-based bound carries.
+	MeanLive float64
+	// EverLive is the number of registers live-out somewhere.
+	EverLive int
+	// MemBound is the static upper bound on the memory ACE fraction.
+	// Without execution the analysis cannot bound which words a
+	// program touches or for how long, so the only sound bound is 1.
+	MemBound float64
+
+	// DeadDefs counts defining instructions whose destination is not
+	// live out: statically wasted definitions (un-ACE by construction).
+	DeadDefs int
+	// BoundaryUses counts register uses with no reaching definition in
+	// the recovered CFG: values produced across statically invisible
+	// edges (function returns, trap entries, initial state).
+	BoundaryUses int
+
+	// StackSlots is the number of distinct sp-relative access
+	// intervals; DeadStackStores of the StackStores sp-relative
+	// stores are provably never read back.
+	StackSlots, StackStores, DeadStackStores int
+
+	// FPM is the static fault-propagation-model bit distribution.
+	FPM FPMDist
+}
+
+// Analyze runs the full static analysis over a bootable image: CFG
+// recovery by disassembly, register liveness and reaching definitions,
+// stack-slot liveness, and FPM bit classification. It never executes
+// an instruction.
+func Analyze(img *kernel.Image) (*Result, error) {
+	segs := ImageSegs(img)
+	return AnalyzeSegs(img.ISA, segs)
+}
+
+// AnalyzeSegs analyzes raw text segments (exposed for tests and for
+// analyzing programs outside a bootable image).
+func AnalyzeSegs(is isa.ISA, segs []Seg) (*Result, error) {
+	g := BuildCFG(is, segs)
+	g.Liveness()
+	rd := g.SolveReachingDefs()
+	sl := g.SolveSlots()
+
+	res := &Result{ISA: is, MemBound: 1}
+	nr := float64(is.NumRegs())
+	var liveSum float64
+	var everLive uint32
+	maxLive := -1
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.ok {
+			res.Illegal++
+			continue
+		}
+		res.Instrs++
+		lv := bits.OnesCount32(n.liveOut)
+		liveSum += float64(lv)
+		everLive |= n.liveOut
+		if lv > maxLive {
+			maxLive = lv
+			res.BoundAddr = n.addr
+		}
+		if n.def != 0 && n.def&n.liveOut == 0 {
+			res.DeadDefs++
+		}
+	}
+	if res.Instrs > 0 {
+		res.RegBound = float64(maxLive) / nr
+		res.MeanLive = liveSum / float64(res.Instrs) / nr
+	}
+	res.EverLive = bits.OnesCount32(everLive)
+
+	// Boundary uses: reads of registers no statically visible
+	// definition reaches.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if !n.ok || n.use == 0 {
+			continue
+		}
+		for r := 1; r < is.NumRegs(); r++ {
+			if n.use&regBit(r) != 0 && len(rd.ReachingAt(i, r)) == 0 {
+				res.BoundaryUses++
+			}
+		}
+	}
+
+	res.StackSlots = len(sl.Slots)
+	res.StackStores = sl.Stores
+	res.DeadStackStores = len(sl.DeadStores)
+	res.FPM = ClassifyText(is, segs)
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package static_test
+
+import (
+	"testing"
+
+	"vulnstack/internal/ace"
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/static"
+	"vulnstack/internal/workload"
+)
+
+func buildImage(t *testing.T, bench string, is isa.ISA) *kernel.Image {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatalf("workload %s: %v", bench, err)
+	}
+	src := spec.Gen(2021, 1)
+	m, err := minic.Compile(src, is.XLen())
+	if err != nil {
+		t.Fatalf("compile %s: %v", bench, err)
+	}
+	prog, err := codegen.Build(m, is)
+	if err != nil {
+		t.Fatalf("codegen %s: %v", bench, err)
+	}
+	img, err := kernel.BuildImage(prog, 1<<21)
+	if err != nil {
+		t.Fatalf("image %s: %v", bench, err)
+	}
+	return img
+}
+
+// TestStaticDominatesDynamicACE is the package-local dominance check:
+// the no-execution register bound must be at least the dynamic-trace
+// ACE bound on real programs, for both ISA variants.
+func TestStaticDominatesDynamicACE(t *testing.T) {
+	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+		for _, bench := range []string{"crc32", "qsort"} {
+			img := buildImage(t, bench, is)
+			st, err := static.Analyze(img)
+			if err != nil {
+				t.Fatalf("static %s/%s: %v", bench, is, err)
+			}
+			dyn, err := ace.Analyze(img, 0)
+			if err != nil {
+				t.Fatalf("ace %s/%s: %v", bench, is, err)
+			}
+			if st.RegBound < dyn.RegACE {
+				t.Errorf("%s/%s: static RegBound %.4f < dynamic RegACE %.4f",
+					bench, is, st.RegBound, dyn.RegACE)
+			}
+			if st.MemBound < dyn.MemACE {
+				t.Errorf("%s/%s: static MemBound %.4f < dynamic MemACE %.4f",
+					bench, is, st.MemBound, dyn.MemACE)
+			}
+			if st.RegBound <= 0 || st.RegBound > 1 {
+				t.Errorf("%s/%s: RegBound %.4f out of range", bench, is, st.RegBound)
+			}
+			if st.Illegal != 0 {
+				t.Errorf("%s/%s: %d undecodable words in generated text", bench, is, st.Illegal)
+			}
+			t.Logf("%s/%s: instrs=%d static=%.4f (mean %.4f, at %#x) dynamic=%.4f everlive=%d deaddefs=%d boundary=%d slots=%d deadstores=%d/%d",
+				bench, is, st.Instrs, st.RegBound, st.MeanLive, st.BoundAddr,
+				dyn.RegACE, st.EverLive, st.DeadDefs, st.BoundaryUses,
+				st.StackSlots, st.DeadStackStores, st.StackStores)
+		}
+	}
+}
+
+// TestCFGRecovery checks successor recovery on a hand-built segment.
+func TestCFGRecovery(t *testing.T) {
+	is := isa.VSA64
+	enc := func(in isa.Instr) []byte {
+		w := isa.Encode(in)
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	}
+	var text []byte
+	// 0x1000: addi r5, r0, 7
+	// 0x1004: beq  r5, r0, +8   -> {0x1008, 0x100c}
+	// 0x1008: jal  r1, -8       -> {0x1000}
+	// 0x100c: jalr r0, 0(r1)    -> unknown
+	text = append(text, enc(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 0, Imm: 7})...)
+	text = append(text, enc(isa.Instr{Op: isa.BEQ, Rs1: 5, Rs2: 0, Imm: 8})...)
+	text = append(text, enc(isa.Instr{Op: isa.JAL, Rd: 1, Imm: -8})...)
+	text = append(text, enc(isa.Instr{Op: isa.JALR, Rd: 0, Rs1: 1, Imm: 0})...)
+
+	res, err := static.AnalyzeSegs(is, []static.Seg{{Base: 0x1000, Text: text}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instrs != 4 || res.Illegal != 0 {
+		t.Fatalf("instrs=%d illegal=%d, want 4/0", res.Instrs, res.Illegal)
+	}
+	// r5 is read by the branch, r1 by the jalr: both ever-live.
+	if res.EverLive != 2 {
+		t.Errorf("EverLive = %d, want 2 (r5, r1)", res.EverLive)
+	}
+	// RegBound: at most 2 of 32 registers are ever live here.
+	if want := 2.0 / 32.0; res.RegBound > want {
+		t.Errorf("RegBound = %.4f, want <= %.4f", res.RegBound, want)
+	}
+}
+
+// TestFPMClassifier spot-checks the per-bit classification against the
+// encoding: an ADDI immediate bit is WD, a register-specifier bit is
+// WOI (or trap on VSA32 where the top specifier bit is illegal), and an
+// opcode bit flip is WI or trap.
+func TestFPMClassifier(t *testing.T) {
+	w := isa.Encode(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 6, Imm: 100})
+	if c := isa.FlipClass(w, 20, isa.VSA64); c != isa.BitWD {
+		t.Errorf("ADDI imm bit: %v, want WD", c)
+	}
+	if c := isa.FlipClass(w, 7, isa.VSA64); c != isa.BitWOI {
+		t.Errorf("ADDI rd bit: %v, want WOI", c)
+	}
+	// rd=5: flipping specifier bit 4 gives r21 — illegal on VSA32.
+	if c := isa.FlipClass(w, 11, isa.VSA32); c != isa.BitTrap {
+		t.Errorf("ADDI rd high bit on VSA32: %v, want trap", c)
+	}
+	sw := isa.Encode(isa.Instr{Op: isa.SW, Rs1: 2, Rs2: 5, Imm: 16})
+	// Store offset bits select the address, not a value: WOI.
+	if c := isa.FlipClass(sw, 9, isa.VSA64); c != isa.BitWOI {
+		t.Errorf("SW offset bit: %v, want WOI", c)
+	}
+
+	// Every bit of every class must be accounted for.
+	var d static.FPMDist
+	img := buildImage(t, "crc32", isa.VSA64)
+	d = static.ClassifyText(isa.VSA64, static.ImageSegs(img))
+	sum := 0
+	for c := isa.BitClass(0); c < isa.NumBitClasses; c++ {
+		sum += d.Bits[c]
+	}
+	if sum != d.Total() || d.Words == 0 {
+		t.Fatalf("classified %d bits of %d", sum, d.Total())
+	}
+	// Generated code must contain all three manifest models.
+	for _, c := range []isa.BitClass{isa.BitWD, isa.BitWI, isa.BitWOI} {
+		if d.Bits[c] == 0 {
+			t.Errorf("no %v bits classified in crc32 text", c)
+		}
+	}
+	shares := d.ModelShare(isa.BitWD) + d.ModelShare(isa.BitWI) + d.ModelShare(isa.BitWOI)
+	if shares < 0.999 || shares > 1.001 {
+		t.Errorf("model shares sum to %.4f, want 1", shares)
+	}
+}

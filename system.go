@@ -204,6 +204,12 @@ func (s *System) ArchKey(fpm micro.FPM, seed int64) results.Key {
 		Struct: fpm.String(), Seed: seed}
 }
 
+// UniformKey is the store key of the register-uniform PVF campaign.
+func (s *System) UniformKey(seed int64) results.Key {
+	return results.Key{Layer: results.LayerArch.String(), Target: s.targetKey(),
+		Struct: arch.UniformTarget, Seed: seed}
+}
+
 // SoftKey is the store key of the software-level (SVF) campaign.
 func (s *System) SoftKey(seed int64) results.Key {
 	return results.Key{Layer: results.LayerSoft.String(), Target: s.targetKey(), Seed: seed}
@@ -311,6 +317,24 @@ func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
 			return nil, err
 		}
 		return cp.Records(fpm, n, from, seed, nil), nil
+	})
+	if err != nil {
+		return vuln.Split{}, err
+	}
+	return vuln.SplitRecords(recs), nil
+}
+
+// UniformPVF measures the register-uniform architecture-level
+// vulnerability: bit flips uniform over (register, bit, dynamic
+// instant), the quantity that dynamic ACE — and therefore the static
+// bound — provably dominates. Store-aware like PVF.
+func (s *System) UniformPVF(n int, seed int64) (vuln.Split, error) {
+	recs, err := s.storeRecords(s.UniformKey(seed), n, func(from int) ([]results.Record, error) {
+		cp, err := s.ArchCampaign()
+		if err != nil {
+			return nil, err
+		}
+		return cp.UniformRecords(n, from, seed, nil), nil
 	})
 	if err != nil {
 		return vuln.Split{}, err

@@ -39,7 +39,7 @@ func TestBuildSystem(t *testing.T) {
 }
 
 func TestExperimentRegistry(t *testing.T) {
-	if len(Experiments()) != 11 {
+	if len(Experiments()) != 12 {
 		t.Fatalf("experiment count %d", len(Experiments()))
 	}
 	if _, err := RunExperiment("fig99", tinyOpts()); err == nil {
