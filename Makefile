@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check cover bench
+.PHONY: all build test vet lint race check cover bench bench-short gobench
 
 all: check
 
@@ -36,5 +36,17 @@ check:
 	$(GO) run ./tools/lint
 	$(GO) test -race -cover ./...
 
+# bench measures per-injection cost per layer per benchmark (with the
+# early-stop and decode-cache accelerations on vs off, asserting
+# bit-identical tallies) and writes BENCH_<date>.json. bench-short is
+# the three-benchmark small-n CI variant (separate output file, so
+# it never clobbers a committed full-run artifact). gobench keeps the raw Go
+# testing benchmarks.
 bench:
+	$(GO) run ./cmd/vulnstack bench
+
+bench-short:
+	$(GO) run ./cmd/vulnstack bench -short -out BENCH_short.json
+
+gobench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

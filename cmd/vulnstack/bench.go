@@ -1,0 +1,222 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"vulnstack"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
+)
+
+// LayerBench is the per-injection cost of one layer on one benchmark,
+// measured with the accelerations (convergence early-stop + predecoded
+// fetch cache) on and off. Tallies are bit-identical in both modes —
+// the benchmark asserts it — so Speedup is pure cost, not a tradeoff.
+type LayerBench struct {
+	// NsPerInjection is the accelerated per-injection cost.
+	NsPerInjection int64 `json:"ns_per_injection"`
+	// NsPerInjectionBase is the run-to-completion (accelerations off)
+	// per-injection cost.
+	NsPerInjectionBase int64 `json:"ns_per_injection_base"`
+	// Speedup is Base/Accelerated.
+	Speedup float64 `json:"speedup"`
+	// EarlyStopRate is the fraction of injections classified by
+	// convergence (or, at the soft layer, by the dead-definition
+	// filter) instead of running to completion.
+	EarlyStopRate float64 `json:"early_stop_rate"`
+}
+
+// BenchReport is the schema of BENCH_<date>.json.
+type BenchReport struct {
+	Date       string                           `json:"date"`
+	Config     string                           `json:"config"`
+	Struct     string                           `json:"struct"`
+	N          int                              `json:"n"`
+	Seed       int64                            `json:"seed"`
+	Benchmarks map[string]map[string]LayerBench `json:"benchmarks"`
+	// MedianMicroSpeedup is the headline number: the median across
+	// benchmarks of the micro-layer per-injection speedup.
+	MedianMicroSpeedup float64 `json:"median_micro_speedup"`
+}
+
+// cmdBench measures per-injection cost per layer per benchmark, with
+// the accelerations on and off, and writes the result as JSON. It also
+// verifies, on every benchmark and layer it touches, that the two modes
+// produce bit-identical tallies (the equivalence gate).
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	benches := fs.String("bench", "", "comma-separated benchmark subset (default: all)")
+	cfgName := fs.String("config", "A72", "microarchitecture for the micro layer")
+	stName := fs.String("struct", "RF", "micro-layer structure to inject into")
+	n := fs.Int("n", 150, "injections per layer per benchmark per mode")
+	seed := fs.Int64("seed", 2021, "sampling seed")
+	short := fs.Bool("short", false, "CI mode: three benchmarks, small n")
+	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	fs.Parse(args)
+
+	cfg, err := micro.ConfigByName(*cfgName)
+	if err != nil {
+		return err
+	}
+	st, err := micro.ParseStructure(*stName)
+	if err != nil {
+		return err
+	}
+	names := vulnstack.Benchmarks()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	if *short {
+		if *benches == "" && len(names) > 3 {
+			names = names[:3]
+		}
+		if *n > 30 {
+			*n = 30
+		}
+	}
+	file := *out
+	if file == "" {
+		file = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	}
+
+	rep := BenchReport{
+		Date:       time.Now().Format(time.RFC3339),
+		Config:     cfg.Name,
+		Struct:     st.String(),
+		N:          *n,
+		Seed:       *seed,
+		Benchmarks: make(map[string]map[string]LayerBench),
+	}
+	var microSpeedups []float64
+	for _, bench := range names {
+		lb, err := benchOne(bench, cfg, st, *n, *seed)
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", bench, err)
+		}
+		rep.Benchmarks[bench] = lb
+		microSpeedups = append(microSpeedups, lb["micro"].Speedup)
+		fmt.Printf("%-10s micro %7.2fus -> %7.2fus (%4.2fx, es %3.0f%%)  arch %7.2fus -> %7.2fus (%4.2fx)  soft %7.2fus -> %7.2fus (%4.2fx)\n",
+			bench,
+			float64(lb["micro"].NsPerInjectionBase)/1e3, float64(lb["micro"].NsPerInjection)/1e3,
+			lb["micro"].Speedup, 100*lb["micro"].EarlyStopRate,
+			float64(lb["arch"].NsPerInjectionBase)/1e3, float64(lb["arch"].NsPerInjection)/1e3, lb["arch"].Speedup,
+			float64(lb["soft"].NsPerInjectionBase)/1e3, float64(lb["soft"].NsPerInjection)/1e3, lb["soft"].Speedup)
+	}
+	rep.MedianMicroSpeedup = median(microSpeedups)
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("median micro-layer speedup %.2fx; wrote %s\n", rep.MedianMicroSpeedup, file)
+	return nil
+}
+
+// benchOne times one benchmark across the three layers. Two systems are
+// built — the decode-cache switch is baked into campaign snapshots, so
+// accelerated and baseline campaigns cannot share one — and golden-run
+// preparation happens before the clock starts: the measured quantity is
+// per-injection cost only.
+func benchOne(bench string, cfg micro.Config, st micro.Structure, n int, seed int64) (map[string]LayerBench, error) {
+	mk := func(off bool) (*vulnstack.System, error) {
+		sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1}, isa.VSA64)
+		if err != nil {
+			return nil, err
+		}
+		sys.Workers = 1 // single-threaded: stable per-injection cost
+		sys.NoEarlyStop = off
+		sys.NoDecodeCache = off
+		return sys, nil
+	}
+	accel, err := mk(false)
+	if err != nil {
+		return nil, err
+	}
+	base, err := mk(true)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(sys *vulnstack.System, layer string) ([]results.Record, int64, error) {
+		var recs []results.Record
+		switch layer {
+		case "micro":
+			cp, err := sys.MicroCampaign(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			recs = cp.Records(st, n, 0, seed, nil)
+			return recs, time.Since(start).Nanoseconds(), nil
+		case "arch":
+			cp, err := sys.ArchCampaign()
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			recs = cp.Records(micro.FPMWD, n, 0, seed, nil)
+			return recs, time.Since(start).Nanoseconds(), nil
+		default:
+			cp, err := sys.LLFICampaign()
+			if err != nil {
+				return nil, 0, err
+			}
+			start := time.Now()
+			recs = cp.Records(n, 0, seed, nil)
+			return recs, time.Since(start).Nanoseconds(), nil
+		}
+	}
+
+	out := make(map[string]LayerBench)
+	for _, layer := range []string{"micro", "arch", "soft"} {
+		fast, fastNs, err := run(accel, layer)
+		if err != nil {
+			return nil, err
+		}
+		slow, slowNs, err := run(base, layer)
+		if err != nil {
+			return nil, err
+		}
+		if results.TallyOf(fast) != results.TallyOf(slow) {
+			return nil, fmt.Errorf("%s layer: accelerated tally differs from baseline — equivalence violated", layer)
+		}
+		es := 0
+		for _, r := range fast {
+			if r.EarlyStop {
+				es++
+			}
+		}
+		lb := LayerBench{
+			NsPerInjection:     fastNs / int64(n),
+			NsPerInjectionBase: slowNs / int64(n),
+			EarlyStopRate:      float64(es) / float64(n),
+		}
+		if fastNs > 0 {
+			lb.Speedup = float64(slowNs) / float64(fastNs)
+		}
+		out[layer] = lb
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

@@ -7,7 +7,8 @@
 //	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S] [-store DIR]
 //	vulnstack analyze [-bench a,b] [-seed S] [-store DIR] [-ace=false]
 //	vulnstack run -bench sha [-config A72] [-harden]
-//	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR]
+//	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR] [-cpuprofile F] [-memprofile F]
+//	vulnstack bench [-bench a,b] [-n N] [-out FILE]
 //	vulnstack results -store DIR [-id ID]
 package main
 
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,6 +44,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "campaign":
 		err = cmdCampaign(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "results":
 		err = cmdResults(os.Args[2:])
 	default:
@@ -60,6 +65,7 @@ func usage() {
   vulnstack analyze [flags]               static no-execution analysis report
   vulnstack run [flags]                   run one benchmark on a core model
   vulnstack campaign [flags]              one fault-injection campaign
+  vulnstack bench [flags]                 per-injection cost benchmark -> BENCH_<date>.json
   vulnstack results -store DIR [-id ID]   list / inspect stored campaign records`)
 }
 
@@ -179,10 +185,20 @@ func cmdCampaign(args []string) error {
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
 	storeDir := fs.String("store", "", "persistent results store directory (reuse + top-up of stored records)")
+	earlyStop := fs.Bool("earlystop", true, "golden-trace convergence early-stop (provably outcome-preserving; off-switch for measurement)")
+	decodeCache := fs.Bool("decodecache", true, "predecoded fetch cache (provably result-neutral; off-switch for measurement)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (runtime/pprof) to this file")
 	fs.Parse(args)
 
+	stopProf, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
 	if *layer == "uniform" {
-		return uniformCampaign(*bench, *n, *seed, *hard, *workers, *storeDir)
+		return uniformCampaign(*bench, *n, *seed, *hard, *workers, *storeDir, !*earlyStop, !*decodeCache)
 	}
 	if *layer != "micro" {
 		return fmt.Errorf("campaign: unknown -layer %q (micro or uniform)", *layer)
@@ -200,6 +216,8 @@ func cmdCampaign(args []string) error {
 		return err
 	}
 	sys.Workers = *workers
+	sys.NoEarlyStop = !*earlyStop
+	sys.NoDecodeCache = !*decodeCache
 	stored := 0
 	if *storeDir != "" {
 		store, err := results.OpenStore(*storeDir)
@@ -244,7 +262,7 @@ func cmdCampaign(args []string) error {
 // uniform over (register, bit, dynamic instant). Its failure rate is
 // the measured quantity that the dynamic ACE bound — and transitively
 // the static bound of `vulnstack analyze` — provably dominates.
-func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, storeDir string) error {
+func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, storeDir string, noEarlyStop, noDecodeCache bool) error {
 	// The input seed doubles as the sampling seed, matching the lab's
 	// convention so `analyze -seed S -store DIR` finds these records.
 	sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: seed, Harden: hard}, isa.VSA64)
@@ -252,6 +270,8 @@ func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, st
 		return err
 	}
 	sys.Workers = workers
+	sys.NoEarlyStop = noEarlyStop
+	sys.NoDecodeCache = noDecodeCache
 	stored := 0
 	if storeDir != "" {
 		store, err := results.OpenStore(storeDir)
@@ -351,3 +371,39 @@ func orDash(s string) string {
 }
 
 func vulnstackMargin(n int) float64 { return vulnstack.Margin(n) }
+
+// startProfiles turns on the requested runtime/pprof collectors and
+// returns the function that finalizes them: CPU sampling stops and the
+// heap is snapshotted (after a GC, so only live allocations show) when
+// the profiled command finishes.
+func startProfiles(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vulnstack: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "vulnstack: memprofile:", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,82 @@
+package vulnstack
+
+import (
+	"testing"
+
+	"vulnstack/internal/isa"
+	"vulnstack/internal/micro"
+	"vulnstack/internal/results"
+)
+
+// TestAccelerationEquivalenceAllBenchmarks is the acceptance gate of
+// the early-stop + decode-cache work: on every seed benchmark, at every
+// layer, for one and several workers, the accelerated engines must
+// produce tallies bit-identical to the run-to-completion engines. The
+// per-layer sample counts are small — the point is breadth (every
+// benchmark exercises different convergence and decode patterns), not
+// statistical depth.
+func TestAccelerationEquivalenceAllBenchmarks(t *testing.T) {
+	const (
+		nMicro = 10
+		nArch  = 16
+		nSoft  = 30
+		seed   = 2021
+	)
+	cfg := micro.ConfigA72()
+	for _, bench := range Benchmarks() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			// Two systems: the decode-cache switch is baked into campaign
+			// snapshots, so accelerated and baseline campaigns cannot
+			// share one.
+			mk := func(off bool) *System {
+				sys, err := Build(Target{Bench: bench, Seed: 1}, isa.VSA64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.Snapshots = 6
+				sys.NoEarlyStop = off
+				sys.NoDecodeCache = off
+				return sys
+			}
+			accel, base := mk(false), mk(true)
+
+			layer := func(sys *System, name string, workers int) results.Tally {
+				sys.Workers = workers
+				switch name {
+				case "micro":
+					cp, err := sys.MicroCampaign(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp.Workers = workers
+					return results.TallyOf(cp.Records(micro.StructRF, nMicro, 0, seed, nil))
+				case "arch":
+					cp, err := sys.ArchCampaign()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp.Workers = workers
+					return results.TallyOf(cp.Records(micro.FPMWD, nArch, 0, seed, nil))
+				default:
+					cp, err := sys.LLFICampaign()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp.Workers = workers
+					return results.TallyOf(cp.Records(nSoft, 0, seed, nil))
+				}
+			}
+			for _, name := range []string{"micro", "arch", "soft"} {
+				ref := layer(base, name, 1)
+				for _, workers := range []int{1, 3} {
+					if got := layer(accel, name, workers); got != ref {
+						t.Errorf("%s layer, %d workers: accelerated tally %+v, baseline %+v",
+							name, workers, got, ref)
+					}
+				}
+			}
+		})
+	}
+}

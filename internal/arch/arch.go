@@ -37,10 +37,23 @@ type Campaign struct {
 
 	snaps   []emu.Snapshot
 	snapMem []*mem.Memory
-	Limit   uint64
+	// snapBus holds the device-side state (output stream, DMA
+	// registers, halt ports) at each snapshot boundary; goldenDirty[i]
+	// lists the RAM pages golden wrote in (snaps[i-1], snaps[i]]. Both
+	// feed the early-stop convergence test.
+	snapBus     []*dev.Bus
+	goldenDirty [][]uint32
+	Limit       uint64
 	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
 	// The tally is bit-identical for every worker count.
 	Workers int
+	// NoEarlyStop disables convergence early-stop classification; runs
+	// then always execute to halt or Limit. The zero value keeps the
+	// optimization on — outcomes are provably identical either way.
+	NoEarlyStop bool
+	// NoDecodeCache disables the emulator's predecoded fetch cache on
+	// CPUs this campaign creates (also provably result-neutral).
+	NoDecodeCache bool
 }
 
 // Prepare runs the golden execution and captures snapshots.
@@ -68,6 +81,10 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 			step = 1
 		}
 		bus2 := dev.NewBus(img.NewMemory())
+		// Track golden RAM writes so each snapshot interval's dirty
+		// pages are known: the early-stop comparison then touches only
+		// pages the two runs could have dirtied differently.
+		bus2.Mem.EnableTracking()
 		c2 := emu.New(img.ISA, bus2, img.Entry)
 		for next := uint64(0); next < cp.GoldenInstr; next += step {
 			for c2.Instret < next {
@@ -77,6 +94,8 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 			}
 			cp.snaps = append(cp.snaps, c2.Save())
 			cp.snapMem = append(cp.snapMem, bus2.Mem.Clone())
+			cp.snapBus = append(cp.snapBus, bus2.CloneDevice())
+			cp.goldenDirty = append(cp.goldenDirty, bus2.Mem.TakeDirtyPages())
 		}
 	} else {
 		// Keep one boot-state snapshot so worker arenas always have a
@@ -84,6 +103,8 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 		// shared rather than cloned.
 		cp.snaps = []emu.Snapshot{{PC: img.Entry, Mode: isa.Kernel}}
 		cp.snapMem = []*mem.Memory{img.RAM}
+		cp.snapBus = []*dev.Bus{(&dev.Bus{}).CloneDevice()}
+		cp.goldenDirty = [][]uint32{nil}
 	}
 	return cp, nil
 }
@@ -100,12 +121,16 @@ func (cp *Campaign) snapFor(k uint64) int {
 	return best
 }
 
-// cpuAt returns an emulator advanced to dynamic instruction k.
+// cpuAt returns an emulator advanced to dynamic instruction k. Dirty
+// tracking is enabled at the snapshot baseline so the early-stop RAM
+// comparison knows which pages this run touched.
 func (cp *Campaign) cpuAt(k uint64) (*emu.CPU, *dev.Bus) {
 	bus := dev.NewBus(cp.Img.NewMemory())
 	c := emu.New(cp.Img.ISA, bus, cp.Img.Entry)
+	c.NoDecodeCache = cp.NoDecodeCache
 	best := cp.snapFor(k)
 	bus.Mem.CopyFrom(cp.snapMem[best])
+	bus.Mem.EnableTracking()
 	c.Restore(cp.snaps[best])
 	for c.Instret < k {
 		if !c.Step() {
@@ -133,6 +158,7 @@ func (cp *Campaign) cpuFor(w *worker, k uint64, g int) (*emu.CPU, *dev.Bus) {
 		w.m.EnableTracking()
 		w.bus = dev.NewBus(w.m)
 		w.cpu = emu.New(cp.Img.ISA, w.bus, cp.Img.Entry)
+		w.cpu.NoDecodeCache = cp.NoDecodeCache
 	} else {
 		w.bus.Reset()
 		if w.src == g {
@@ -165,10 +191,21 @@ type Fault struct {
 func (cp *Campaign) Sample(r *rand.Rand, fpm micro.FPM) Fault {
 	return Fault{
 		FPM:  fpm,
-		K:    1 + uint64(r.Int63n(int64(cp.GoldenInstr-1))),
+		K:    1 + uint64(r.Int63n(cp.sampleSpan())),
 		Bit:  r.Intn(64),
 		Slot: r.Intn(4),
 	}
+}
+
+// sampleSpan is the dynamic-instant sampling span, clamped so a
+// degenerate golden run (<= 2 instructions) never passes Int63n an
+// n <= 0. The draw still happens, keeping sequences aligned.
+func (cp *Campaign) sampleSpan() int64 {
+	span := int64(cp.GoldenInstr) - 1
+	if span < 1 {
+		span = 1
+	}
+	return span
 }
 
 // UniformTarget labels register-uniform injections in the record
@@ -188,7 +225,7 @@ const UniformTarget = "reg-uniform"
 func (cp *Campaign) SampleUniform(r *rand.Rand) Fault {
 	return Fault{
 		FPM:  micro.FPMNone,
-		K:    1 + uint64(r.Int63n(int64(cp.GoldenInstr-1))),
+		K:    1 + uint64(r.Int63n(cp.sampleSpan())),
 		Bit:  r.Intn(cp.Img.ISA.XLen()),
 		Slot: 1 + r.Intn(cp.Img.ISA.NumRegs()-1),
 	}
@@ -204,35 +241,101 @@ func applyUniform(c *emu.CPU, f Fault) {
 // path in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
 	c, bus := cp.cpuAt(f.K)
-	return cp.classify(c, bus, func() { cp.apply(c, f) })
+	o, _ := cp.classify(c, bus, cp.snapFor(f.K), func() { cp.apply(c, f) })
+	return o
 }
 
 // classify applies an injection to a machine already advanced to the
-// fault instant, runs it to the watchdog limit and classifies the
-// outcome.
-func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, apply func()) inject.Outcome {
+// fault instant (restored from snapshot g), runs it to halt, the
+// watchdog limit or provable golden convergence, and classifies the
+// outcome. earlyStop reports a convergence-classified run.
+func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, g int, apply func()) (o inject.Outcome, earlyStop bool) {
 	if bus.Halted() {
-		return inject.Masked
+		return inject.Masked, false
 	}
 	apply()
-	for c.Instret < cp.Limit {
-		if !c.Step() {
-			break
-		}
-	}
+	halted, converged := cp.runFaulty(c, bus, g)
 	switch {
-	case !bus.Halted():
-		return inject.Crash // live/deadlock under the fault
+	case converged:
+		// Architectural state, device state and memory all bit-equal to
+		// golden at the same instruction boundary: the remaining
+		// execution is exactly golden's, so the outcome is golden's —
+		// clean exit, golden output: Masked.
+		return inject.Masked, true
+	case !halted:
+		return inject.Crash, false // live/deadlock under the fault
 	case bus.Halt == dev.HaltPanic:
-		return inject.Crash
+		return inject.Crash, false
 	case bus.Halt == dev.HaltDetected:
-		return inject.Detected
+		return inject.Detected, false
 	default:
 		if bus.ExitCode == cp.GoldenExit && bytes.Equal(bus.Out, cp.GoldenOut) {
-			return inject.Masked
+			return inject.Masked, false
 		}
-		return inject.SDC
+		return inject.SDC, false
 	}
+}
+
+// runFaulty executes the faulty machine, pausing at every golden
+// snapshot boundary past g to test for convergence.
+func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int) (halted, converged bool) {
+	if !cp.NoEarlyStop && bus.Mem.Tracking() {
+		for j := g + 1; j < len(cp.snaps); j++ {
+			target := cp.snaps[j].Instret
+			// apply may have executed forward past this boundary while
+			// searching for a suitable operand; skip it.
+			if target < c.Instret {
+				continue
+			}
+			for c.Instret < target && c.Instret < cp.Limit {
+				if !c.Step() {
+					return true, false
+				}
+			}
+			if cp.convergedAt(c, bus, g, j) {
+				return false, true
+			}
+		}
+	}
+	for c.Instret < cp.Limit {
+		if !c.Step() {
+			return true, false
+		}
+	}
+	return bus.Halted(), false
+}
+
+// convergedAt reports whether the faulty machine, at the instruction
+// boundary of snapshot j, is bit-identical to the golden run:
+// architectural state against the snapshot, device state against the
+// boundary bus capture, and RAM over the union of the faulty run's
+// dirty pages (tracked since its restore from snapshot g) and the
+// pages golden dirtied in (snaps[g], snaps[j]] — every other page
+// provably equals snapshot g's copy in both runs. KInstr is excluded:
+// it is reporting state no instruction ever reads.
+func (cp *Campaign) convergedAt(c *emu.CPU, bus *dev.Bus, g, j int) bool {
+	s := &cp.snaps[j]
+	if c.Instret != s.Instret || c.PC != s.PC || c.Mode != s.Mode ||
+		c.Regs != s.Regs || c.CSR != s.CSR {
+		return false
+	}
+	if !bus.StateEqual(cp.snapBus[j]) {
+		return false
+	}
+	gm := cp.snapMem[j]
+	for _, p := range bus.Mem.DirtyPageList() {
+		if !bus.Mem.PageEqual(gm, p) {
+			return false
+		}
+	}
+	for k := g + 1; k <= j; k++ {
+		for _, p := range cp.goldenDirty[k] {
+			if !bus.Mem.PageEqual(gm, p) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // apply injects the fault just before the next instruction executes.
@@ -338,14 +441,15 @@ func nthSetBit(m uint32, n int) int {
 type Tally = results.Tally
 
 // record converts a classified fault into the layer-agnostic form.
-func record(f Fault, o inject.Outcome) results.Record {
+func record(f Fault, o inject.Outcome, earlyStop bool) results.Record {
 	return results.Record{
-		Layer:   results.LayerArch,
-		Target:  f.FPM.String(),
-		Coord:   f.K,
-		Bit:     f.Bit,
-		Slot:    f.Slot,
-		Outcome: o,
+		Layer:     results.LayerArch,
+		Target:    f.FPM.String(),
+		Coord:     f.K,
+		Bit:       f.Bit,
+		Slot:      f.Slot,
+		Outcome:   o,
+		EarlyStop: earlyStop,
 	}
 }
 
@@ -389,7 +493,8 @@ func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress fun
 		func(w *worker, j campaign.Job) results.Record {
 			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			rec := record(f, cp.classify(c, bus, func() { cp.apply(c, f) }))
+			o, early := cp.classify(c, bus, j.Group, func() { cp.apply(c, f) })
+			rec := record(f, o, early)
 			rec.Index = from + j.Index
 			return rec
 		},
@@ -424,15 +529,16 @@ func (cp *Campaign) UniformRecords(n, from int, seed int64, progress func(i int,
 		func(w *worker, j campaign.Job) results.Record {
 			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			o := cp.classify(c, bus, func() { applyUniform(c, f) })
+			o, early := cp.classify(c, bus, j.Group, func() { applyUniform(c, f) })
 			return results.Record{
-				Layer:   results.LayerArch,
-				Target:  UniformTarget,
-				Coord:   f.K,
-				Bit:     f.Bit,
-				Slot:    f.Slot,
-				Outcome: o,
-				Index:   from + j.Index,
+				Layer:     results.LayerArch,
+				Target:    UniformTarget,
+				Coord:     f.K,
+				Bit:       f.Bit,
+				Slot:      f.Slot,
+				Outcome:   o,
+				EarlyStop: early,
+				Index:     from + j.Index,
 			}
 		},
 		emit)

@@ -10,6 +10,7 @@ import (
 	"vulnstack/internal/kernel"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/minic"
+	"vulnstack/internal/results"
 	"vulnstack/internal/workload"
 )
 
@@ -136,4 +137,48 @@ func TestArenaMatchesFreshMachine(t *testing.T) {
 	if got != want {
 		t.Fatalf("arena path %+v != fresh-machine path %+v", got, want)
 	}
+}
+
+// TestSampleClampDegenerateGolden: a golden run of <= 2 dynamic
+// instructions leaves no interior instant; Sample must clamp instead
+// of panicking in Int63n (regression).
+func TestSampleClampDegenerateGolden(t *testing.T) {
+	for _, instrs := range []uint64{0, 1, 2} {
+		cp := &Campaign{GoldenInstr: instrs}
+		r := rand.New(rand.NewSource(1))
+		for i := 0; i < 8; i++ {
+			if f := cp.Sample(r, micro.FPMWD); f.K < 1 {
+				t.Fatalf("instrs=%d: sampled instant %d", instrs, f.K)
+			}
+		}
+	}
+}
+
+// TestArchEarlyStopRecordEquivalence: convergence early-stop at the
+// architectural layer must change records only in provenance.
+func TestArchEarlyStopRecordEquivalence(t *testing.T) {
+	cp := prep(t, "sha", isa.VSA64)
+	const n, seed = 40, 2021
+	on := cp.Records(micro.FPMWD, n, 0, seed, nil)
+	cp.NoEarlyStop = true
+	off := cp.Records(micro.FPMWD, n, 0, seed, nil)
+	cp.NoEarlyStop = false
+	stopped := 0
+	for i := range on {
+		if on[i].EarlyStop {
+			stopped++
+			if on[i].Outcome != results.Outcome(inject.Masked) {
+				t.Fatalf("record %d early-stopped with outcome %v", i, on[i].Outcome)
+			}
+		}
+		a := on[i]
+		a.EarlyStop = false
+		if a != off[i] {
+			t.Fatalf("record %d differs beyond provenance:\n on: %+v\noff: %+v", i, on[i], off[i])
+		}
+	}
+	if stopped == 0 {
+		t.Error("expected at least one convergence early-stop in 40 WD injections")
+	}
+	t.Logf("early-stopped %d/%d injections", stopped, n)
 }

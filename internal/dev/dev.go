@@ -187,6 +187,35 @@ func (b *Bus) RestoreFrom(src *Bus) {
 	b.dmaSrc, b.dmaLen = src.dmaSrc, src.dmaLen
 }
 
+// CloneDevice copies the device-side state only — no RAM, no Reader: a
+// lightweight snapshot for the early-stop engines' boundary comparison
+// (see StateEqual). The result must not be used as a live bus.
+func (b *Bus) CloneDevice() *Bus {
+	return &Bus{
+		Out:        append([]byte(nil), b.Out...),
+		Dbg:        append([]byte(nil), b.Dbg...),
+		Halt:       b.Halt,
+		ExitCode:   b.ExitCode,
+		DetectCode: b.DetectCode,
+		PanicCode:  b.PanicCode,
+		DMAErr:     b.DMAErr,
+		dmaSrc:     b.dmaSrc,
+		dmaLen:     b.dmaLen,
+	}
+}
+
+// StateEqual reports whether the device-side state of two buses is
+// identical: halt ports, DMA registers and error flag, and the full
+// output and debug streams. RAM (Mem) and the Reader hook are excluded
+// — memory equality is the caller's job (the early-stop engines compare
+// it dirty-page-wise) and the Reader is an observer, not state.
+func (b *Bus) StateEqual(o *Bus) bool {
+	return b.Halt == o.Halt && b.ExitCode == o.ExitCode &&
+		b.DetectCode == o.DetectCode && b.PanicCode == o.PanicCode &&
+		b.DMAErr == o.DMAErr && b.dmaSrc == o.dmaSrc && b.dmaLen == o.dmaLen &&
+		string(b.Out) == string(o.Out) && string(b.Dbg) == string(o.Dbg)
+}
+
 // Reset clears device state for a fresh run over the same RAM object.
 func (b *Bus) Reset() {
 	b.Out = b.Out[:0]

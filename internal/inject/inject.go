@@ -56,6 +56,10 @@ type Result struct {
 	ContactCycle uint64
 	// Live is false when the flip was provably dead at injection time.
 	Live bool
+	// EarlyStop reports the run was classified by golden-state
+	// convergence at a snapshot boundary instead of running to
+	// completion. Provenance only: the outcome is provably identical.
+	EarlyStop bool
 }
 
 // Record converts the result into the layer-agnostic record form
@@ -70,8 +74,9 @@ func (r Result) Record() results.Record {
 		Outcome: r.Outcome,
 		Visible: r.Visible,
 		FPM:     r.FPM,
-		Contact: r.ContactCycle,
-		Live:    r.Live,
+		Contact:   r.ContactCycle,
+		Live:      r.Live,
+		EarlyStop: r.EarlyStop,
 	}
 }
 
@@ -93,11 +98,21 @@ type Campaign struct {
 
 	snaps  []*micro.Core
 	snapAt []uint64
+	// goldenDirty[i] lists the RAM pages the golden run wrote in the
+	// interval (snapAt[i-1], snapAt[i]] — the only pages on which
+	// snapshot i's RAM can differ from snapshot i-1's. The early-stop
+	// RAM comparison touches exactly these pages plus the faulty run's
+	// own dirty set.
+	goldenDirty [][]uint32
 	// Limit is the faulty-run watchdog in cycles.
 	Limit uint64
 	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
 	// The tally is bit-identical for every worker count.
 	Workers int
+	// NoEarlyStop disables convergence early-stop classification; runs
+	// then always execute to halt or Limit. The zero value keeps the
+	// optimization on — outcomes are provably identical either way.
+	NoEarlyStop bool
 }
 
 // Prepare runs the golden execution (twice: once to learn its length,
@@ -136,6 +151,10 @@ func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) 
 			step = 1
 		}
 		c2 := micro.New(cfg, img.NewMemory(), img.Entry)
+		// Track the golden run's RAM writes so each snapshot interval's
+		// dirty pages are known: the early-stop comparison then touches
+		// only pages the two runs could have dirtied differently.
+		c2.Bus.Mem.EnableTracking()
 		for next := uint64(0); next < cp.Golden.Cycles; next += step {
 			for c2.Cycle < next {
 				if !c2.Step() {
@@ -144,12 +163,14 @@ func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) 
 			}
 			cp.snaps = append(cp.snaps, c2.Clone())
 			cp.snapAt = append(cp.snapAt, c2.Cycle)
+			cp.goldenDirty = append(cp.goldenDirty, c2.Bus.Mem.TakeDirtyPages())
 		}
 	} else {
 		// Even without snapshotting, keep one boot-state (cycle 0)
 		// snapshot so worker arenas always have a restore source.
 		cp.snaps = []*micro.Core{micro.New(cfg, img.NewMemory(), img.Entry)}
 		cp.snapAt = []uint64{0}
+		cp.goldenDirty = [][]uint32{nil}
 	}
 	return cp, nil
 }
@@ -165,9 +186,12 @@ func (cp *Campaign) snapFor(cycle uint64) int {
 	return best
 }
 
-// coreAt returns a fresh machine advanced to the given cycle.
+// coreAt returns a fresh machine advanced to the given cycle. Dirty
+// tracking is enabled at the snapshot baseline so the early-stop RAM
+// comparison knows which pages this run touched.
 func (cp *Campaign) coreAt(cycle uint64) *micro.Core {
 	core := cp.snaps[cp.snapFor(cycle)].Clone()
+	core.Bus.Mem.EnableTracking()
 	for core.Cycle < cycle {
 		if !core.Step() {
 			break
@@ -207,11 +231,18 @@ func (cp *Campaign) coreFor(w *worker, cycle uint64, g int) *micro.Core {
 // the statistical fault sampling of the paper's reference [21].
 func (cp *Campaign) Sample(r *rand.Rand, s micro.Structure) Fault {
 	entries, bitsPer := cp.Cfg.StructDims(s)
+	// A degenerate golden run (<= 2 cycles) leaves no interior cycle to
+	// sample; clamp the span so Int63n is never called with n <= 0. The
+	// draw still happens, keeping the sequence aligned with longer runs.
+	span := int64(cp.Golden.Cycles) - 1
+	if span < 1 {
+		span = 1
+	}
 	return Fault{
 		Struct: s,
 		Entry:  r.Intn(entries),
 		Bit:    r.Intn(bitsPer),
-		Cycle:  1 + uint64(r.Int63n(int64(cp.Golden.Cycles-1))),
+		Cycle:  1 + uint64(r.Int63n(span)),
 	}
 }
 
@@ -219,12 +250,13 @@ func (cp *Campaign) Sample(r *rand.Rand, s micro.Structure) Fault {
 // a snapshot for the faulty run; campaigns use the worker-arena path in
 // RunCampaign instead, which restores state in place.
 func (cp *Campaign) Run(f Fault) Result {
-	return cp.classify(cp.coreAt(f.Cycle), f)
+	return cp.classify(cp.coreAt(f.Cycle), f, cp.snapFor(f.Cycle))
 }
 
-// classify injects f into a machine already advanced to f.Cycle, runs
-// it to completion and classifies the effect.
-func (cp *Campaign) classify(core *micro.Core, f Fault) Result {
+// classify injects f into a machine already advanced to f.Cycle (a
+// clone of or restore from snapshot g), runs it to halt, the watchdog
+// limit or provable golden convergence, and classifies the effect.
+func (cp *Campaign) classify(core *micro.Core, f Fault, g int) Result {
 	if core.Bus.Halted() {
 		// Injection cycle raced with the halt: nothing to corrupt.
 		return Result{Fault: f, Outcome: Masked}
@@ -235,8 +267,15 @@ func (cp *Campaign) classify(core *micro.Core, f Fault) Result {
 		res.Outcome = Masked
 		return res
 	}
-	halted := core.Run(cp.Limit)
+	halted, converged := cp.runFaulty(core, g)
 	switch {
+	case converged:
+		// Bit-equal to golden at the same cycle boundary: the remaining
+		// execution is exactly the golden run's (Step is a deterministic
+		// function of compared state), so the outcome is golden's —
+		// clean exit, golden output: Masked.
+		res.Outcome = Masked
+		res.EarlyStop = true
 	case !halted:
 		res.Outcome = Crash // deadlock / livelock
 	case core.Bus.Halt == dev.HaltPanic:
@@ -254,6 +293,55 @@ func (cp *Campaign) classify(core *micro.Core, f Fault) Result {
 	res.FPM = core.Taint.Class()
 	res.ContactCycle = core.Taint.ContactCycle()
 	return res
+}
+
+// runFaulty executes the faulty machine, pausing at every golden
+// snapshot boundary past g to test for convergence. It returns halted
+// (the machine reached a halt port) and converged (the run was cut
+// short because its full state re-equaled golden's at a boundary).
+func (cp *Campaign) runFaulty(core *micro.Core, g int) (halted, converged bool) {
+	if cp.NoEarlyStop || !core.Bus.Mem.Tracking() {
+		return core.Run(cp.Limit), false
+	}
+	for j := g + 1; j < len(cp.snaps); j++ {
+		for core.Cycle < cp.snapAt[j] {
+			if !core.Step() {
+				return true, false
+			}
+		}
+		if cp.converged(core, g, j) {
+			return false, true
+		}
+	}
+	return core.Run(cp.Limit), false
+}
+
+// converged reports whether the faulty core, now at the cycle of
+// snapshot j, is bit-identical to the golden run. Machine state is
+// compared directly (micro.Core.StateEqual); RAM is compared only on
+// the union of the faulty run's dirty pages (tracked since its restore
+// from snapshot g) and the pages golden dirtied in (snapAt[g],
+// snapAt[j]] — every other page provably equals snapshot g's copy in
+// both runs.
+func (cp *Campaign) converged(core *micro.Core, g, j int) bool {
+	gold := cp.snaps[j]
+	if core.Cycle != gold.Cycle || !core.StateEqual(gold) {
+		return false
+	}
+	m, gm := core.Bus.Mem, gold.Bus.Mem
+	for _, p := range core.RAMDirtyPages() {
+		if !m.PageEqual(gm, p) {
+			return false
+		}
+	}
+	for k := g + 1; k <= j; k++ {
+		for _, p := range cp.goldenDirty[k] {
+			if !m.PageEqual(gm, p) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // RunCampaign performs n sampled injections into structure s, fanned
@@ -298,7 +386,7 @@ func (cp *Campaign) Records(s micro.Structure, n, from int, seed int64, progress
 		func() *worker { return &worker{src: -1} },
 		func(w *worker, j campaign.Job) Record {
 			f := faults[from+j.Index]
-			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f).Record()
+			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f, j.Group).Record()
 			rec.Index = from + j.Index
 			return rec
 		},

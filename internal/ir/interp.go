@@ -48,6 +48,15 @@ type Interp struct {
 
 	Hook DefHook
 
+	// TrackUse enables golden-run def-use tracking: every dynamic
+	// definition whose value is subsequently read has its bit set in
+	// used. A definition whose bit stays clear is provably dead — its
+	// value is never consumed before the holding virtual register is
+	// overwritten or its frame returns — so a fault in it cannot alter
+	// execution (the llfi early-stop filter). Set before Run.
+	TrackUse bool
+	used     []uint64
+
 	mask uint64
 
 	// Reusable-arena support (EnableReset/Reset): init holds the
@@ -146,6 +155,31 @@ func (ip *Interp) Reset() {
 	ip.Hook = nil
 }
 
+// DefUsed reports whether the value defined by dynamic definition seq
+// was read at least once during the last TrackUse run. Out-of-range
+// sequences report false (never defined, hence never read).
+func (ip *Interp) DefUsed(seq uint64) bool {
+	w := int(seq >> 6)
+	return w < len(ip.used) && ip.used[w]&(1<<(seq&63)) != 0
+}
+
+// UsedDefs returns the def-use bitset of the last TrackUse run, indexed
+// by dynamic definition sequence number. The slice aliases interpreter
+// state; callers that outlive the interpreter should copy it.
+func (ip *Interp) UsedDefs() []uint64 { return ip.used }
+
+// markUse records that the definition currently held by virtual
+// register r (tagged in tags) has been read. tags is nil when def-use
+// tracking is off.
+func (ip *Interp) markUse(tags []uint64, r int) {
+	if tags == nil {
+		return
+	}
+	if t := tags[r]; t != 0 {
+		ip.used[(t-1)>>6] |= 1 << ((t - 1) & 63)
+	}
+}
+
 // GlobalAddr returns the interpreter-assigned address of a global.
 func (ip *Interp) GlobalAddr(name string) (int64, bool) {
 	a, ok := ip.globalAddr[name]
@@ -182,6 +216,14 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 	regs := make([]int64, f.NumVReg)
 	copy(regs, args)
 
+	// tags[r] is 1 + the dynamic definition sequence number of the value
+	// currently in virtual register r, 0 when the value came from outside
+	// this frame (arguments were already marked used at the call site).
+	var tags []uint64
+	if ip.TrackUse {
+		tags = make([]uint64, f.NumVReg)
+	}
+
 	// Allocate frame slots on the descending stack.
 	savedSP := ip.sp
 	defer func() { ip.sp = savedSP }()
@@ -215,20 +257,26 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 		case OpConst:
 			def, hasDef = ip.wrap(in.Imm), true
 		case OpCopy:
+			ip.markUse(tags, in.A)
 			def, hasDef = regs[in.A], true
 		case OpBin:
+			ip.markUse(tags, in.A)
+			ip.markUse(tags, in.B)
 			def, hasDef = ip.binop(in.Bin, regs[in.A], regs[in.B]), true
 		case OpGlobal:
 			def, hasDef = ip.globalAddr[in.Sym], true
 		case OpFrame:
 			def, hasDef = slotAddr[in.Slot], true
 		case OpLoad:
+			ip.markUse(tags, in.A)
 			v, err := ip.load(regs[in.A], in.Size, in.Unsigned)
 			if err != nil {
 				return 0, err
 			}
 			def, hasDef = v, true
 		case OpStore:
+			ip.markUse(tags, in.A)
+			ip.markUse(tags, in.B)
 			if err := ip.store(regs[in.A], in.Size, regs[in.B]); err != nil {
 				return 0, err
 			}
@@ -236,6 +284,7 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 			callee, _ := ip.M.Lookup(in.Sym)
 			cargs := make([]int64, len(in.Args))
 			for i, a := range in.Args {
+				ip.markUse(tags, a)
 				cargs[i] = regs[a]
 			}
 			v, err := ip.call(callee, cargs)
@@ -249,6 +298,12 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 				def, hasDef = v, true
 			}
 		case OpSyscall:
+			// Conservative: the kernel model may read any argument
+			// register, so all of them count as used.
+			ip.markUse(tags, in.A)
+			for _, a := range in.Args {
+				ip.markUse(tags, a)
+			}
 			v, err := ip.syscall(regs[in.A], in.Args, regs)
 			if err != nil {
 				return 0, err
@@ -259,6 +314,7 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 			def, hasDef = v, true
 		case OpRet:
 			if in.A >= 0 {
+				ip.markUse(tags, in.A)
 				return regs[in.A], nil
 			}
 			return 0, nil
@@ -266,6 +322,7 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 			bi, ii = in.Target, 0
 			continue
 		case OpCondBr:
+			ip.markUse(tags, in.A)
 			if regs[in.A] != 0 {
 				bi, ii = in.Target, 0
 			} else {
@@ -277,6 +334,15 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 		if hasDef {
 			if ip.Hook != nil {
 				def = ip.wrap(ip.Hook(ip.DefSeq, in, def))
+			}
+			if tags != nil && in.HasDst() {
+				// Definitions without a destination register need no tag:
+				// their value is discarded, so they are dead by
+				// construction (their used bit can never be set).
+				tags[in.Dst] = ip.DefSeq + 1
+				if w := int(ip.DefSeq >> 6); w >= len(ip.used) {
+					ip.used = append(ip.used, make([]uint64, w+1-len(ip.used))...)
+				}
 			}
 			ip.DefSeq++
 			if in.HasDst() {

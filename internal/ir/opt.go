@@ -39,6 +39,7 @@ func foldFunc(f *Func) int {
 			delete(known, def)
 			delete(copies, def)
 			// Any copy whose source was redefined is stale.
+			//lint:ordered deletes every matching entry; the surviving set is order-independent
 			for d, s := range copies {
 				if s == def {
 					delete(copies, d)

@@ -39,12 +39,24 @@ type Campaign struct {
 	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
 	// The tally is bit-identical for every worker count.
 	Workers int
+
+	// NoEarlyStop disables the dead-definition filter (the zero value
+	// keeps it on): a fault in a definition whose value the golden run
+	// never read is provably Masked — the corrupted register is
+	// overwritten or its frame returns before anything consumes it, so
+	// execution is bit-identical to golden — and is classified without
+	// running the interpreter at all.
+	NoEarlyStop bool
+	// usedDefs is the golden def-use bitset (ir.Interp.TrackUse), indexed
+	// by dynamic definition sequence number.
+	usedDefs []uint64
 }
 
 // Prepare runs the golden execution.
 func Prepare(m *ir.Module, memSize int) (*Campaign, error) {
 	ip := ir.NewInterp(m, Width, memSize)
 	ip.MaxSteps = 1 << 32
+	ip.TrackUse = true
 	if err := ip.Run("_start"); err != nil {
 		return nil, fmt.Errorf("llfi: golden run: %w", err)
 	}
@@ -59,6 +71,7 @@ func Prepare(m *ir.Module, memSize int) (*Campaign, error) {
 		GoldenSteps: ip.Steps,
 		MemSize:     memSize,
 		Limit:       3*ip.Steps + 100000,
+		usedDefs:    ip.UsedDefs(),
 	}, nil
 }
 
@@ -69,17 +82,37 @@ type Fault struct {
 }
 
 // Sample draws a fault uniformly over the dynamic definition stream.
+// Degenerate golden runs with no definitions at all clamp the span to
+// one: the single drawn sequence number targets a definition that never
+// executes, so the fault provably has no effect (Masked).
 func (cp *Campaign) Sample(r *rand.Rand) Fault {
+	span := int64(cp.GoldenDefs)
+	if span < 1 {
+		span = 1
+	}
 	return Fault{
-		Seq: uint64(r.Int63n(int64(cp.GoldenDefs))),
+		Seq: uint64(r.Int63n(span)),
 		Bit: uint(r.Intn(Width)),
 	}
+}
+
+// deadDef reports whether f targets a definition the golden run never
+// read: such faults are provably Masked without running.
+func (cp *Campaign) deadDef(f Fault) bool {
+	if cp.NoEarlyStop || cp.usedDefs == nil {
+		return false
+	}
+	w := int(f.Seq >> 6)
+	return w >= len(cp.usedDefs) || cp.usedDefs[w]&(1<<(f.Seq&63)) == 0
 }
 
 // Run performs one injection and classifies the outcome. It allocates
 // a fresh interpreter per call; campaigns use reusable per-worker
 // interpreter arenas in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
+	if cp.deadDef(f) {
+		return inject.Masked
+	}
 	return cp.runOn(ir.NewInterp(cp.M, Width, cp.MemSize), f)
 }
 
@@ -161,9 +194,15 @@ func (cp *Campaign) Records(n, from int, seed int64, progress func(i int, r resu
 			return ip
 		},
 		func(ip *ir.Interp, j campaign.Job) results.Record {
-			ip.Reset()
 			f := faults[from+j.Index]
-			rec := record(f, cp.runOn(ip, f))
+			var rec results.Record
+			if cp.deadDef(f) {
+				rec = record(f, inject.Masked)
+				rec.EarlyStop = true
+			} else {
+				ip.Reset()
+				rec = record(f, cp.runOn(ip, f))
+			}
 			rec.Index = from + j.Index
 			return rec
 		},

@@ -6,6 +6,7 @@
 package mem
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 )
@@ -107,6 +108,42 @@ func (m *Memory) clearDirty() {
 // DirtyPages returns how many pages have been written since the last
 // restore (0 when tracking is disabled).
 func (m *Memory) DirtyPages() int { return len(m.dirtyPages) }
+
+// Tracking reports whether dirty-page tracking is enabled.
+func (m *Memory) Tracking() bool { return m.track }
+
+// DirtyPageList returns the pages written since the last restore, in
+// first-write order. The slice aliases internal state: it is valid only
+// until the next write/restore and must not be mutated.
+func (m *Memory) DirtyPageList() []uint32 { return m.dirtyPages }
+
+// TakeDirtyPages returns a copy of the dirty-page list and clears the
+// dirty set, re-baselining tracking at the current contents. Used by
+// golden-run preparation to capture which pages each snapshot interval
+// wrote without restoring anything.
+func (m *Memory) TakeDirtyPages() []uint32 {
+	pages := make([]uint32, len(m.dirtyPages))
+	copy(pages, m.dirtyPages)
+	m.clearDirty()
+	return pages
+}
+
+// PageEqual reports whether page p has identical contents in m and src.
+// Sizes must match; an out-of-range page compares equal (both empty).
+func (m *Memory) PageEqual(src *Memory, p uint32) bool {
+	if len(m.data) != len(src.data) {
+		panic(fmt.Sprintf("mem.PageEqual: size mismatch %d != %d", len(m.data), len(src.data)))
+	}
+	lo := int(p) << PageShift
+	if lo >= len(m.data) {
+		return true
+	}
+	hi := lo + PageSize
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	return bytes.Equal(m.data[lo:hi], src.data[lo:hi])
+}
 
 // RestoreDirty restores this memory to equal src by copying back only
 // the pages written since the last RestoreDirty/CopyFrom. The caller

@@ -190,3 +190,50 @@ func TestIsMMIO(t *testing.T) {
 		t.Fatal("MMIO window")
 	}
 }
+
+// TestPageEqualAndDirtyTracking covers the early-stop helpers: dirty
+// page capture/take and the page-granular comparison.
+func TestPageEqualAndDirtyTracking(t *testing.T) {
+	a := New(1 << 16)
+	b := New(1 << 16)
+	if !a.PageEqual(b, 3) {
+		t.Fatal("fresh memories must be page-equal")
+	}
+	a.Write(3<<PageShift+8, 8, 0xDEADBEEF)
+	if a.PageEqual(b, 3) {
+		t.Fatal("diverged page reported equal")
+	}
+	if !a.PageEqual(b, 4) {
+		t.Fatal("untouched page reported unequal")
+	}
+	b.Write(3<<PageShift+8, 8, 0xDEADBEEF)
+	if !a.PageEqual(b, 3) {
+		t.Fatal("re-converged page reported unequal")
+	}
+	// Out-of-range pages compare equal (no backing bytes to differ).
+	if !a.PageEqual(b, 1<<20) {
+		t.Fatal("out-of-range page must compare equal")
+	}
+
+	m := New(1 << 16)
+	if m.Tracking() {
+		t.Fatal("tracking on by default")
+	}
+	m.EnableTracking()
+	if !m.Tracking() {
+		t.Fatal("tracking not enabled")
+	}
+	m.Write(5<<PageShift, 8, 1)
+	m.Write(9<<PageShift, 8, 1)
+	got := m.TakeDirtyPages()
+	if len(got) != 2 || got[0] != 5 || got[1] != 9 {
+		t.Fatalf("TakeDirtyPages = %v, want [5 9]", got)
+	}
+	if len(m.DirtyPageList()) != 0 {
+		t.Fatal("take must re-baseline the dirty set")
+	}
+	m.Write(5<<PageShift, 8, 2)
+	if l := m.DirtyPageList(); len(l) != 1 || l[0] != 5 {
+		t.Fatalf("DirtyPageList = %v, want [5]", l)
+	}
+}

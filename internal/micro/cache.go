@@ -104,6 +104,7 @@ func (r *ramLevel) taintRange(addr uint64, n int) {
 // clone deep-copies the RAM level over an already-cloned memory.
 func (r *ramLevel) clone(m *mem.Memory) *ramLevel {
 	nr := &ramLevel{m: m, lat: r.lat, taints: make(map[uint64]taintMask, len(r.taints))}
+	//lint:ordered map-to-map copy; the result is independent of visit order
 	for k, v := range r.taints {
 		nr.taints[k] = v
 	}

@@ -7,6 +7,9 @@ func (c *Core) Clone() *Core {
 	d := &Core{}
 	*d = *c
 	d.OnCommit = nil
+	// The decode memo is derived state; cores may run on different
+	// goroutines, so clones never share it (each rebuilds lazily).
+	d.decodeMemo = nil
 
 	d.Bus = c.Bus.Clone()
 	d.ram = c.ram.clone(d.Bus.Mem)
@@ -47,10 +50,16 @@ func (c *Core) RestoreFrom(src *Core, sameSrc bool) {
 	prf, prfReady, prfTaint := c.prf, c.prfReady, c.prfTaint
 	freeList, rob, iq := c.freeList, c.rob, c.iq
 	lq, sq, fq, ring := c.lq, c.sq, c.fq, c.ring
+	memo := c.decodeMemo
 
 	*c = *src
 	c.OnCommit = nil
 	c.Bus, c.ram, c.l1i, c.l1d, c.l2, c.bp = bus, ram, l1i, l1d, l2, bp
+	// The arena keeps its own decode memo across restores: entries are
+	// pure functions of the fetched word (tag-checked on every hit), so
+	// they can never go stale, and warm entries survive into the next
+	// faulty run.
+	c.decodeMemo = memo
 
 	c.prf = append(prf[:0], src.prf...)
 	c.prfReady = append(prfReady[:0], src.prfReady...)
@@ -160,6 +169,7 @@ func (c *cache) restoreFrom(src *cache) {
 func (r *ramLevel) restoreFrom(src *ramLevel) {
 	r.lat = src.lat
 	clear(r.taints)
+	//lint:ordered map-to-map copy; the result is independent of visit order
 	for k, v := range src.taints {
 		r.taints[k] = v
 	}

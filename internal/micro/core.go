@@ -184,6 +184,11 @@ type Core struct {
 	// completion ring: entries finishing at cycle c are in
 	// ring[c % len(ring)].
 	ring [][]ringEnt
+
+	// decodeMemo is the predecoded fetch cache (see decode.go). It is
+	// derived state — a pure function of fetched words — so it is
+	// excluded from Clone, StateEqual and injection targets.
+	decodeMemo []decodeEnt
 }
 
 // ringEnt identifies a scheduled completion; seq guards against a
@@ -335,7 +340,7 @@ func (c *Core) fetchStage() {
 			opMask := isa.OperationMask(fe.word, c.IS)
 			fe.fetchWI = wordMask&opMask != 0 || wordMask == 0xFFFFFFFF
 		}
-		in, ok := isa.Decode(fe.word, c.IS)
+		in, ok := c.decode(pc, fe.word)
 		fe.in, fe.ok = in, ok
 		fe.npc = pc + 4
 		if ok {

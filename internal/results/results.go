@@ -70,6 +70,13 @@ type Record struct {
 	FPM     micro.FPM `json:"f,omitempty"`
 	Contact uint64    `json:"cc,omitempty"`
 	Live    bool      `json:"live,omitempty"`
+	// EarlyStop marks a run classified by golden-state convergence at a
+	// snapshot boundary (or a provably dead definition at the soft
+	// layer) instead of running to completion. Pure provenance: the
+	// outcome is provably the run-to-completion one, and tallies ignore
+	// the flag. omitempty keeps old stores (schema v1) readable — absent
+	// means false.
+	EarlyStop bool `json:"es,omitempty"`
 }
 
 // Tally is the aggregate of a record stream. It is a comparable value:

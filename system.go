@@ -69,6 +69,17 @@ type System struct {
 	// Workers is the injection-campaign fan-out (<= 0: all CPUs).
 	// Tallies are bit-identical for every worker count.
 	Workers int
+	// NoEarlyStop disables golden-trace convergence early-stop (micro
+	// and arch layers) and the dead-definition filter (soft layer). The
+	// accelerations are provably outcome-preserving — tallies are
+	// bit-identical either way — so the zero value keeps them on; the
+	// switch exists for benchmarking and verification.
+	NoEarlyStop bool
+	// NoDecodeCache disables the predecoded fetch cache in the micro and
+	// arch execution models. Same contract as NoEarlyStop: provably
+	// result-neutral, off-switch for measurement only. Set before the
+	// first campaign use — the flag is baked into campaign snapshots.
+	NoDecodeCache bool
 	// Store, when set, persists per-injection records on disk and
 	// serves repeat measurements from them: a fully stored campaign is
 	// answered without preparing the injector (no golden run, no
@@ -127,11 +138,15 @@ func (s *System) MicroCampaign(cfg micro.Config) (*inject.Campaign, error) {
 	if cp, ok := s.microC[cfg.Name]; ok {
 		return cp, nil
 	}
+	// The decode-cache switch is part of the core configuration (baked
+	// into the golden snapshots), so it must be set before Prepare.
+	cfg.NoDecodeCache = s.NoDecodeCache
 	cp, err := inject.Prepare(s.Image, cfg, s.Snapshots, 0)
 	if err != nil {
 		return nil, err
 	}
 	cp.Workers = s.Workers
+	cp.NoEarlyStop = s.NoEarlyStop
 	s.microC[cfg.Name] = cp
 	return cp, nil
 }
@@ -146,6 +161,8 @@ func (s *System) ArchCampaign() (*arch.Campaign, error) {
 			return nil, err
 		}
 		cp.Workers = s.Workers
+		cp.NoEarlyStop = s.NoEarlyStop
+		cp.NoDecodeCache = s.NoDecodeCache
 		s.archC = cp
 	}
 	return s.archC, nil
@@ -165,6 +182,7 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 			return nil, err
 		}
 		cp.Workers = s.Workers
+		cp.NoEarlyStop = s.NoEarlyStop
 		s.llfiC = cp
 	}
 	return s.llfiC, nil

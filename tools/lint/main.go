@@ -41,12 +41,20 @@ import (
 const module = "vulnstack"
 
 // defaultPackages is the determinism-critical set: every package whose
-// output feeds the persistent results store.
+// output feeds the persistent results store — the injectors, the
+// execution models and convergence comparators they classify with
+// (micro, emu, ir, mem, dev), and the campaign/record plumbing.
 var defaultPackages = []string{
 	module + "/internal/inject",
 	module + "/internal/arch",
 	module + "/internal/llfi",
 	module + "/internal/results",
+	module + "/internal/micro",
+	module + "/internal/emu",
+	module + "/internal/ir",
+	module + "/internal/mem",
+	module + "/internal/dev",
+	module + "/internal/campaign",
 }
 
 // clockFuncs are the time package's wall-clock reads. Duration
