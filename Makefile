@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check cover bench bench-short gobench
+.PHONY: all build test vet lint race check cover bench bench-short bench-agg gobench
 
 all: check
 
@@ -47,6 +47,12 @@ bench:
 
 bench-short:
 	$(GO) run ./cmd/vulnstack bench -short -out BENCH_short.json
+
+# bench-agg measures record re-aggregation throughput (JSONL re-parse
+# vs the streaming columnar cursor) on a small synthetic campaign,
+# asserting bit-identical tallies and a speedup floor.
+bench-agg:
+	$(GO) run ./cmd/vulnstack bench -agg -aggrows 150000 -out BENCH_agg.json
 
 gobench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -33,6 +35,26 @@ type LayerBench struct {
 	EarlyStopRate float64 `json:"early_stop_rate"`
 }
 
+// AggBench is the re-aggregation throughput benchmark: one synthetic
+// stored campaign tallied through the JSONL re-parse baseline and
+// through the streaming columnar cursor. Tallies are bit-identical —
+// the benchmark asserts it — so Speedup is pure cost.
+type AggBench struct {
+	Rows       int   `json:"rows"`
+	JSONLBytes int64 `json:"jsonl_bytes"`
+	SegBytes   int64 `json:"seg_bytes"`
+	// NsJSONL / NsColumnar are full-campaign tally times (best of 3).
+	NsJSONL    int64 `json:"ns_jsonl"`
+	NsColumnar int64 `json:"ns_columnar"`
+	// NsColumnarFiltered tallies only SDC records through the pushed-down
+	// filter (still a full scan of the filter columns).
+	NsColumnarFiltered int64   `json:"ns_columnar_filtered"`
+	RowsPerSecJSONL    float64 `json:"rows_per_sec_jsonl"`
+	RowsPerSecColumnar float64 `json:"rows_per_sec_columnar"`
+	// Speedup is NsJSONL/NsColumnar.
+	Speedup float64 `json:"speedup"`
+}
+
 // BenchReport is the schema of BENCH_<date>.json.
 type BenchReport struct {
 	Date       string                           `json:"date"`
@@ -44,6 +66,8 @@ type BenchReport struct {
 	// MedianMicroSpeedup is the headline number: the median across
 	// benchmarks of the micro-layer per-injection speedup.
 	MedianMicroSpeedup float64 `json:"median_micro_speedup"`
+	// Aggregation is present when the run included -agg.
+	Aggregation *AggBench `json:"aggregation,omitempty"`
 }
 
 // cmdBench measures per-injection cost per layer per benchmark, with
@@ -58,6 +82,8 @@ func cmdBench(args []string) error {
 	n := fs.Int("n", 150, "injections per layer per benchmark per mode")
 	seed := fs.Int64("seed", 2021, "sampling seed")
 	short := fs.Bool("short", false, "CI mode: three benchmarks, small n")
+	agg := fs.Bool("agg", false, "run the re-aggregation benchmark (JSONL vs columnar); alone, skips the per-layer benches")
+	aggRows := fs.Int("aggrows", 1_000_000, "synthetic campaign size for -agg")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Parse(args)
 
@@ -70,15 +96,23 @@ func cmdBench(args []string) error {
 		return err
 	}
 	names := vulnstack.Benchmarks()
-	if *benches != "" {
+	switch {
+	case *benches == "all":
+	case *benches != "":
 		names = strings.Split(*benches, ",")
+	case *agg:
+		// -agg with no explicit benchmark list measures aggregation only.
+		names = nil
 	}
 	if *short {
-		if *benches == "" && len(names) > 3 {
+		if (*benches == "" || *benches == "all") && len(names) > 3 {
 			names = names[:3]
 		}
 		if *n > 30 {
 			*n = 30
+		}
+		if *aggRows > 150_000 {
+			*aggRows = 150_000
 		}
 	}
 	file := *out
@@ -111,6 +145,17 @@ func cmdBench(args []string) error {
 	}
 	rep.MedianMicroSpeedup = median(microSpeedups)
 
+	if *agg {
+		ab, err := benchAgg(*aggRows, *seed)
+		if err != nil {
+			return fmt.Errorf("bench agg: %w", err)
+		}
+		rep.Aggregation = ab
+		fmt.Printf("aggregation %d rows: jsonl %.1f Mrows/s (%d bytes) -> columnar %.1f Mrows/s (%d bytes), %.0fx; filtered %.2fms\n",
+			ab.Rows, ab.RowsPerSecJSONL/1e6, ab.JSONLBytes, ab.RowsPerSecColumnar/1e6, ab.SegBytes,
+			ab.Speedup, float64(ab.NsColumnarFiltered)/1e6)
+	}
+
 	blob, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -118,8 +163,180 @@ func cmdBench(args []string) error {
 	if err := os.WriteFile(file, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("median micro-layer speedup %.2fx; wrote %s\n", rep.MedianMicroSpeedup, file)
+	if len(names) > 0 {
+		fmt.Printf("median micro-layer speedup %.2fx; ", rep.MedianMicroSpeedup)
+	}
+	fmt.Printf("wrote %s\n", file)
 	return nil
+}
+
+// benchAgg measures re-aggregation throughput over one synthetic stored
+// campaign: the JSONL re-parse baseline (what every load paid before
+// the columnar plane) against the streaming columnar cursor. Both paths
+// must produce the exact same Tally, and the columnar path must clear a
+// speedup floor — 20x at full scale (>= 10^6 rows), 5x on the small CI
+// sizes where constant costs weigh more.
+func benchAgg(rows int, seed int64) (*AggBench, error) {
+	dir, err := os.MkdirTemp("", "vulnstack-agg")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	store, err := results.OpenStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	recs := syntheticRecords(rows, seed)
+	k := results.Key{Layer: "micro", Target: "synthetic/agg", Config: "A72", Struct: "mix", Seed: seed}
+
+	// JSONL baseline: re-parse the interchange file and tally, exactly
+	// the pre-columnar load path.
+	if err := store.SaveJSONL(k, recs); err != nil {
+		return nil, err
+	}
+	jsonlFile := filepath.Join(dir, k.ID()+results.JSONLExt)
+	jst, err := os.Stat(jsonlFile)
+	if err != nil {
+		return nil, err
+	}
+	var jsonlTally results.Tally
+	nsJSONL, err := bestOf(3, func() error {
+		f, err := os.Open(jsonlFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		got, err := results.ReadJSONL(f, rows)
+		if err != nil {
+			return err
+		}
+		jsonlTally = results.TallyOf(got)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Columnar path: native segment, streaming cursor tally.
+	if err := store.Save(k, recs); err != nil {
+		return nil, err
+	}
+	sst, err := os.Stat(filepath.Join(dir, k.ID()+results.SegExt))
+	if err != nil {
+		return nil, err
+	}
+	var colTally results.Tally
+	nsCol, err := bestOf(3, func() error {
+		t, err := store.TallyPrefix(k, rows)
+		if err != nil {
+			return err
+		}
+		colTally = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if colTally != jsonlTally {
+		return nil, fmt.Errorf("columnar tally differs from JSONL tally — losslessness violated")
+	}
+
+	// Filtered query: pushed-down outcome filter, SDC only.
+	var filteredTally results.Tally
+	nsFiltered, err := bestOf(3, func() error {
+		c, ok, err := store.Cursor(k, results.Filter{Outcomes: []results.Outcome{results.SDC}})
+		if err != nil || !ok {
+			return fmt.Errorf("filtered cursor: ok=%v err=%v", ok, err)
+		}
+		defer c.Close()
+		filteredTally, err = c.Tally()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if filteredTally.N != jsonlTally.Outcomes[results.SDC] {
+		return nil, fmt.Errorf("filtered tally has %d records, want %d SDC", filteredTally.N, jsonlTally.Outcomes[results.SDC])
+	}
+
+	ab := &AggBench{
+		Rows:               rows,
+		JSONLBytes:         jst.Size(),
+		SegBytes:           sst.Size(),
+		NsJSONL:            nsJSONL,
+		NsColumnar:         nsCol,
+		NsColumnarFiltered: nsFiltered,
+		RowsPerSecJSONL:    float64(rows) / (float64(nsJSONL) / 1e9),
+		RowsPerSecColumnar: float64(rows) / (float64(nsCol) / 1e9),
+	}
+	if nsCol > 0 {
+		ab.Speedup = float64(nsJSONL) / float64(nsCol)
+	}
+	floor := 5.0
+	if rows >= 1_000_000 {
+		floor = 20.0
+	}
+	if ab.Speedup < floor {
+		return nil, fmt.Errorf("columnar re-aggregation speedup %.1fx is below the %.0fx floor", ab.Speedup, floor)
+	}
+	return ab, nil
+}
+
+// syntheticRecords draws a deterministic mixed campaign shaped like a
+// real micro-layer store: skewed outcomes, ~30%% visibility, rotating
+// structure targets.
+func syntheticRecords(rows int, seed int64) []results.Record {
+	r := rand.New(rand.NewSource(seed))
+	targets := []string{"RF", "LSQ", "L1i", "L1d", "L2"}
+	recs := make([]results.Record, rows)
+	coord := uint64(0)
+	for i := range recs {
+		coord += uint64(1 + r.Intn(2000))
+		rec := results.Record{
+			Index:  i,
+			Layer:  results.LayerMicro,
+			Target: targets[r.Intn(len(targets))],
+			Coord:  coord,
+			Entry:  r.Intn(4096),
+			Bit:    r.Intn(64),
+			Slot:   r.Intn(4),
+		}
+		switch p := r.Intn(100); {
+		case p < 62:
+			rec.Outcome = results.Masked
+		case p < 80:
+			rec.Outcome = results.SDC
+		case p < 94:
+			rec.Outcome = results.Crash
+		default:
+			rec.Outcome = results.Detected
+		}
+		if r.Intn(100) < 30 {
+			rec.Visible = true
+			rec.Live = true
+			rec.FPM = micro.FPM(1 + r.Intn(int(micro.NumFPM)-1))
+			rec.Contact = rec.Coord + uint64(r.Intn(500))
+		}
+		rec.EarlyStop = r.Intn(100) < 20
+		recs[i] = rec
+	}
+	return recs
+}
+
+// bestOf runs f reps times and returns the fastest wall-clock run.
+func bestOf(reps int, f func() error) (int64, error) {
+	best := int64(-1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
 }
 
 // benchOne times one benchmark across the three layers. Two systems are
@@ -177,23 +394,50 @@ func benchOne(bench string, cfg micro.Config, st micro.Structure, n int, seed in
 		}
 	}
 
+	// softSpeedupFloor guards the soft layer against real regressions.
+	// The accelerated soft path only adds a trivial dead-def bitset
+	// check per injection, so its speedup can never legitimately fall
+	// below ~1.0; measured dips are timing noise, retried away below,
+	// and anything persistent is an actual slowdown worth failing on.
+	const softSpeedupFloor = 0.98
+
 	out := make(map[string]LayerBench)
 	for _, layer := range []string{"micro", "arch", "soft"} {
-		fast, fastNs, err := run(accel, layer)
-		if err != nil {
-			return nil, err
+		var fastNs, slowNs int64
+		var es int
+		// The soft layer re-measures on a noisy result (keeping the
+		// per-mode minimum): its two modes are nearly identical per
+		// injection, so one descheduled slice flips the ratio.
+		attempts := 1
+		if layer == "soft" {
+			attempts = 3
 		}
-		slow, slowNs, err := run(base, layer)
-		if err != nil {
-			return nil, err
-		}
-		if results.TallyOf(fast) != results.TallyOf(slow) {
-			return nil, fmt.Errorf("%s layer: accelerated tally differs from baseline — equivalence violated", layer)
-		}
-		es := 0
-		for _, r := range fast {
-			if r.EarlyStop {
-				es++
+		for try := 0; try < attempts; try++ {
+			fast, fNs, err := run(accel, layer)
+			if err != nil {
+				return nil, err
+			}
+			slow, sNs, err := run(base, layer)
+			if err != nil {
+				return nil, err
+			}
+			if results.TallyOf(fast) != results.TallyOf(slow) {
+				return nil, fmt.Errorf("%s layer: accelerated tally differs from baseline — equivalence violated", layer)
+			}
+			if fastNs == 0 || fNs < fastNs {
+				fastNs = fNs
+			}
+			if slowNs == 0 || sNs < slowNs {
+				slowNs = sNs
+			}
+			es = 0
+			for _, r := range fast {
+				if r.EarlyStop {
+					es++
+				}
+			}
+			if layer == "soft" && fastNs > 0 && float64(slowNs)/float64(fastNs) >= softSpeedupFloor {
+				break
 			}
 		}
 		lb := LayerBench{
@@ -203,6 +447,9 @@ func benchOne(bench string, cfg micro.Config, st micro.Structure, n int, seed in
 		}
 		if fastNs > 0 {
 			lb.Speedup = float64(slowNs) / float64(fastNs)
+		}
+		if layer == "soft" && lb.Speedup < softSpeedupFloor {
+			return nil, fmt.Errorf("soft layer speedup %.2fx persists below the %.2fx floor — the accelerated path has regressed", lb.Speedup, softSpeedupFloor)
 		}
 		out[layer] = lb
 	}

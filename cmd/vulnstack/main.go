@@ -9,10 +9,12 @@
 //	vulnstack run -bench sha [-config A72] [-harden]
 //	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR] [-cpuprofile F] [-memprofile F]
 //	vulnstack bench [-bench a,b] [-n N] [-out FILE]
-//	vulnstack results -store DIR [-id ID]
+//	vulnstack results [list|show|export|compact] -store DIR [-id ID] [filters]
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +68,7 @@ func usage() {
   vulnstack run [flags]                   run one benchmark on a core model
   vulnstack campaign [flags]              one fault-injection campaign
   vulnstack bench [flags]                 per-injection cost benchmark -> BENCH_<date>.json
-  vulnstack results -store DIR [-id ID]   list / inspect stored campaign records`)
+  vulnstack results <verb> [flags]        list / show / export / compact stored campaigns`)
 }
 
 func cmdList() error {
@@ -306,12 +308,27 @@ func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, st
 	return nil
 }
 
-// cmdResults lists or inspects the campaigns of a persistent store,
-// re-aggregating tallies from the per-injection records on disk.
+// cmdResults lists, inspects, exports or compacts the campaigns of a
+// persistent store. Tallies are re-aggregated through the streaming
+// columnar cursor with filters pushed down, so a show touches only the
+// columns it reads. Verbs:
+//
+//	list     every stored campaign manifest (the default)
+//	show     one campaign's tally, filterable (default with -id)
+//	export   one campaign's records as JSONL on stdout, filterable
+//	compact  migrate every legacy JSONL campaign to columnar segments
 func cmdResults(args []string) error {
+	verb := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		verb, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet("results", flag.ExitOnError)
 	storeDir := fs.String("store", "", "persistent results store directory")
 	id := fs.String("id", "", "campaign id to inspect (default: list all)")
+	outcomes := fs.String("outcome", "", "comma-separated outcome filter (Masked,SDC,Crash,Detected)")
+	fpms := fs.String("fpm", "", "comma-separated FPM filter (WD,WOI,WI,ESC)")
+	targets := fs.String("target", "", "comma-separated record-target filter (structure or FPM names)")
+	bits := fs.String("bits", "", "bit-range filter LO:HI (inclusive)")
 	fs.Parse(args)
 	if *storeDir == "" {
 		return fmt.Errorf("results: -store DIR is required")
@@ -320,9 +337,86 @@ func cmdResults(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *id != "" {
-		return showCampaign(store, *id)
+	filter, err := parseFilter(*outcomes, *fpms, *targets, *bits)
+	if err != nil {
+		return err
 	}
+	if verb == "" {
+		verb = "list"
+		if *id != "" {
+			verb = "show"
+		}
+	}
+	switch verb {
+	case "list":
+		return listCampaigns(store)
+	case "show":
+		if *id == "" {
+			return fmt.Errorf("results show: -id ID is required")
+		}
+		return showCampaign(store, *id, filter)
+	case "export":
+		if *id == "" {
+			return fmt.Errorf("results export: -id ID is required")
+		}
+		return exportCampaign(store, *id, filter)
+	case "compact":
+		st, err := store.Compact()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d campaigns, %d migrated jsonl -> columnar", st.Campaigns, st.Migrated)
+		if st.Migrated > 0 {
+			fmt.Printf(" (%d -> %d bytes, %.1fx)", st.JSONLBytes, st.SegBytes,
+				float64(st.JSONLBytes)/float64(st.SegBytes))
+		}
+		fmt.Println()
+		return nil
+	default:
+		return fmt.Errorf("results: unknown verb %q (list, show, export, compact)", verb)
+	}
+}
+
+// parseFilter builds the pushed-down record filter from the CLI flags.
+func parseFilter(outcomes, fpms, targets, bits string) (results.Filter, error) {
+	var f results.Filter
+	if outcomes != "" {
+		for _, s := range strings.Split(outcomes, ",") {
+			o, err := results.ParseOutcome(strings.TrimSpace(s))
+			if err != nil {
+				return f, err
+			}
+			f.Outcomes = append(f.Outcomes, o)
+		}
+	}
+	if fpms != "" {
+		for _, s := range strings.Split(fpms, ",") {
+			m, err := results.ParseFPM(strings.TrimSpace(s))
+			if err != nil {
+				return f, err
+			}
+			f.FPMs = append(f.FPMs, m)
+		}
+	}
+	if targets != "" {
+		for _, s := range strings.Split(targets, ",") {
+			f.Targets = append(f.Targets, strings.TrimSpace(s))
+		}
+	}
+	if bits != "" {
+		lo, hi, ok := strings.Cut(bits, ":")
+		if !ok {
+			return f, fmt.Errorf("results: -bits wants LO:HI, got %q", bits)
+		}
+		if _, err := fmt.Sscanf(lo+" "+hi, "%d %d", &f.BitLo, &f.BitHi); err != nil {
+			return f, fmt.Errorf("results: -bits wants LO:HI, got %q", bits)
+		}
+		f.BitRange = true
+	}
+	return f, nil
+}
+
+func listCampaigns(store *results.Store) error {
 	ms, err := store.List()
 	if err != nil {
 		return err
@@ -331,26 +425,34 @@ func cmdResults(args []string) error {
 		fmt.Println("store is empty")
 		return nil
 	}
-	fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6s  %8s  %s\n",
-		"ID", "LAYER", "CONFIG", "WHERE", "N", "MARGIN", "TARGET/SEED")
+	fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6s  %8s  %-8s  %s\n",
+		"ID", "LAYER", "CONFIG", "WHERE", "N", "MARGIN", "FORMAT", "TARGET/SEED")
 	for _, m := range ms {
-		fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6d  ±%6.2f%%  %s seed=%d\n",
+		fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6d  ±%6.2f%%  %-8s  %s seed=%d\n",
 			m.Key.ID(), m.Key.Layer, orDash(m.Key.Config), orDash(m.Key.Struct),
-			m.N, 100*vulnstackMargin(m.N), m.Key.Target, m.Key.Seed)
+			m.N, 100*vulnstackMargin(m.N), m.Format, m.Key.Target, m.Key.Seed)
 	}
 	fmt.Printf("%d campaigns; inspect one with -id ID\n", len(ms))
 	return nil
 }
 
-func showCampaign(store *results.Store, id string) error {
-	m, recs, err := store.LoadID(id)
+func showCampaign(store *results.Store, id string, f results.Filter) error {
+	m, c, err := store.CursorID(id, f)
 	if err != nil {
 		return err
 	}
-	tally := results.TallyOf(recs)
-	fmt.Printf("campaign %s (schema v%d)\n", id, m.Schema)
+	defer c.Close()
+	tally, err := c.Tally()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s (schema v%d, %s)\n", id, m.Schema, m.Format)
 	fmt.Printf("  key     %s\n", m.Key)
-	fmt.Printf("  records %d (±%.2f%% at 99%%)\n", m.N, 100*vulnstackMargin(m.N))
+	if f.Empty() {
+		fmt.Printf("  records %d (±%.2f%% at 99%%)\n", m.N, 100*vulnstackMargin(m.N))
+	} else {
+		fmt.Printf("  records %d of %d matching the filter\n", tally.N, m.N)
+	}
 	for o := results.Outcome(0); o < results.NumOutcomes; o++ {
 		fmt.Printf("  %-8s %6.2f%%  (%d)\n", o, 100*tally.Frac(o), tally.Outcomes[o])
 	}
@@ -361,6 +463,32 @@ func showCampaign(store *results.Store, id string) error {
 			100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
 	}
 	return nil
+}
+
+// exportCampaign streams a campaign's (filtered) records to stdout in
+// the JSONL interchange format, one block in memory at a time.
+func exportCampaign(store *results.Store, id string, f results.Filter) error {
+	if f.Empty() {
+		return store.ExportJSONL(id, os.Stdout)
+	}
+	_, c, err := store.CursorID(id, f)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	w := bufio.NewWriter(os.Stdout)
+	err = c.Each(func(r results.Record) error {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		w.Write(data)
+		return w.WriteByte('\n')
+	})
+	if err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 func orDash(s string) string {

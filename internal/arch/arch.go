@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"vulnstack/internal/campaign"
 	"vulnstack/internal/dev"
@@ -110,15 +111,16 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 }
 
 // snapFor returns the index of the latest snapshot at or before dynamic
-// instruction k.
+// instruction k. Snapshot Instret values are non-decreasing (taken
+// along one golden run), so binary search finds it; runs once per
+// injection and must scale with -snapshots.
 func (cp *Campaign) snapFor(k uint64) int {
-	best := 0
-	for i := range cp.snaps {
-		if cp.snaps[i].Instret <= k {
-			best = i
-		}
+	// First index strictly past k; everything before it is <= k.
+	i := sort.Search(len(cp.snaps), func(i int) bool { return cp.snaps[i].Instret > k })
+	if i == 0 {
+		return 0
 	}
-	return best
+	return i - 1
 }
 
 // cpuAt returns an emulator advanced to dynamic instruction k. Dirty

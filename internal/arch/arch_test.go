@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vulnstack/internal/codegen"
+	"vulnstack/internal/emu"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/isa"
 	"vulnstack/internal/kernel"
@@ -181,4 +182,32 @@ func TestArchEarlyStopRecordEquivalence(t *testing.T) {
 		t.Error("expected at least one convergence early-stop in 40 WD injections")
 	}
 	t.Logf("early-stopped %d/%d injections", stopped, n)
+}
+
+func TestSnapForMatchesLinearScan(t *testing.T) {
+	// The binary search must agree with the obvious linear reference on
+	// every boundary shape, duplicates included.
+	cases := [][]uint64{
+		{0},
+		{0, 10, 20, 30},
+		{0, 5, 5, 5, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	for _, at := range cases {
+		cp := &Campaign{}
+		for _, a := range at {
+			cp.snaps = append(cp.snaps, emu.Snapshot{Instret: a})
+		}
+		for k := uint64(0); k < at[len(at)-1]+3; k++ {
+			want := 0
+			for i, a := range at {
+				if a <= k {
+					want = i
+				}
+			}
+			if got := cp.snapFor(k); got != want {
+				t.Fatalf("instret=%v k=%d: got %d, want %d", at, k, got, want)
+			}
+		}
+	}
 }

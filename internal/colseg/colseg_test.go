@@ -1,0 +1,202 @@
+package colseg
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// buildBlock assembles one block with every encoding, rows wide.
+func buildBlock(t *testing.T, rows int, r *rand.Rand) ([]byte, []uint8, []bool, []uint64, []int64, []string) {
+	t.Helper()
+	u8 := make([]uint8, rows)
+	bits := make([]bool, rows)
+	uv := make([]uint64, rows)
+	zz := make([]int64, rows)
+	ss := make([]string, rows)
+	words := []string{"RF", "LSQ", "L2", "reg-uniform", ""}
+	for i := 0; i < rows; i++ {
+		u8[i] = uint8(r.Intn(256))
+		bits[i] = r.Intn(2) == 1
+		uv[i] = uint64(r.Int63())
+		zz[i] = r.Int63() - r.Int63()
+		ss[i] = words[r.Intn(len(words))]
+	}
+	b := NewBuilder(rows)
+	b.U8(0, u8)
+	b.Bits(1, bits)
+	b.Uvarint(2, uv)
+	b.Zigzag(3, zz)
+	b.Dict(4, ss)
+	return b.AppendTo(nil), u8, bits, uv, zz, ss
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, rows := range []int{0, 1, 7, 8, 9, 1000} {
+		data, u8, bits, uv, zz, ss := buildBlock(t, rows, r)
+		blk, n, err := Parse(data)
+		if err != nil || n != len(data) {
+			t.Fatalf("rows=%d: parse consumed %d/%d, err=%v", rows, n, len(data), err)
+		}
+		if blk.Rows() != rows {
+			t.Fatalf("rows=%d: got %d", rows, blk.Rows())
+		}
+		gotU8, err := blk.U8(0)
+		if err != nil || !bytes.Equal(gotU8, u8) {
+			t.Fatalf("u8 mismatch: %v", err)
+		}
+		gotBits, err := blk.Bits(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if gotBits[i] != bits[i] {
+				t.Fatalf("bit %d mismatch", i)
+			}
+		}
+		gotUv, err := blk.Uvarint(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotZz, err := blk.Zigzag(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSs, err := blk.Dict(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			if gotUv[i] != uv[i] || gotZz[i] != zz[i] || gotSs[i] != ss[i] {
+				t.Fatalf("row %d: (%d,%d,%q) != (%d,%d,%q)", i, gotUv[i], gotZz[i], gotSs[i], uv[i], zz[i], ss[i])
+			}
+		}
+	}
+}
+
+func TestZigzagExtremes(t *testing.T) {
+	vals := []int64{0, 1, -1, 1<<63 - 1, -1 << 63, 42, -42}
+	b := NewBuilder(len(vals))
+	b.Zigzag(9, vals)
+	blk, _, err := Parse(b.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := blk.Zigzag(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("zigzag %d -> %d", vals[i], got[i])
+		}
+	}
+}
+
+func TestDictDeterministic(t *testing.T) {
+	// Encoding must be byte-identical across runs: the dictionary is
+	// built in first-occurrence order, not map order.
+	ss := []string{"b", "a", "b", "c", "a", "c", "c"}
+	mk := func() []byte {
+		b := NewBuilder(len(ss))
+		b.Dict(0, ss)
+		return b.AppendTo(nil)
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("dict encoding is not deterministic")
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d1, _, _, _, _, _ := buildBlock(t, 10, r)
+	d2, _, _, _, _, _ := buildBlock(t, 20, r)
+	data := append(append([]byte(nil), d1...), d2...)
+	b1, n1, err := Parse(data)
+	if err != nil || b1.Rows() != 10 {
+		t.Fatalf("block 1: %v", err)
+	}
+	b2, n2, err := Parse(data[n1:])
+	if err != nil || b2.Rows() != 20 || n1+n2 != len(data) {
+		t.Fatalf("block 2: %v", err)
+	}
+	if _, _, err := Parse(data[n1+n2:]); err != io.EOF {
+		t.Fatalf("end: %v", err)
+	}
+}
+
+func TestReaderStream(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var data []byte
+	want := []int{5, 100, 1}
+	for _, rows := range want {
+		d, _, _, _, _, _ := buildBlock(t, rows, r)
+		data = append(data, d...)
+	}
+	rd := NewReader(bytes.NewReader(data))
+	for i, rows := range want {
+		blk, err := rd.Next()
+		if err != nil || blk.Rows() != rows {
+			t.Fatalf("block %d: rows=%v err=%v", i, blk, err)
+		}
+		if _, err := blk.U8(0); err != nil {
+			t.Fatalf("block %d columns: %v", i, err)
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("clean end must be io.EOF, got %v", err)
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data, _, _, _, _, _ := buildBlock(t, 50, r)
+	for _, cut := range []int{1, 4, 5, 6, len(data) / 2, len(data) - 1} {
+		if _, _, err := Parse(data[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: Parse err=%v, want ErrTruncated", cut, err)
+		}
+		rd := NewReader(bytes.NewReader(data[:cut]))
+		if _, err := rd.Next(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: Reader err=%v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data, _, _, _, _, _ := buildBlock(t, 3, r)
+	data[4] = Version + 1
+	if _, _, err := Parse(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Parse err=%v, want ErrVersion", err)
+	}
+	if _, err := NewReader(bytes.NewReader(data)).Next(); !errors.Is(err, ErrVersion) {
+		t.Fatalf("Reader err=%v, want ErrVersion", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	data, _, _, _, _, _ := buildBlock(t, 3, r)
+	data[0] = 'X'
+	if _, _, err := Parse(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Parse err=%v, want ErrCorrupt", err)
+	}
+}
+
+func TestMissingAndMistypedColumn(t *testing.T) {
+	b := NewBuilder(2)
+	b.U8(7, []uint8{1, 2})
+	blk, _, err := Parse(b.AppendTo(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := blk.U8(8); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing column err=%v", err)
+	}
+	if _, err := blk.Bits(7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mistyped column err=%v", err)
+	}
+}

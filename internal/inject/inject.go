@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"vulnstack/internal/campaign"
 	"vulnstack/internal/dev"
@@ -66,14 +67,14 @@ type Result struct {
 // (Index is the caller's position in the pre-drawn fault sequence).
 func (r Result) Record() results.Record {
 	return results.Record{
-		Layer:   results.LayerMicro,
-		Target:  r.Fault.Struct.String(),
-		Coord:   r.Fault.Cycle,
-		Entry:   r.Fault.Entry,
-		Bit:     r.Fault.Bit,
-		Outcome: r.Outcome,
-		Visible: r.Visible,
-		FPM:     r.FPM,
+		Layer:     results.LayerMicro,
+		Target:    r.Fault.Struct.String(),
+		Coord:     r.Fault.Cycle,
+		Entry:     r.Fault.Entry,
+		Bit:       r.Fault.Bit,
+		Outcome:   r.Outcome,
+		Visible:   r.Visible,
+		FPM:       r.FPM,
 		Contact:   r.ContactCycle,
 		Live:      r.Live,
 		EarlyStop: r.EarlyStop,
@@ -176,14 +177,16 @@ func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) 
 }
 
 // snapFor returns the index of the latest snapshot at or before cycle.
+// snapAt is non-decreasing (snapshots are taken along one golden run),
+// so binary search finds it; runs once per injection and must scale
+// with -snapshots.
 func (cp *Campaign) snapFor(cycle uint64) int {
-	best := 0
-	for i, at := range cp.snapAt {
-		if at <= cycle {
-			best = i
-		}
+	// First index strictly past cycle; everything before it is <= cycle.
+	i := sort.Search(len(cp.snapAt), func(i int) bool { return cp.snapAt[i] > cycle })
+	if i == 0 {
+		return 0
 	}
-	return best
+	return i - 1
 }
 
 // coreAt returns a fresh machine advanced to the given cycle. Dirty

@@ -259,3 +259,28 @@ func TestProgressContract(t *testing.T) {
 		}
 	}
 }
+
+func TestSnapForMatchesLinearScan(t *testing.T) {
+	// The binary search must agree with the obvious linear reference on
+	// every boundary shape, duplicates included.
+	cases := [][]uint64{
+		{0},
+		{0, 10, 20, 30},
+		{0, 5, 5, 5, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+	}
+	for _, at := range cases {
+		cp := &Campaign{snapAt: at}
+		for cycle := uint64(0); cycle < at[len(at)-1]+3; cycle++ {
+			want := 0
+			for i, a := range at {
+				if a <= cycle {
+					want = i
+				}
+			}
+			if got := cp.snapFor(cycle); got != want {
+				t.Fatalf("snapAt=%v cycle=%d: got %d, want %d", at, cycle, got, want)
+			}
+		}
+	}
+}

@@ -52,16 +52,35 @@ type Campaign struct {
 	usedDefs []uint64
 }
 
-// Prepare runs the golden execution.
+// PrepareOptions configure the golden run.
+type PrepareOptions struct {
+	// NoDeadDefFilter skips golden def-use tracking entirely: when the
+	// dead-definition filter will be disabled anyway (NoEarlyStop
+	// campaigns), paying the tracking overhead on the golden run buys
+	// nothing, so the bitset is simply never built. Outcomes are
+	// unaffected — deadDef treats a missing bitset as "never dead".
+	NoDeadDefFilter bool
+}
+
+// Prepare runs the golden execution with default options.
 func Prepare(m *ir.Module, memSize int) (*Campaign, error) {
+	return PrepareWith(m, memSize, PrepareOptions{})
+}
+
+// PrepareWith runs the golden execution.
+func PrepareWith(m *ir.Module, memSize int, opts PrepareOptions) (*Campaign, error) {
 	ip := ir.NewInterp(m, Width, memSize)
 	ip.MaxSteps = 1 << 32
-	ip.TrackUse = true
+	ip.TrackUse = !opts.NoDeadDefFilter
 	if err := ip.Run("_start"); err != nil {
 		return nil, fmt.Errorf("llfi: golden run: %w", err)
 	}
 	if !ip.Exited {
 		return nil, errors.New("llfi: golden run did not exit")
+	}
+	var used []uint64
+	if ip.TrackUse {
+		used = ip.UsedDefs()
 	}
 	return &Campaign{
 		M:           m,
@@ -71,7 +90,7 @@ func Prepare(m *ir.Module, memSize int) (*Campaign, error) {
 		GoldenSteps: ip.Steps,
 		MemSize:     memSize,
 		Limit:       3*ip.Steps + 100000,
-		usedDefs:    ip.UsedDefs(),
+		usedDefs:    used,
 	}, nil
 }
 

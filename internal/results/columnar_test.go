@@ -1,0 +1,374 @@
+package results
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vulnstack/internal/colseg"
+	"vulnstack/internal/micro"
+)
+
+// randomRecords draws a deterministic mixed record set shaped like a
+// real campaign (all columns exercised, including negative-free but
+// non-contiguous coordinates and every outcome/FPM class).
+func randomRecords(n int, seed int64) []Record {
+	r := rand.New(rand.NewSource(seed))
+	targets := []string{"RF", "LSQ", "L1i", "L1d", "L2", "reg-uniform", ""}
+	recs := make([]Record, n)
+	coord := uint64(0)
+	for i := range recs {
+		coord += uint64(r.Intn(3000))
+		recs[i] = Record{
+			Index:     i,
+			Layer:     Layer(r.Intn(int(NumLayers))),
+			Target:    targets[r.Intn(len(targets))],
+			Coord:     coord,
+			Entry:     r.Intn(1 << 20),
+			Bit:       r.Intn(64),
+			Slot:      r.Intn(4),
+			Outcome:   Outcome(r.Intn(int(NumOutcomes))),
+			EarlyStop: r.Intn(4) == 0,
+		}
+		if r.Intn(3) == 0 {
+			recs[i].Visible = true
+			recs[i].Live = true
+			recs[i].FPM = micro.FPM(r.Intn(int(micro.NumFPM)))
+			recs[i].Contact = coord + uint64(r.Intn(100))
+		}
+	}
+	return recs
+}
+
+func TestColumnarRoundTrip(t *testing.T) {
+	// Encode/decode through the column mapping is lossless for every
+	// record count shape: empty, single, sub-block, and multi-block.
+	for _, n := range []int{0, 1, 513, BlockRows, BlockRows + 7, 2*BlockRows + 3} {
+		recs := randomRecords(n, int64(n)+1)
+		data := encodeColumnar(recs)
+		c := newCursor(bytes.NewReader(data), nil, "test", n, Filter{})
+		got, err := c.Records()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("n=%d record %d: %+v != %+v", n, i, got[i], recs[i])
+			}
+		}
+	}
+}
+
+func TestColumnarNonContiguousIndex(t *testing.T) {
+	// The index column is delta-coded against the previous row; gaps
+	// (records filtered upstream, or a block boundary mid-campaign)
+	// must survive exactly.
+	recs := []Record{{Index: 5}, {Index: 6}, {Index: 100}, {Index: 101}, {Index: 4000}}
+	data := encodeColumnar(recs)
+	c := newCursor(bytes.NewReader(data), nil, "test", len(recs), Filter{})
+	got, err := c.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].Index != recs[i].Index {
+			t.Fatalf("row %d index %d != %d", i, got[i].Index, recs[i].Index)
+		}
+	}
+}
+
+func TestJSONLConverterRoundTrip(t *testing.T) {
+	// WriteJSONL -> ReadJSONL is the other half of the lossless
+	// two-way converter.
+	recs := randomRecords(700, 11)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d of %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestCursorTallyMatchesTallyOf(t *testing.T) {
+	// The streaming aggregation path must be bit-identical to the
+	// materialize-then-TallyOf path.
+	recs := randomRecords(BlockRows+999, 3)
+	data := encodeColumnar(recs)
+	c := newCursor(bytes.NewReader(data), nil, "test", len(recs), Filter{})
+	got, err := c.Tally()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TallyOf(recs); got != want {
+		t.Fatalf("cursor tally %+v != %+v", got, want)
+	}
+}
+
+func TestFilterPushdownMatchesReference(t *testing.T) {
+	// The column-wise selection vector must agree with the row-at-a-time
+	// Filter.Match reference on every filter shape, for both Tally and
+	// Records.
+	recs := randomRecords(4000, 5)
+	data := encodeColumnar(recs)
+	filters := []Filter{
+		{},
+		{Outcomes: []Outcome{SDC}},
+		{Outcomes: []Outcome{SDC, Crash}},
+		{FPMs: []micro.FPM{micro.FPMWD}},
+		{Targets: []string{"RF", "L2"}},
+		{BitRange: true, BitLo: 8, BitHi: 15},
+		{Outcomes: []Outcome{Masked}, Targets: []string{"LSQ"}, BitRange: true, BitLo: 0, BitHi: 31},
+		{Outcomes: []Outcome{Detected}, FPMs: []micro.FPM{micro.FPMESC}, Targets: []string{"nope"}},
+	}
+	for fi, f := range filters {
+		var want []Record
+		for _, r := range recs {
+			if f.Match(r) {
+				want = append(want, r)
+			}
+		}
+		c := newCursor(bytes.NewReader(data), nil, "test", len(recs), f)
+		got, err := c.Records()
+		if err != nil {
+			t.Fatalf("filter %d: %v", fi, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("filter %d: %d records, want %d", fi, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("filter %d record %d mismatch", fi, i)
+			}
+		}
+		c = newCursor(bytes.NewReader(data), nil, "test", len(recs), f)
+		tl, err := c.Tally()
+		if err != nil {
+			t.Fatalf("filter %d: %v", fi, err)
+		}
+		if wt := TallyOf(want); tl != wt {
+			t.Fatalf("filter %d: tally %+v != %+v", fi, tl, wt)
+		}
+	}
+}
+
+func TestStoreMigratesLegacyJSONLOnFirstTouch(t *testing.T) {
+	s := testStore(t)
+	k := Key{Layer: "micro", Target: "legacy", Config: "A72", Struct: "RF", Seed: 3}
+	recs := randomRecords(1200, 7)
+	if err := s.SaveJSONL(k, recs); err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := s.Manifest(k)
+	if err != nil || !ok || m.Format != FormatJSONL {
+		t.Fatalf("manifest %+v ok=%v err=%v", m, ok, err)
+	}
+	got, ok, err := s.Load(k)
+	if err != nil || !ok || len(got) != len(recs) {
+		t.Fatalf("load: %d records ok=%v err=%v", len(got), ok, err)
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch after migration", i)
+		}
+	}
+	// First touch flipped the campaign to columnar and dropped the
+	// interchange file.
+	m, _, err = s.Manifest(k)
+	if err != nil || m.Format != FormatColumnar {
+		t.Fatalf("post-migration manifest %+v err=%v", m, err)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), k.ID()+JSONLExt)); !os.IsNotExist(err) {
+		t.Fatalf("jsonl survived migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), k.ID()+SegExt)); err != nil {
+		t.Fatalf("segment missing: %v", err)
+	}
+}
+
+func TestStoreAppendAfterMigration(t *testing.T) {
+	// A legacy campaign tops up through the columnar path and stays
+	// bit-identical to a one-shot save.
+	s := testStore(t)
+	k := Key{Layer: "soft", Target: "topup", Seed: 9}
+	all := randomRecords(900, 13)
+	if err := s.SaveJSONL(k, all[:400]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(k, all[400:]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load(k)
+	if err != nil || !ok || len(got) != len(all) {
+		t.Fatalf("load: %d ok=%v err=%v", len(got), ok, err)
+	}
+	for i := range got {
+		if got[i] != all[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	tp, err := s.TallyPrefix(k, len(all))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := TallyOf(all); tp != want {
+		t.Fatalf("TallyPrefix %+v != %+v", tp, want)
+	}
+	if tp400, err := s.TallyPrefix(k, 400); err != nil || tp400 != TallyOf(all[:400]) {
+		t.Fatalf("prefix 400: %+v err=%v", tp400, err)
+	}
+}
+
+func TestStoreTrailingSegmentBytesIgnored(t *testing.T) {
+	// Bytes past the manifest-promised rows are a crashed append's torn
+	// tail — loads serve the promised prefix, and the next append
+	// truncates the debris (mirroring the JSONL trailing-line behavior).
+	s := testStore(t)
+	k := Key{Layer: "micro", Target: "crash", Config: "A9", Struct: "L2", Seed: 4}
+	recs := randomRecords(300, 21)
+	if err := s.Save(k, recs[:200]); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(s.Dir(), k.ID()+SegExt)
+	// Simulate a crash mid-append: half a block's bytes, no manifest
+	// update.
+	debris := encodeColumnar(recs[200:260])
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(debris[:len(debris)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, ok, err := s.Load(k)
+	if err != nil || !ok || len(got) != 200 {
+		t.Fatalf("load with debris: %d ok=%v err=%v", len(got), ok, err)
+	}
+	// The re-append replays the same tail records and must supersede the
+	// debris.
+	if err := s.Append(k, recs[200:]); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = s.Load(k)
+	if err != nil || len(got) != 300 {
+		t.Fatalf("load after re-append: %d err=%v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch after debris truncation", i)
+		}
+	}
+}
+
+func TestStoreSegmentVersionMismatch(t *testing.T) {
+	// A segment written by a future block-format version must be
+	// rejected loudly, never misdecoded.
+	s := testStore(t)
+	k := Key{Layer: "soft", Target: "ver", Seed: 6}
+	if err := s.Save(k, randomRecords(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(s.Dir(), k.ID()+SegExt)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = colseg.Version + 1 // frame version byte
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Load(k); !errors.Is(err, colseg.ErrVersion) {
+		t.Fatalf("version mismatch err=%v, want ErrVersion", err)
+	}
+	if _, err := s.TallyPrefix(k, 10); !errors.Is(err, colseg.ErrVersion) {
+		t.Fatalf("TallyPrefix version mismatch err=%v, want ErrVersion", err)
+	}
+}
+
+func TestStoreExportJSONLRoundTrip(t *testing.T) {
+	// Export (columnar -> JSONL) then re-read: the two-way converter is
+	// lossless end to end through the store surface.
+	s := testStore(t)
+	k := Key{Layer: "arch", Target: "exp", Struct: "WD", Seed: 8}
+	recs := randomRecords(500, 17)
+	if err := s.Save(k, recs); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.ExportJSONL(k.ID(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf, -1)
+	if err != nil || len(got) != len(recs) {
+		t.Fatalf("reimport: %d err=%v", len(got), err)
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch through export", i)
+		}
+	}
+}
+
+func TestStoreCompact(t *testing.T) {
+	s := testStore(t)
+	kj := Key{Layer: "micro", Target: "j", Config: "A72", Struct: "RF", Seed: 1}
+	kc := Key{Layer: "soft", Target: "c", Seed: 2}
+	if err := s.SaveJSONL(kj, randomRecords(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(kc, randomRecords(50, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Campaigns != 2 || st.Migrated != 1 || st.JSONLBytes == 0 || st.SegBytes == 0 {
+		t.Fatalf("compact stats %+v", st)
+	}
+	ms, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if m.Format != FormatColumnar {
+			t.Fatalf("campaign %s still %s after compact", m.Key.ID(), m.Format)
+		}
+	}
+	// Idempotent.
+	st, err = s.Compact()
+	if err != nil || st.Migrated != 0 {
+		t.Fatalf("second compact %+v err=%v", st, err)
+	}
+}
+
+func TestParseOutcomeFPM(t *testing.T) {
+	if o, err := ParseOutcome("sdc"); err != nil || o != SDC {
+		t.Fatalf("sdc -> %v err=%v", o, err)
+	}
+	if _, err := ParseOutcome("bogus"); err == nil {
+		t.Fatal("bogus outcome must error")
+	}
+	if m, err := ParseFPM("wd"); err != nil || m != micro.FPMWD {
+		t.Fatalf("wd -> %v err=%v", m, err)
+	}
+	if _, err := ParseFPM("bogus"); err == nil {
+		t.Fatal("bogus FPM must error")
+	}
+}

@@ -183,8 +183,8 @@ func TestStoreTruncatedRecords(t *testing.T) {
 	if err := s.Save(k, []Record{rec(0, Masked, false, 0), rec(1, SDC, false, 0)}); err != nil {
 		t.Fatal(err)
 	}
-	// Truncate the records file below the manifest count: corruption.
-	if err := os.WriteFile(filepath.Join(s.Dir(), k.ID()+".jsonl"), nil, 0o644); err != nil {
+	// Truncate the segment below the manifest count: corruption.
+	if err := os.WriteFile(filepath.Join(s.Dir(), k.ID()+SegExt), nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := s.Load(k); err == nil {

@@ -1,10 +1,17 @@
 // The persistent campaign store: per-injection records on disk as
-// JSONL, one manifest JSON per campaign, keyed by the campaign's full
+// append-only columnar segments (see internal/colseg for the block wire
+// format), one manifest JSON per campaign, keyed by the campaign's full
 // identity (layer, target, config, structure/FPM, seed). Campaign
 // length is manifest data, not key material: because fault sequences
 // are pre-drawn from the seed, a stored n=1000 campaign is a strict
 // prefix of the n=2000 campaign, so topping up appends only the missing
 // records and the merged tally is bit-identical to a one-shot run.
+//
+// JSONL is retained as the interchange/debug format: stores written by
+// earlier versions (or via SaveJSONL/ExportJSONL round trips) are
+// migrated to columnar segments losslessly on first touch, and the
+// manifest's Format field records which representation a campaign is
+// currently in.
 package results
 
 import (
@@ -13,16 +20,34 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+
+	"vulnstack/internal/colseg"
 )
 
 // SchemaVersion is the on-disk record schema. Loads of a different
 // version fail loudly rather than silently misaggregating.
 const SchemaVersion = 1
+
+// Storage formats a campaign's records may be in on disk. The columnar
+// segment is the native format; JSONL is interchange/debug, kept
+// readable (and migrated on first touch) for stores written before the
+// columnar plane existed.
+const (
+	FormatJSONL    = "jsonl"
+	FormatColumnar = "columnar"
+)
+
+// Record file extensions by format.
+const (
+	JSONLExt = ".jsonl"
+	SegExt   = ".seg"
+)
 
 // Key is the full identity of one stored campaign. Two runs with equal
 // keys draw identical fault sequences, so their record sets are
@@ -57,6 +82,10 @@ type Manifest struct {
 	Key    Key `json:"key"`
 	// N is the number of records on disk (grows on top-up).
 	N int `json:"n"`
+	// Format is the record file representation: FormatColumnar for
+	// native segments, FormatJSONL (or empty, in manifests written
+	// before the columnar plane) for the interchange format.
+	Format string `json:"format,omitempty"`
 }
 
 // Store is a directory of campaign record files. It assumes a single
@@ -78,9 +107,11 @@ func OpenStore(dir string) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 func (s *Store) manifestPath(id string) string { return filepath.Join(s.dir, id+".json") }
-func (s *Store) recordsPath(id string) string  { return filepath.Join(s.dir, id+".jsonl") }
+func (s *Store) jsonlPath(id string) string    { return filepath.Join(s.dir, id+JSONLExt) }
+func (s *Store) segPath(id string) string      { return filepath.Join(s.dir, id+SegExt) }
 
-// readManifest loads a manifest by id; ok=false when absent.
+// readManifest loads a manifest by id; ok=false when absent. Manifests
+// from before the columnar plane carry no format field and mean JSONL.
 func (s *Store) readManifest(id string) (Manifest, bool, error) {
 	data, err := os.ReadFile(s.manifestPath(id))
 	if os.IsNotExist(err) {
@@ -95,6 +126,12 @@ func (s *Store) readManifest(id string) (Manifest, bool, error) {
 	}
 	if m.Schema != SchemaVersion {
 		return Manifest{}, false, fmt.Errorf("results: manifest %s has schema %d, want %d", id, m.Schema, SchemaVersion)
+	}
+	if m.Format == "" {
+		m.Format = FormatJSONL
+	}
+	if m.Format != FormatJSONL && m.Format != FormatColumnar {
+		return Manifest{}, false, fmt.Errorf("results: manifest %s has unknown format %q", id, m.Format)
 	}
 	return m, true, nil
 }
@@ -117,6 +154,10 @@ func (s *Store) writeManifest(m Manifest) error {
 func (s *Store) Manifest(k Key) (Manifest, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.manifestFor(k)
+}
+
+func (s *Store) manifestFor(k Key) (Manifest, bool, error) {
 	m, ok, err := s.readManifest(k.ID())
 	if err != nil || !ok {
 		return Manifest{}, ok, err
@@ -127,19 +168,65 @@ func (s *Store) Manifest(k Key) (Manifest, bool, error) {
 	return m, true, nil
 }
 
+// migrate converts a legacy JSONL campaign to a columnar segment and
+// returns the updated manifest. Lossless: the segment holds exactly the
+// manifest-promised records (trailing crash-debris JSONL lines are
+// dropped, as loads always dropped them). The segment is renamed into
+// place before the manifest flips format, so a crash mid-migration
+// leaves the campaign readable either way; the JSONL file is removed
+// last, best-effort. Callers hold s.mu.
+func (s *Store) migrate(id string, m Manifest) (Manifest, error) {
+	recs, err := s.readJSONLRecords(id, m.N)
+	if err != nil {
+		return Manifest{}, err
+	}
+	tmp := s.segPath(id) + ".tmp"
+	os.Remove(tmp)
+	if err := os.WriteFile(tmp, encodeColumnar(recs), 0o644); err != nil {
+		return Manifest{}, err
+	}
+	if err := os.Rename(tmp, s.segPath(id)); err != nil {
+		return Manifest{}, err
+	}
+	m.Format = FormatColumnar
+	if err := s.writeManifest(m); err != nil {
+		return Manifest{}, err
+	}
+	os.Remove(s.jsonlPath(id))
+	return m, nil
+}
+
+// native ensures the campaign is in columnar form, migrating legacy
+// JSONL on first touch. Callers hold s.mu.
+func (s *Store) native(id string, m Manifest) (Manifest, error) {
+	if m.Format == FormatColumnar {
+		return m, nil
+	}
+	return s.migrate(id, m)
+}
+
+// cursor opens a streaming cursor over the first n records of a
+// columnar campaign. Callers hold s.mu; the returned cursor is used
+// (and closed) outside it — safe because writers never rewrite served
+// bytes, they only append past them.
+func (s *Store) cursor(id string, n int, f Filter) (*Cursor, error) {
+	file, err := os.Open(s.segPath(id))
+	if err != nil {
+		return nil, err
+	}
+	return newCursor(file, file, id, n, f), nil
+}
+
 // Load returns the stored records for k in index order; ok=false when
 // the campaign has never been stored.
 func (s *Store) Load(k Key) ([]Record, bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	m, ok, err := s.readManifest(k.ID())
+	m, ok, err := s.manifestFor(k)
 	if err != nil || !ok {
 		return nil, ok, err
 	}
-	if m.Key != k {
-		return nil, false, fmt.Errorf("results: id collision: %q vs %q", m.Key, k)
-	}
-	recs, err := s.readRecords(k.ID(), m.N)
+	recs, err := s.loadRecords(k.ID(), m)
 	if err != nil {
 		return nil, false, err
 	}
@@ -157,35 +244,112 @@ func (s *Store) LoadID(id string) (Manifest, []Record, error) {
 	if !ok {
 		return Manifest{}, nil, fmt.Errorf("results: no stored campaign %q", id)
 	}
-	recs, err := s.readRecords(id, m.N)
+	recs, err := s.loadRecords(id, m)
 	return m, recs, err
 }
 
-// readRecords reads the first n records of a campaign file. The
-// manifest is written after record appends, so trailing lines beyond N
-// (a crashed append) are ignored; fewer lines than N is corruption.
-func (s *Store) readRecords(id string, n int) ([]Record, error) {
-	f, err := os.Open(s.recordsPath(id))
+// loadRecords materializes a campaign's records, migrating legacy JSONL
+// to columnar on first touch. Callers hold s.mu.
+func (s *Store) loadRecords(id string, m Manifest) ([]Record, error) {
+	m, err := s.native(id, m)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.cursor(id, m.N, Filter{})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Records()
+}
+
+// Cursor opens a streaming cursor over the stored records for k with
+// the filter pushed down (only the columns the filter and the consumer
+// read are ever decoded); ok=false when the campaign has never been
+// stored. Legacy JSONL campaigns are migrated on first touch. The
+// caller must Close the cursor.
+func (s *Store) Cursor(k Key, f Filter) (*Cursor, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok, err := s.manifestFor(k)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	m, err = s.native(k.ID(), m)
+	if err != nil {
+		return nil, false, err
+	}
+	c, err := s.cursor(k.ID(), m.N, f)
+	if err != nil {
+		return nil, false, err
+	}
+	return c, true, nil
+}
+
+// CursorID opens a streaming filtered cursor by campaign id (the
+// results CLI surface). The caller must Close the cursor.
+func (s *Store) CursorID(id string, f Filter) (Manifest, *Cursor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok, err := s.readManifest(id)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	if !ok {
+		return Manifest{}, nil, fmt.Errorf("results: no stored campaign %q", id)
+	}
+	m, err = s.native(id, m)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	c, err := s.cursor(id, m.N, f)
+	if err != nil {
+		return Manifest{}, nil, err
+	}
+	return m, c, nil
+}
+
+// TallyPrefix aggregates the first n stored records of k through the
+// streaming columnar path: o(n) memory, only the outcome, visibility
+// and FPM columns decoded. The result is bit-identical to
+// TallyOf(Load(k)[:n]).
+func (s *Store) TallyPrefix(k Key, n int) (Tally, error) {
+	s.mu.Lock()
+	m, ok, err := s.manifestFor(k)
+	if err == nil && !ok {
+		err = fmt.Errorf("results: no stored campaign %q", k)
+	}
+	if err == nil && m.N < n {
+		err = fmt.Errorf("results: campaign %q has %d records, want prefix %d", k, m.N, n)
+	}
+	var c *Cursor
+	if err == nil {
+		m, err = s.native(k.ID(), m)
+	}
+	if err == nil {
+		c, err = s.cursor(k.ID(), n, Filter{})
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return Tally{}, err
+	}
+	defer c.Close()
+	return c.Tally()
+}
+
+// readJSONLRecords reads the first n records of a legacy JSONL campaign
+// file. The manifest is written after record appends, so trailing lines
+// beyond N (a crashed append) are ignored; fewer lines than N is
+// corruption.
+func (s *Store) readJSONLRecords(id string, n int) ([]Record, error) {
+	f, err := os.Open(s.jsonlPath(id))
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	recs := make([]Record, 0, n)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() && len(recs) < n {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		var r Record
-		if err := json.Unmarshal([]byte(line), &r); err != nil {
-			return nil, fmt.Errorf("results: %s record %d: %w", id, len(recs), err)
-		}
-		recs = append(recs, r)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	recs, err := ReadJSONL(f, n)
+	if err != nil {
+		return nil, fmt.Errorf("results: %s: %w", id, err)
 	}
 	if len(recs) < n {
 		return nil, fmt.Errorf("results: %s has %d records, manifest says %d", id, len(recs), n)
@@ -193,48 +357,110 @@ func (s *Store) readRecords(id string, n int) ([]Record, error) {
 	return recs, nil
 }
 
-func appendRecords(path string, recs []Record) error {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// segRowsOffset walks a segment's blocks and returns the byte offset
+// just past the block that completes row n. Appends truncate to it
+// first, so a crashed append's torn tail bytes can never corrupt the
+// next append (the columnar analogue of JSONL's ignored trailing
+// lines).
+func segRowsOffset(data []byte, n int) (int, error) {
+	off, rows := 0, 0
+	for rows < n {
+		blk, consumed, err := colseg.Parse(data[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += consumed
+		rows += blk.Rows()
+	}
+	if rows != n {
+		return 0, fmt.Errorf("colseg: block boundary at %d rows overshoots %d", rows, n)
+	}
+	return off, nil
+}
+
+// appendSeg appends recs to a campaign segment as fresh blocks,
+// truncating any torn tail from a crashed earlier append first.
+func (s *Store) appendSeg(id string, haveRows int, recs []Record) error {
+	path := s.segPath(id)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(f)
-	for _, r := range recs {
-		data, err := json.Marshal(r)
-		if err != nil {
-			f.Close()
+	off, err := segRowsOffset(data, haveRows)
+	if err != nil {
+		return fmt.Errorf("results: %s: %w", id, err)
+	}
+	if off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
 			return err
 		}
-		w.Write(data)
-		w.WriteByte('\n')
 	}
-	if err := w.Flush(); err != nil {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeColumnar(recs)); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// Save stores a fresh campaign, replacing any previous records for k.
+// Save stores a fresh campaign in the native columnar format, replacing
+// any previous records for k.
 func (s *Store) Save(k Key, recs []Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := k.ID()
-	tmp := s.recordsPath(id) + ".tmp"
+	tmp := s.segPath(id) + ".tmp"
 	os.Remove(tmp)
-	if err := appendRecords(tmp, recs); err != nil {
+	if err := os.WriteFile(tmp, encodeColumnar(recs), 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, s.recordsPath(id)); err != nil {
+	if err := os.Rename(tmp, s.segPath(id)); err != nil {
 		return err
 	}
-	return s.writeManifest(Manifest{Schema: SchemaVersion, Key: k, N: len(recs)})
+	if err := s.writeManifest(Manifest{Schema: SchemaVersion, Key: k, N: len(recs), Format: FormatColumnar}); err != nil {
+		return err
+	}
+	os.Remove(s.jsonlPath(id)) // drop a stale interchange copy, best-effort
+	return nil
+}
+
+// SaveJSONL stores a fresh campaign in the JSONL interchange format
+// (the debug path; Save is the native one). It round-trips losslessly:
+// the first columnar-path touch migrates it.
+func (s *Store) SaveJSONL(k Key, recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := k.ID()
+	tmp := s.jsonlPath(id) + ".tmp"
+	os.Remove(tmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.jsonlPath(id)); err != nil {
+		return err
+	}
+	if err := s.writeManifest(Manifest{Schema: SchemaVersion, Key: k, N: len(recs), Format: FormatJSONL}); err != nil {
+		return err
+	}
+	os.Remove(s.segPath(id))
+	return nil
 }
 
 // Append tops up a stored campaign with records continuing its
-// pre-drawn fault sequence: recs[0].Index must equal the stored N. The
-// manifest is updated last, so a crash mid-append leaves a loadable
-// prefix.
+// pre-drawn fault sequence: recs[0].Index must equal the stored N. A
+// legacy JSONL campaign is migrated to columnar first. The manifest is
+// updated last, so a crash mid-append leaves a loadable prefix.
 func (s *Store) Append(k Key, recs []Record) error {
 	if len(recs) == 0 {
 		return nil
@@ -242,24 +468,96 @@ func (s *Store) Append(k Key, recs []Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id := k.ID()
-	m, ok, err := s.readManifest(id)
+	m, ok, err := s.manifestFor(k)
 	if err != nil {
 		return err
 	}
 	if !ok {
 		return fmt.Errorf("results: append to unknown campaign %q", k)
 	}
-	if m.Key != k {
-		return fmt.Errorf("results: id collision: %q vs %q", m.Key, k)
-	}
 	if recs[0].Index != m.N {
 		return fmt.Errorf("results: non-contiguous append: have %d records, next starts at %d", m.N, recs[0].Index)
 	}
-	if err := appendRecords(s.recordsPath(id), recs); err != nil {
+	m, err = s.native(id, m)
+	if err != nil {
+		return err
+	}
+	if err := s.appendSeg(id, m.N, recs); err != nil {
 		return err
 	}
 	m.N += len(recs)
 	return s.writeManifest(m)
+}
+
+// ExportJSONL streams a stored campaign's records to w in the JSONL
+// interchange format (the export half of the lossless converter; the
+// campaign's on-disk format is untouched). Memory stays bounded by one
+// block.
+func (s *Store) ExportJSONL(id string, w io.Writer) error {
+	_, c, err := s.CursorID(id, Filter{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	bw := bufio.NewWriter(w)
+	err = c.Each(func(r Record) error {
+		data, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		bw.Write(data)
+		return bw.WriteByte('\n')
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// CompactStats reports what a Compact pass did.
+type CompactStats struct {
+	// Campaigns is the number of stored campaigns seen.
+	Campaigns int
+	// Migrated is how many legacy JSONL campaigns were converted.
+	Migrated int
+	// JSONLBytes / SegBytes are the record-file sizes before and after
+	// for the migrated campaigns.
+	JSONLBytes int64
+	SegBytes   int64
+}
+
+// Compact migrates every legacy JSONL campaign in the store to the
+// native columnar format (the `vulnstack results compact` verb).
+func (s *Store) Compact() (CompactStats, error) {
+	ms, err := s.List()
+	if err != nil {
+		return CompactStats{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var st CompactStats
+	st.Campaigns = len(ms)
+	for _, m := range ms {
+		if m.Format != FormatJSONL {
+			continue
+		}
+		id := m.Key.ID()
+		before, err := os.Stat(s.jsonlPath(id))
+		if err != nil {
+			return st, err
+		}
+		if _, err := s.migrate(id, m); err != nil {
+			return st, err
+		}
+		after, err := os.Stat(s.segPath(id))
+		if err != nil {
+			return st, err
+		}
+		st.Migrated++
+		st.JSONLBytes += before.Size()
+		st.SegBytes += after.Size()
+	}
+	return st, nil
 }
 
 // List returns every stored campaign manifest, sorted by key.

@@ -56,6 +56,17 @@ func SplitRecords(recs []results.Record) Split {
 	return SplitOf(results.TallyOf(recs))
 }
 
+// SplitCursor aggregates a stored campaign through the streaming
+// columnar path — o(n) memory, only the aggregation columns decoded —
+// and is bit-identical to SplitRecords over the cursor's records.
+func SplitCursor(c *results.Cursor) (Split, error) {
+	t, err := c.Tally()
+	if err != nil {
+		return Split{}, err
+	}
+	return SplitOf(t), nil
+}
+
 // FPMDist computes the bit-weighted fault-propagation-model
 // distribution from per-structure record tallies (the paper's Fig. 6):
 // the probability that a visible hardware fault manifests as each

@@ -177,7 +177,9 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.llfiC == nil {
-		cp, err := llfi.Prepare(s.IR, RAMSize)
+		// With the dead-def filter disabled there is no point paying the
+		// golden-run def-use tracking that feeds it.
+		cp, err := llfi.PrepareWith(s.IR, RAMSize, llfi.PrepareOptions{NoDeadDefFilter: s.NoEarlyStop})
 		if err != nil {
 			return nil, err
 		}
@@ -233,36 +235,54 @@ func (s *System) SoftKey(seed int64) results.Key {
 	return results.Key{Layer: results.LayerSoft.String(), Target: s.targetKey(), Seed: seed}
 }
 
-// storeRecords returns n records for campaign key k, serving as many as
-// possible from the store. run(from) must execute injections [from, n)
-// of the key's pre-drawn fault sequence — it is only invoked when the
-// store is missing records, so a fully stored campaign never prepares
-// an injector. Freshly run records are persisted before returning.
-func (s *System) storeRecords(k results.Key, n int, run func(from int) ([]results.Record, error)) ([]results.Record, error) {
+// storeTally returns the n-injection tally for campaign key k, serving
+// as much as possible from the store through the streaming columnar
+// path: a fully stored campaign never prepares an injector and never
+// materializes its records — the store's cursor aggregates the first n
+// of them in o(n) memory. run(from) must execute injections [from, n)
+// of the key's pre-drawn fault sequence; it is only invoked when the
+// store is missing records, and fresh records are persisted before
+// returning. Tallies are integer sums, so prefix-tally + fresh-tally is
+// bit-identical to a one-shot n-injection tally.
+func (s *System) storeTally(k results.Key, n int, run func(from int) ([]results.Record, error)) (results.Tally, error) {
 	if s.Store == nil {
-		return run(0)
+		recs, err := run(0)
+		if err != nil {
+			return results.Tally{}, err
+		}
+		return results.TallyOf(recs), nil
 	}
-	stored, ok, err := s.Store.Load(k)
+	m, ok, err := s.Store.Manifest(k)
 	if err != nil {
-		return nil, err
+		return results.Tally{}, err
 	}
-	if ok && len(stored) >= n {
-		return stored[:n], nil
+	if ok && m.N >= n {
+		return s.Store.TallyPrefix(k, n)
 	}
-	fresh, err := run(len(stored))
+	var tally results.Tally
+	from := 0
+	if ok {
+		if tally, err = s.Store.TallyPrefix(k, m.N); err != nil {
+			return results.Tally{}, err
+		}
+		from = m.N
+	}
+	fresh, err := run(from)
 	if err != nil {
-		return nil, err
+		return results.Tally{}, err
 	}
 	if !ok {
-		if err := s.Store.Save(k, fresh); err != nil {
-			return nil, err
-		}
-		return fresh, nil
+		err = s.Store.Save(k, fresh)
+	} else {
+		err = s.Store.Append(k, fresh)
 	}
-	if err := s.Store.Append(k, fresh); err != nil {
-		return nil, err
+	if err != nil {
+		return results.Tally{}, err
 	}
-	return append(stored, fresh...), nil
+	for _, r := range fresh {
+		tally.Add(r)
+	}
+	return tally, nil
 }
 
 // MicroTally measures one structure's AVF/HVF tally with n sampled
@@ -271,17 +291,13 @@ func (s *System) MicroTally(cfg micro.Config, st micro.Structure, n int, seed in
 	if cfg.ISA != s.ISA {
 		return results.Tally{}, fmt.Errorf("vulnstack: config %s (%v) does not match system ISA %v", cfg.Name, cfg.ISA, s.ISA)
 	}
-	recs, err := s.storeRecords(s.MicroKey(cfg, st, seed), n, func(from int) ([]results.Record, error) {
+	return s.storeTally(s.MicroKey(cfg, st, seed), n, func(from int) ([]results.Record, error) {
 		cp, err := s.MicroCampaign(cfg)
 		if err != nil {
 			return nil, err
 		}
 		return cp.Records(st, n, from, seed, nil), nil
 	})
-	if err != nil {
-		return results.Tally{}, err
-	}
-	return results.TallyOf(recs), nil
 }
 
 // CacheSampleBoost multiplies the per-structure sample count for the
@@ -329,7 +345,7 @@ func (s *System) AVFAll(cfg micro.Config, nPerStruct int, seed int64) ([]StructR
 // PVF measures the architecture-level vulnerability for one FPM,
 // store-aware like MicroTally.
 func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
-	recs, err := s.storeRecords(s.ArchKey(fpm, seed), n, func(from int) ([]results.Record, error) {
+	tally, err := s.storeTally(s.ArchKey(fpm, seed), n, func(from int) ([]results.Record, error) {
 		cp, err := s.ArchCampaign()
 		if err != nil {
 			return nil, err
@@ -339,7 +355,7 @@ func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	return vuln.SplitRecords(recs), nil
+	return vuln.SplitOf(tally), nil
 }
 
 // UniformPVF measures the register-uniform architecture-level
@@ -347,7 +363,7 @@ func (s *System) PVF(fpm micro.FPM, n int, seed int64) (vuln.Split, error) {
 // instant), the quantity that dynamic ACE — and therefore the static
 // bound — provably dominates. Store-aware like PVF.
 func (s *System) UniformPVF(n int, seed int64) (vuln.Split, error) {
-	recs, err := s.storeRecords(s.UniformKey(seed), n, func(from int) ([]results.Record, error) {
+	tally, err := s.storeTally(s.UniformKey(seed), n, func(from int) ([]results.Record, error) {
 		cp, err := s.ArchCampaign()
 		if err != nil {
 			return nil, err
@@ -357,7 +373,7 @@ func (s *System) UniformPVF(n int, seed int64) (vuln.Split, error) {
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	return vuln.SplitRecords(recs), nil
+	return vuln.SplitOf(tally), nil
 }
 
 // SVF measures the software-level (LLFI-style) vulnerability,
@@ -366,7 +382,7 @@ func (s *System) SVF(n int, seed int64) (vuln.Split, error) {
 	if s.ISA != isa.VSA64 {
 		return vuln.Split{}, fmt.Errorf("vulnstack: SVF (LLFI) supports only the 64-bit ISA")
 	}
-	recs, err := s.storeRecords(s.SoftKey(seed), n, func(from int) ([]results.Record, error) {
+	tally, err := s.storeTally(s.SoftKey(seed), n, func(from int) ([]results.Record, error) {
 		cp, err := s.LLFICampaign()
 		if err != nil {
 			return nil, err
@@ -376,7 +392,7 @@ func (s *System) SVF(n int, seed int64) (vuln.Split, error) {
 	if err != nil {
 		return vuln.Split{}, err
 	}
-	return vuln.SplitRecords(recs), nil
+	return vuln.SplitOf(tally), nil
 }
 
 // FPMDist computes the bit-weighted fault-propagation-model

@@ -49,6 +49,7 @@ var defaultPackages = []string{
 	module + "/internal/arch",
 	module + "/internal/llfi",
 	module + "/internal/results",
+	module + "/internal/colseg",
 	module + "/internal/micro",
 	module + "/internal/emu",
 	module + "/internal/ir",
