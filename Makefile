@@ -40,13 +40,16 @@ check:
 # early-stop and decode-cache accelerations on vs off, asserting
 # bit-identical tallies) and writes BENCH_<date>.json. bench-short is
 # the three-benchmark small-n CI variant (separate output file, so
-# it never clobbers a committed full-run artifact). gobench keeps the raw Go
-# testing benchmarks.
+# it never clobbers a committed full-run artifact); it also runs the
+# delta-checkpoint benchmark (cold vs warm Prepare, full-restore vs
+# delta-walk, chain memory vs 12 full snapshots — tallies asserted
+# bit-identical across all paths). gobench keeps the raw Go testing
+# benchmarks.
 bench:
-	$(GO) run ./cmd/vulnstack bench
+	$(GO) run ./cmd/vulnstack bench -ckpt -bench all
 
 bench-short:
-	$(GO) run ./cmd/vulnstack bench -short -out BENCH_short.json
+	$(GO) run ./cmd/vulnstack bench -short -ckpt -bench all -out BENCH_short.json
 
 # bench-agg measures record re-aggregation throughput (JSONL re-parse
 # vs the streaming columnar cursor) on a small synthetic campaign,

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vulnstack"
+	"vulnstack/internal/inject"
 	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
@@ -55,6 +56,38 @@ type AggBench struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// CkptBench is the delta-checkpoint benchmark: one benchmark's campaign
+// prepared cold (golden run + chain capture) and warm (decode of the
+// persisted chain, zero golden instructions), plus per-injection cost
+// with a boot-only full snapshot (every injection restores from reset)
+// against the dense delta chain (delta-walk restore to the nearest
+// checkpoint). All four paths must produce bit-identical tallies — the
+// benchmark asserts it — so every ratio is pure cost.
+type CkptBench struct {
+	Bench       string `json:"bench"`
+	Snapshots   int    `json:"snapshots"`
+	Checkpoints int    `json:"checkpoints"`
+	// ChainBytes is the chain's stored size (base + deltas + aux);
+	// FullSnapshotBytes one full snapshot (RAM image + machine-state
+	// blob) under the old scheme.
+	ChainBytes        int64 `json:"chain_bytes"`
+	FullSnapshotBytes int64 `json:"full_snapshot_bytes"`
+	// MemoryVsTwelveFull is ChainBytes over twelve full snapshots (the
+	// old default); < 1 means the dense chain undercuts the old memory
+	// footprint.
+	MemoryVsTwelveFull float64 `json:"memory_vs_twelve_full"`
+	NsPrepareCold      int64   `json:"ns_prepare_cold"`
+	NsPrepareWarm      int64   `json:"ns_prepare_warm"`
+	// PrepareSpeedup is cold/warm.
+	PrepareSpeedup float64 `json:"prepare_speedup"`
+	// NsPerInjectionFullRestore runs each injection from a boot-only
+	// snapshot; NsPerInjectionDeltaWalk from the dense chain.
+	NsPerInjectionFullRestore int64 `json:"ns_per_injection_full_restore"`
+	NsPerInjectionDeltaWalk   int64 `json:"ns_per_injection_delta_walk"`
+	// RestoreSpeedup is full-restore/delta-walk.
+	RestoreSpeedup float64 `json:"restore_speedup"`
+}
+
 // BenchReport is the schema of BENCH_<date>.json.
 type BenchReport struct {
 	Date       string                           `json:"date"`
@@ -68,6 +101,8 @@ type BenchReport struct {
 	MedianMicroSpeedup float64 `json:"median_micro_speedup"`
 	// Aggregation is present when the run included -agg.
 	Aggregation *AggBench `json:"aggregation,omitempty"`
+	// Checkpoint is present when the run included -ckpt.
+	Checkpoint *CkptBench `json:"checkpoint,omitempty"`
 }
 
 // cmdBench measures per-injection cost per layer per benchmark, with
@@ -84,6 +119,7 @@ func cmdBench(args []string) error {
 	short := fs.Bool("short", false, "CI mode: three benchmarks, small n")
 	agg := fs.Bool("agg", false, "run the re-aggregation benchmark (JSONL vs columnar); alone, skips the per-layer benches")
 	aggRows := fs.Int("aggrows", 1_000_000, "synthetic campaign size for -agg")
+	ckpt := fs.Bool("ckpt", false, "run the delta-checkpoint benchmark (cold vs warm Prepare, full-restore vs delta-walk); alone, skips the per-layer benches")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Parse(args)
 
@@ -100,8 +136,9 @@ func cmdBench(args []string) error {
 	case *benches == "all":
 	case *benches != "":
 		names = strings.Split(*benches, ",")
-	case *agg:
-		// -agg with no explicit benchmark list measures aggregation only.
+	case *agg, *ckpt:
+		// -agg/-ckpt with no explicit benchmark list measure only their
+		// own subject.
 		names = nil
 	}
 	if *short {
@@ -154,6 +191,18 @@ func cmdBench(args []string) error {
 		fmt.Printf("aggregation %d rows: jsonl %.1f Mrows/s (%d bytes) -> columnar %.1f Mrows/s (%d bytes), %.0fx; filtered %.2fms\n",
 			ab.Rows, ab.RowsPerSecJSONL/1e6, ab.JSONLBytes, ab.RowsPerSecColumnar/1e6, ab.SegBytes,
 			ab.Speedup, float64(ab.NsColumnarFiltered)/1e6)
+	}
+
+	if *ckpt {
+		cb, err := benchCkpt(cfg, st, *n, *seed)
+		if err != nil {
+			return fmt.Errorf("bench ckpt: %w", err)
+		}
+		rep.Checkpoint = cb
+		fmt.Printf("checkpoint %s: prepare cold %.1fms -> warm %.2fms (%.0fx); per-injection full-restore %.2fus -> delta-walk %.2fus (%.2fx); %d ckpts in %d bytes = %.2fx of 12 full snapshots\n",
+			cb.Bench, float64(cb.NsPrepareCold)/1e6, float64(cb.NsPrepareWarm)/1e6, cb.PrepareSpeedup,
+			float64(cb.NsPerInjectionFullRestore)/1e3, float64(cb.NsPerInjectionDeltaWalk)/1e3, cb.RestoreSpeedup,
+			cb.Checkpoints, cb.ChainBytes, cb.MemoryVsTwelveFull)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -280,6 +329,104 @@ func benchAgg(rows int, seed int64) (*AggBench, error) {
 		return nil, fmt.Errorf("columnar re-aggregation speedup %.1fx is below the %.0fx floor", ab.Speedup, floor)
 	}
 	return ab, nil
+}
+
+// benchCkpt measures what the delta-checkpoint chain buys on one
+// representative benchmark: Prepare cost cold (golden run, chain
+// capture, persist) against warm (decode the persisted chain — zero
+// golden instructions), and per-injection cost with a boot-only full
+// snapshot against the dense delta chain. All paths must produce
+// bit-identical tallies.
+func benchCkpt(cfg micro.Config, st micro.Structure, n int, seed int64) (*CkptBench, error) {
+	const bench = "sha"
+	dir, err := os.MkdirTemp("", "vulnstack-ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	mk := func(snapshots int, withStore bool) (*vulnstack.System, error) {
+		sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1}, isa.VSA64)
+		if err != nil {
+			return nil, err
+		}
+		sys.Workers = 1
+		if snapshots > 0 {
+			sys.Snapshots = snapshots
+		}
+		if withStore {
+			store, err := results.OpenStore(dir)
+			if err != nil {
+				return nil, err
+			}
+			sys.Store = store
+		}
+		return sys, nil
+	}
+	prepare := func(snapshots int, withStore bool) (*inject.Campaign, int64, error) {
+		sys, err := mk(snapshots, withStore)
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		cp, err := sys.MicroCampaign(cfg)
+		return cp, time.Since(start).Nanoseconds(), err
+	}
+
+	cold, nsCold, err := prepare(0, true)
+	if err != nil {
+		return nil, err
+	}
+	if cold.Resumed {
+		return nil, fmt.Errorf("cold Prepare on an empty store claims to have resumed")
+	}
+	warm, nsWarm, err := prepare(0, true)
+	if err != nil {
+		return nil, err
+	}
+	if !warm.Resumed {
+		return nil, fmt.Errorf("warm Prepare did not resume from the persisted chain")
+	}
+	full, _, err := prepare(1, false)
+	if err != nil {
+		return nil, err
+	}
+
+	run := func(cp *inject.Campaign) (results.Tally, int64) {
+		start := time.Now()
+		recs := cp.Records(st, n, 0, seed, nil)
+		return results.TallyOf(recs), time.Since(start).Nanoseconds()
+	}
+	deltaTally, nsDelta := run(cold)
+	warmTally, _ := run(warm)
+	fullTally, nsFull := run(full)
+	if deltaTally != fullTally || warmTally != fullTally {
+		return nil, fmt.Errorf("checkpoint paths disagree: full %+v, delta %+v, warm %+v — equivalence violated",
+			fullTally, deltaTally, warmTally)
+	}
+
+	stats := cold.Chain().Stats()
+	chainBytes := int64(stats.BaseBytes + stats.DeltaBytes + stats.AuxBytes)
+	fullBytes := int64(vulnstack.RAMSize + len(cold.Chain().StateAt(stats.Checkpoints-1, nil, -1)))
+	cb := &CkptBench{
+		Bench:                     bench,
+		Snapshots:                 vulnstack.DefaultSnapshots,
+		Checkpoints:               stats.Checkpoints,
+		ChainBytes:                chainBytes,
+		FullSnapshotBytes:         fullBytes,
+		MemoryVsTwelveFull:        float64(chainBytes) / float64(12*fullBytes),
+		NsPrepareCold:             nsCold,
+		NsPrepareWarm:             nsWarm,
+		NsPerInjectionFullRestore: nsFull / int64(n),
+		NsPerInjectionDeltaWalk:   nsDelta / int64(n),
+	}
+	if nsWarm > 0 {
+		cb.PrepareSpeedup = float64(nsCold) / float64(nsWarm)
+	}
+	if nsDelta > 0 {
+		cb.RestoreSpeedup = float64(nsFull) / float64(nsDelta)
+	}
+	return cb, nil
 }
 
 // syntheticRecords draws a deterministic mixed campaign shaped like a

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"vulnstack"
+	"vulnstack/internal/ckpt"
 	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
@@ -421,18 +422,77 @@ func listCampaigns(store *results.Store) error {
 	if err != nil {
 		return err
 	}
-	if len(ms) == 0 {
+	chains := loadChains(store)
+	if len(ms) == 0 && len(chains) == 0 {
 		fmt.Println("store is empty")
 		return nil
 	}
-	fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6s  %8s  %-8s  %s\n",
-		"ID", "LAYER", "CONFIG", "WHERE", "N", "MARGIN", "FORMAT", "TARGET/SEED")
-	for _, m := range ms {
-		fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6d  ±%6.2f%%  %-8s  %s seed=%d\n",
-			m.Key.ID(), m.Key.Layer, orDash(m.Key.Config), orDash(m.Key.Struct),
-			m.N, 100*vulnstackMargin(m.N), m.Format, m.Key.Target, m.Key.Seed)
+	if len(ms) > 0 {
+		fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6s  %8s  %-8s  %-5s  %s\n",
+			"ID", "LAYER", "CONFIG", "WHERE", "N", "MARGIN", "FORMAT", "CHAIN", "TARGET/SEED")
+		for _, m := range ms {
+			chain := "-"
+			if chainFor(chains, m.Key) != nil {
+				chain = "yes"
+			}
+			fmt.Printf("%-16s  %-5s  %-6s  %-5s  %6d  ±%6.2f%%  %-8s  %-5s  %s seed=%d\n",
+				m.Key.ID(), m.Key.Layer, orDash(m.Key.Config), orDash(m.Key.Struct),
+				m.N, 100*vulnstackMargin(m.N), m.Format, chain, m.Key.Target, m.Key.Seed)
+		}
+		fmt.Printf("%d campaigns; inspect one with -id ID\n", len(ms))
 	}
-	fmt.Printf("%d campaigns; inspect one with -id ID\n", len(ms))
+	if len(chains) > 0 {
+		fmt.Printf("\npersisted checkpoint chains (campaign Prepare skips the golden run):\n")
+		fmt.Printf("%-32s  %-5s  %-6s  %6s  %10s  %s\n",
+			"FINGERPRINT", "LAYER", "CONFIG", "CKPTS", "BYTES", "TARGET")
+		for _, ci := range chains {
+			st := ci.chain.Stats()
+			fmt.Printf("%-32s  %-5s  %-6s  %6d  %10d  %s\n",
+				ci.fp, ci.chain.Meta.Engine, orDash(ci.chain.Meta.Config),
+				st.Checkpoints, ci.size, ci.chain.Meta.Target)
+		}
+	}
+	return nil
+}
+
+// chainInfo pairs a decoded persisted chain with its store identity.
+type chainInfo struct {
+	fp    string
+	size  int
+	chain *ckpt.Chain
+}
+
+// loadChains decodes every persisted chain in the store, silently
+// skipping unusable ones (exactly as campaign loading does).
+func loadChains(store *results.Store) []chainInfo {
+	fps, err := store.ListChains()
+	if err != nil {
+		return nil
+	}
+	var cis []chainInfo
+	for _, fp := range fps {
+		data, ok, err := store.LoadChain(fp)
+		if err != nil || !ok {
+			continue
+		}
+		ch, err := ckpt.Decode(data)
+		if err != nil {
+			continue
+		}
+		cis = append(cis, chainInfo{fp: fp, size: len(data), chain: ch})
+	}
+	return cis
+}
+
+// chainFor matches a persisted chain to a campaign key: same injector,
+// same program target, same microarchitecture config.
+func chainFor(chains []chainInfo, k results.Key) *ckpt.Chain {
+	for _, ci := range chains {
+		if ci.chain.Meta.Engine == k.Layer && ci.chain.Meta.Target == k.Target &&
+			ci.chain.Meta.Config == k.Config {
+			return ci.chain
+		}
+	}
 	return nil
 }
 
@@ -461,6 +521,17 @@ func showCampaign(store *results.Store, id string, f results.Filter) error {
 		fmt.Printf("  HVF %.2f%%  FPM of visible: WD %.0f%% WI %.0f%% WOI %.0f%% ESC %.0f%%\n",
 			100*tally.HVF(), 100*tally.FPMShare(micro.FPMWD), 100*tally.FPMShare(micro.FPMWI),
 			100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
+	}
+	if ch := chainFor(loadChains(store), m.Key); ch != nil {
+		st := ch.Stats()
+		coordName := "instrs"
+		if ch.Meta.Engine == results.LayerMicro.String() {
+			coordName = "cycles"
+		}
+		fmt.Printf("  checkpoint chain: %d checkpoints over %s %d..%d\n",
+			st.Checkpoints, coordName, st.FirstCoord, st.LastCoord)
+		fmt.Printf("    base %d bytes, deltas %d bytes, aux %d bytes (RAM image %d bytes)\n",
+			st.BaseBytes, st.DeltaBytes, st.AuxBytes, ch.Meta.RAMBytes)
 	}
 	return nil
 }

@@ -80,3 +80,126 @@ func TestAccelerationEquivalenceAllBenchmarks(t *testing.T) {
 		})
 	}
 }
+
+// TestCheckpointChainEquivalenceAllBenchmarks is the acceptance gate of
+// the delta-checkpoint work: on every benchmark, at both hardware
+// injection layers, tallies must be bit-identical across
+// (boot-only full snapshot × dense delta chain) ×
+// (cold golden-run Prepare × persisted-chain resume) × worker counts.
+// The boot-only configuration degenerates the chain to one full
+// snapshot — exactly the pre-chain run-from-reset semantics — so it
+// doubles as the full-restore baseline for the delta-walk restores the
+// dense chain performs.
+func TestCheckpointChainEquivalenceAllBenchmarks(t *testing.T) {
+	const (
+		nMicro = 8
+		nArch  = 12
+		dense  = 48
+		seed   = 2021
+	)
+	cfg := micro.ConfigA72()
+	for _, bench := range Benchmarks() {
+		bench := bench
+		t.Run(bench, func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			mk := func(snapshots int, withStore bool) *System {
+				sys, err := Build(Target{Bench: bench, Seed: 1}, isa.VSA64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys.Snapshots = snapshots
+				if withStore {
+					st, err := results.OpenStore(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sys.Store = st
+				}
+				return sys
+			}
+			// cold captures and persists its chain into dir; warm is an
+			// otherwise-identical fresh system and must resume from it.
+			full, cold, warm := mk(1, false), mk(dense, true), mk(dense, true)
+
+			layer := func(sys *System, name string, workers int) results.Tally {
+				switch name {
+				case "micro":
+					cp, err := sys.MicroCampaign(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp.Workers = workers
+					return results.TallyOf(cp.Records(micro.StructRF, nMicro, 0, seed, nil))
+				default:
+					cp, err := sys.ArchCampaign()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cp.Workers = workers
+					return results.TallyOf(cp.Records(micro.FPMWD, nArch, 0, seed, nil))
+				}
+			}
+			for _, name := range []string{"micro", "arch"} {
+				ref := layer(full, name, 1)
+				for _, workers := range []int{1, 3} {
+					if got := layer(cold, name, workers); got != ref {
+						t.Errorf("%s layer, %d workers: dense-chain tally %+v, full-snapshot %+v",
+							name, workers, got, ref)
+					}
+					if got := layer(warm, name, workers); got != ref {
+						t.Errorf("%s layer, %d workers: resumed tally %+v, full-snapshot %+v",
+							name, workers, got, ref)
+					}
+				}
+			}
+			// The warm campaigns must actually have skipped their golden
+			// runs (layer() above forced them to exist).
+			if cp, err := warm.MicroCampaign(cfg); err != nil || !cp.Resumed {
+				t.Errorf("micro warm campaign not resumed from persisted chain (err=%v)", err)
+			}
+			if cp, err := warm.ArchCampaign(); err != nil || !cp.Resumed {
+				t.Errorf("arch warm campaign not resumed from persisted chain (err=%v)", err)
+			}
+			if cp, err := cold.MicroCampaign(cfg); err != nil || cp.Resumed {
+				t.Errorf("cold campaign unexpectedly resumed (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestChainDenseMemoryBudget pins the memory criterion of the delta
+// refactor: at the dense default (192 checkpoints) a chain must hold at
+// least 128 restore points while storing less than 12 full snapshots
+// would (12 × the chain's own base cost), i.e. checkpoint memory is no
+// longer O(snapshots × RAM).
+func TestChainDenseMemoryBudget(t *testing.T) {
+	sys, err := Build(Target{Bench: "sha", Seed: 1}, isa.VSA64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Snapshots != DefaultSnapshots {
+		t.Fatalf("default snapshots = %d, want %d", sys.Snapshots, DefaultSnapshots)
+	}
+	cp, err := sys.MicroCampaign(micro.ConfigA72())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cp.Chain().Stats()
+	if st.Checkpoints < 128 {
+		t.Fatalf("dense chain has %d checkpoints, want >= 128", st.Checkpoints)
+	}
+	stored := st.BaseBytes + st.DeltaBytes + st.AuxBytes
+	// One full snapshot under the old scheme was a RAM image plus a
+	// complete machine-state blob; the chain reconstructs the latter, so
+	// measure it rather than estimate it.
+	full := RAMSize + len(cp.Chain().StateAt(st.Checkpoints-1, nil, -1))
+	budget := 12 * full
+	if stored > budget {
+		t.Fatalf("chain stores %d bytes for %d checkpoints, above the 12-full-snapshot budget %d (full snapshot = %d)",
+			stored, st.Checkpoints, budget, full)
+	}
+	t.Logf("%d checkpoints in %d bytes (base %d, deltas %d, aux %d) vs 12-full-snapshot budget %d (%.1fx headroom)",
+		st.Checkpoints, stored, st.BaseBytes, st.DeltaBytes, st.AuxBytes, budget,
+		float64(budget)/float64(stored))
+}

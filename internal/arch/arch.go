@@ -11,11 +11,12 @@ package arch
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"vulnstack/internal/campaign"
+	"vulnstack/internal/ckpt"
 	"vulnstack/internal/dev"
 	"vulnstack/internal/emu"
 	"vulnstack/internal/inject"
@@ -25,6 +26,9 @@ import (
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
 )
+
+// Engine is this injector's name in persisted checkpoint chains.
+const Engine = "arch"
 
 // Campaign prepares PVF injections for one image.
 type Campaign struct {
@@ -36,15 +40,13 @@ type Campaign struct {
 	GoldenInstr uint64
 	KInstr      uint64
 
-	snaps   []emu.Snapshot
-	snapMem []*mem.Memory
-	// snapBus holds the device-side state (output stream, DMA
-	// registers, halt ports) at each snapshot boundary; goldenDirty[i]
-	// lists the RAM pages golden wrote in (snaps[i-1], snaps[i]]. Both
-	// feed the early-stop convergence test.
-	snapBus     []*dev.Bus
-	goldenDirty [][]uint32
-	Limit       uint64
+	// chain is the delta checkpoint chain along the golden run
+	// (internal/ckpt): architectural state + device state blobs plus
+	// content-changed RAM pages at each instruction boundary. It
+	// replaces the old full-snapshot arrays (snaps/snapMem/snapBus), so
+	// checkpoint count is no longer bounded by O(snapshots × RAM).
+	chain *ckpt.Chain
+	Limit uint64
 	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
 	// The tally is bit-identical for every worker count.
 	Workers int
@@ -55,9 +57,125 @@ type Campaign struct {
 	// NoDecodeCache disables the emulator's predecoded fetch cache on
 	// CPUs this campaign creates (also provably result-neutral).
 	NoDecodeCache bool
+	// Resumed reports the campaign was prepared from a persisted chain:
+	// zero golden-run instructions were executed by Prepare.
+	Resumed bool
 }
 
-// Prepare runs the golden execution and captures snapshots.
+// Chain exposes the campaign's checkpoint chain (for persistence and
+// display; read-only).
+func (cp *Campaign) Chain() *ckpt.Chain { return cp.chain }
+
+// archFixedLen is the fixed prefix of the canonical architectural state
+// blob: Regs, PC, CSR, Instret, then one Mode byte. The device-state
+// section (dev.AppendDevice) trails it. KInstr is deliberately excluded
+// — it is reporting state no instruction ever reads, and the old
+// convergence test excluded it — and rides in the checkpoint aux
+// sidecar instead so restores still reinstate it.
+const archFixedLen = 32*8 + 8 + isa.NumCSRs*8 + 8 + 1
+
+// appendArchState encodes the canonical architectural + device state.
+// Bytes-equality of two encodings ⟺ the old field-wise convergence
+// comparison (Regs/PC/CSR/Mode/Instret and Bus.StateEqual).
+func appendArchState(dst []byte, s emu.Snapshot, bus *dev.Bus) []byte {
+	var fixed [archFixedLen]byte
+	o := 0
+	for _, r := range s.Regs {
+		binary.LittleEndian.PutUint64(fixed[o:], r)
+		o += 8
+	}
+	binary.LittleEndian.PutUint64(fixed[o:], s.PC)
+	o += 8
+	for _, v := range s.CSR {
+		binary.LittleEndian.PutUint64(fixed[o:], v)
+		o += 8
+	}
+	binary.LittleEndian.PutUint64(fixed[o:], s.Instret)
+	o += 8
+	fixed[o] = byte(s.Mode)
+	return bus.AppendDevice(append(dst, fixed[:]...))
+}
+
+// decodeArchState recovers the architectural fields from a state blob,
+// ignoring the trailing device section (faulty runs start from a reset
+// bus, not golden's device state). KInstr is left zero for the caller
+// to fill from the aux sidecar.
+func decodeArchState(b []byte) (emu.Snapshot, error) {
+	var s emu.Snapshot
+	if len(b) < archFixedLen {
+		return s, fmt.Errorf("arch: state blob %d bytes, want >= %d", len(b), archFixedLen)
+	}
+	o := 0
+	for i := range s.Regs {
+		s.Regs[i] = binary.LittleEndian.Uint64(b[o:])
+		o += 8
+	}
+	s.PC = binary.LittleEndian.Uint64(b[o:])
+	o += 8
+	for i := range s.CSR {
+		s.CSR[i] = binary.LittleEndian.Uint64(b[o:])
+		o += 8
+	}
+	s.Instret = binary.LittleEndian.Uint64(b[o:])
+	o += 8
+	s.Mode = isa.Mode(b[o])
+	return s, nil
+}
+
+// archProbe folds the scalar architectural state into a cheap gate for
+// the convergence test; mismatched probes skip the full encode+compare.
+func archProbe(s emu.Snapshot) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) { h ^= v; h *= 1099511628211 }
+	mix(s.Instret)
+	mix(s.PC)
+	mix(uint64(s.Mode))
+	for _, r := range s.Regs {
+		mix(r)
+	}
+	for _, v := range s.CSR {
+		mix(v)
+	}
+	return h
+}
+
+func kinstrAux(k uint64) []byte { return binary.AppendUvarint(nil, k) }
+
+func kinstrFromAux(aux []byte) uint64 {
+	v, _ := binary.Uvarint(aux)
+	return v
+}
+
+// encodeGolden serializes the golden summary into a chain's Meta so a
+// warm load learns the reference run without executing it.
+func encodeGolden(cp *Campaign) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(cp.GoldenOut)))
+	b = append(b, cp.GoldenOut...)
+	b = binary.AppendUvarint(b, cp.GoldenExit)
+	b = binary.AppendUvarint(b, cp.GoldenInstr)
+	return binary.AppendUvarint(b, cp.KInstr)
+}
+
+func decodeGolden(b []byte, cp *Campaign) error {
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return fmt.Errorf("arch: truncated golden summary")
+	}
+	cp.GoldenOut = append([]byte(nil), b[k:k+int(n)]...)
+	b = b[k+int(n):]
+	for _, dst := range []*uint64{&cp.GoldenExit, &cp.GoldenInstr, &cp.KInstr} {
+		v, k := binary.Uvarint(b)
+		if k <= 0 {
+			return fmt.Errorf("arch: truncated golden summary")
+		}
+		*dst = v
+		b = b[k:]
+	}
+	return nil
+}
+
+// Prepare runs the golden execution and captures the delta checkpoint
+// chain (boot state only when nsnaps <= 1).
 func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 	bus := dev.NewBus(img.NewMemory())
 	c := emu.New(img.ISA, bus, img.Entry)
@@ -76,101 +194,110 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 	}
 	cp.Limit = 3*cp.GoldenInstr + 100000
 
+	cp.chain = ckpt.New(ckpt.Meta{
+		Engine:   Engine,
+		RAMBytes: int(img.RAM.Size()),
+		Golden:   encodeGolden(cp),
+	})
 	if nsnaps > 1 {
 		step := cp.GoldenInstr / uint64(nsnaps)
 		if step == 0 {
 			step = 1
 		}
 		bus2 := dev.NewBus(img.NewMemory())
-		// Track golden RAM writes so each snapshot interval's dirty
-		// pages are known: the early-stop comparison then touches only
-		// pages the two runs could have dirtied differently.
-		bus2.Mem.EnableTracking()
 		c2 := emu.New(img.ISA, bus2, img.Entry)
+		var sbuf []byte
 		for next := uint64(0); next < cp.GoldenInstr; next += step {
 			for c2.Instret < next {
 				if !c2.Step() {
 					break
 				}
 			}
-			cp.snaps = append(cp.snaps, c2.Save())
-			cp.snapMem = append(cp.snapMem, bus2.Mem.Clone())
-			cp.snapBus = append(cp.snapBus, bus2.CloneDevice())
-			cp.goldenDirty = append(cp.goldenDirty, bus2.Mem.TakeDirtyPages())
+			if n := cp.chain.Len(); n > 0 && c2.Instret <= cp.chain.Coord(n-1) {
+				continue
+			}
+			s := c2.Save()
+			sbuf = appendArchState(sbuf[:0], s, bus2)
+			cp.chain.Add(c2.Instret, archProbe(s), bus2.Mem.Bytes(), sbuf, kinstrAux(s.KInstr))
 		}
 	} else {
-		// Keep one boot-state snapshot so worker arenas always have a
-		// restore source; the pristine image RAM is immutable, so it is
-		// shared rather than cloned.
-		cp.snaps = []emu.Snapshot{{PC: img.Entry, Mode: isa.Kernel}}
-		cp.snapMem = []*mem.Memory{img.RAM}
-		cp.snapBus = []*dev.Bus{(&dev.Bus{}).CloneDevice()}
-		cp.goldenDirty = [][]uint32{nil}
+		// Keep one boot-state checkpoint so worker arenas always have a
+		// restore source.
+		boot := emu.Snapshot{PC: img.Entry, Mode: isa.Kernel}
+		blob := appendArchState(nil, boot, &dev.Bus{})
+		cp.chain.Add(0, archProbe(boot), img.RAM.Bytes(), blob, kinstrAux(0))
 	}
+	cp.chain.Finish()
 	return cp, nil
 }
 
-// snapFor returns the index of the latest snapshot at or before dynamic
-// instruction k. Snapshot Instret values are non-decreasing (taken
-// along one golden run), so binary search finds it; runs once per
-// injection and must scale with -snapshots.
-func (cp *Campaign) snapFor(k uint64) int {
-	// First index strictly past k; everything before it is <= k.
-	i := sort.Search(len(cp.snaps), func(i int) bool { return cp.snaps[i].Instret > k })
-	if i == 0 {
-		return 0
+// PrepareFromChain builds a campaign from a persisted checkpoint chain
+// without executing a single golden-run instruction. The caller is
+// responsible for fingerprint-matching the chain to its campaign
+// configuration; this validates engine, image geometry and
+// decodability of the boot checkpoint, returning an error (for a cold
+// Prepare fallback) on any mismatch.
+func PrepareFromChain(img *kernel.Image, ch *ckpt.Chain) (*Campaign, error) {
+	if ch.Meta.Engine != Engine {
+		return nil, fmt.Errorf("arch: chain engine %q, want %q", ch.Meta.Engine, Engine)
 	}
-	return i - 1
-}
-
-// cpuAt returns an emulator advanced to dynamic instruction k. Dirty
-// tracking is enabled at the snapshot baseline so the early-stop RAM
-// comparison knows which pages this run touched.
-func (cp *Campaign) cpuAt(k uint64) (*emu.CPU, *dev.Bus) {
-	bus := dev.NewBus(cp.Img.NewMemory())
-	c := emu.New(cp.Img.ISA, bus, cp.Img.Entry)
-	c.NoDecodeCache = cp.NoDecodeCache
-	best := cp.snapFor(k)
-	bus.Mem.CopyFrom(cp.snapMem[best])
-	bus.Mem.EnableTracking()
-	c.Restore(cp.snaps[best])
-	for c.Instret < k {
-		if !c.Step() {
-			break
-		}
+	if ch.Meta.RAMBytes != int(img.RAM.Size()) {
+		return nil, fmt.Errorf("arch: chain RAM %d bytes, image has %d", ch.Meta.RAMBytes, img.RAM.Size())
 	}
-	return c, bus
+	if ch.Len() == 0 {
+		return nil, fmt.Errorf("arch: empty chain")
+	}
+	cp := &Campaign{Img: img, chain: ch, Resumed: true}
+	if err := decodeGolden(ch.Meta.Golden, cp); err != nil {
+		return nil, err
+	}
+	if _, err := decodeArchState(ch.StateAt(0, nil, -1)); err != nil {
+		return nil, err
+	}
+	cp.Limit = 3*cp.GoldenInstr + 100000
+	return cp, nil
 }
 
 // worker is the reusable per-worker arena: an emulator, bus and RAM
-// image restored in place for every injection (dirty pages only when
-// the restore source repeats), keeping the hot loop allocation-free.
+// image restored in place for every injection by delta-walking the
+// chain between restore points, keeping the hot loop allocation-free.
 type worker struct {
 	cpu *emu.CPU
 	bus *dev.Bus
 	m   *mem.Memory
-	src int // snapshot index the arena RAM was last restored from
+	src int // checkpoint index the arena was last restored from
+	// stateBuf holds the materialized state blob of checkpoint src;
+	// cmpBuf is the convergence-test encode scratch.
+	stateBuf []byte
+	cmpBuf   []byte
 }
 
 // cpuFor readies the worker's arena at dynamic instruction k, restoring
-// from snapshot g.
+// from checkpoint g. The bus is reset (not restored): faulty runs
+// accumulate device output from empty, exactly as before the chain
+// refactor, and the convergence test accounts for it.
 func (cp *Campaign) cpuFor(w *worker, k uint64, g int) (*emu.CPU, *dev.Bus) {
 	if w.m == nil {
-		w.m = cp.snapMem[g].Clone()
+		w.m = mem.New(cp.Img.RAM.Size())
 		w.m.EnableTracking()
 		w.bus = dev.NewBus(w.m)
 		w.cpu = emu.New(cp.Img.ISA, w.bus, cp.Img.Entry)
 		w.cpu.NoDecodeCache = cp.NoDecodeCache
+		w.src = -1
 	} else {
 		w.bus.Reset()
-		if w.src == g {
-			w.m.RestoreDirty(cp.snapMem[g])
-		} else {
-			w.m.CopyFrom(cp.snapMem[g])
-		}
 	}
+	w.stateBuf = cp.chain.StateAt(g, w.stateBuf, w.src)
+	s, err := decodeArchState(w.stateBuf)
+	if err != nil {
+		// Unreachable for a chain that passed Prepare/PrepareFromChain
+		// validation: every checkpoint was encoded by this codec.
+		panic(fmt.Sprintf("arch: checkpoint %d restore: %v", g, err))
+	}
+	s.KInstr = kinstrFromAux(cp.chain.Aux(g))
+	cp.chain.RestoreRAM(w.m, w.src, g)
 	w.src = g
-	w.cpu.Restore(cp.snaps[g])
+	w.cpu.Restore(s)
 	for w.cpu.Instret < k {
 		if !w.cpu.Step() {
 			break
@@ -238,25 +365,27 @@ func applyUniform(c *emu.CPU, f Fault) {
 	c.SetReg(f.Slot, c.Reg(f.Slot)^(1<<uint(f.Bit)))
 }
 
-// Run performs one injection and classifies the program-level outcome.
-// It builds a fresh machine per call; campaigns use the worker-arena
-// path in RunCampaign instead.
+// Run performs one injection and classifies the program-level outcome,
+// building a throwaway arena; campaigns use the pooled worker path in
+// RunCampaign.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
-	c, bus := cp.cpuAt(f.K)
-	o, _ := cp.classify(c, bus, cp.snapFor(f.K), func() { cp.apply(c, f) })
+	w := &worker{src: -1}
+	g := cp.chain.Find(f.K)
+	c, bus := cp.cpuFor(w, f.K, g)
+	o, _ := cp.classify(c, bus, g, w, func() { cp.apply(c, f) })
 	return o
 }
 
 // classify applies an injection to a machine already advanced to the
-// fault instant (restored from snapshot g), runs it to halt, the
+// fault instant (restored from checkpoint g), runs it to halt, the
 // watchdog limit or provable golden convergence, and classifies the
 // outcome. earlyStop reports a convergence-classified run.
-func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, g int, apply func()) (o inject.Outcome, earlyStop bool) {
+func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, g int, w *worker, apply func()) (o inject.Outcome, earlyStop bool) {
 	if bus.Halted() {
 		return inject.Masked, false
 	}
 	apply()
-	halted, converged := cp.runFaulty(c, bus, g)
+	halted, converged := cp.runFaulty(c, bus, g, w)
 	switch {
 	case converged:
 		// Architectural state, device state and memory all bit-equal to
@@ -279,11 +408,11 @@ func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, g int, apply func()) (o i
 }
 
 // runFaulty executes the faulty machine, pausing at every golden
-// snapshot boundary past g to test for convergence.
-func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int) (halted, converged bool) {
+// checkpoint boundary past g to test for convergence.
+func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int, w *worker) (halted, converged bool) {
 	if !cp.NoEarlyStop && bus.Mem.Tracking() {
-		for j := g + 1; j < len(cp.snaps); j++ {
-			target := cp.snaps[j].Instret
+		for j := g + 1; j < cp.chain.Len(); j++ {
+			target := cp.chain.Coord(j)
 			// apply may have executed forward past this boundary while
 			// searching for a suitable operand; skip it.
 			if target < c.Instret {
@@ -294,7 +423,7 @@ func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int) (halted, converge
 					return true, false
 				}
 			}
-			if cp.convergedAt(c, bus, g, j) {
+			if cp.convergedAt(c, bus, g, j, w) {
 				return false, true
 			}
 		}
@@ -308,36 +437,21 @@ func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int) (halted, converge
 }
 
 // convergedAt reports whether the faulty machine, at the instruction
-// boundary of snapshot j, is bit-identical to the golden run:
-// architectural state against the snapshot, device state against the
-// boundary bus capture, and RAM over the union of the faulty run's
-// dirty pages (tracked since its restore from snapshot g) and the
-// pages golden dirtied in (snaps[g], snaps[j]] — every other page
-// provably equals snapshot g's copy in both runs. KInstr is excluded:
-// it is reporting state no instruction ever reads.
-func (cp *Campaign) convergedAt(c *emu.CPU, bus *dev.Bus, g, j int) bool {
-	s := &cp.snaps[j]
-	if c.Instret != s.Instret || c.PC != s.PC || c.Mode != s.Mode ||
-		c.Regs != s.Regs || c.CSR != s.CSR {
+// boundary of checkpoint j, is bit-identical to the golden run: the
+// scalar probe gates the test; on a match the state is encoded
+// canonically (architectural fields + device state) and compared
+// chunk-wise against the chain, and RAM is compared on the union of the
+// faulty run's dirty pages (tracked since its restore from checkpoint
+// g) and the chain's content-changed pages in (g, j] — every other
+// page provably equals checkpoint g's copy in both runs. KInstr is
+// excluded: it is reporting state no instruction ever reads.
+func (cp *Campaign) convergedAt(c *emu.CPU, bus *dev.Bus, g, j int, w *worker) bool {
+	s := c.Save()
+	if s.Instret != cp.chain.Coord(j) || archProbe(s) != cp.chain.Probe(j) {
 		return false
 	}
-	if !bus.StateEqual(cp.snapBus[j]) {
-		return false
-	}
-	gm := cp.snapMem[j]
-	for _, p := range bus.Mem.DirtyPageList() {
-		if !bus.Mem.PageEqual(gm, p) {
-			return false
-		}
-	}
-	for k := g + 1; k <= j; k++ {
-		for _, p := range cp.goldenDirty[k] {
-			if !bus.Mem.PageEqual(gm, p) {
-				return false
-			}
-		}
-	}
-	return true
+	w.cmpBuf = appendArchState(w.cmpBuf[:0], s, bus)
+	return cp.chain.StateEqual(j, w.cmpBuf) && cp.chain.RAMEqual(bus.Mem, g, j)
 }
 
 // apply injects the fault just before the next instruction executes.
@@ -484,7 +598,7 @@ func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress fun
 	}
 	jobs := make([]campaign.Job, n-from)
 	for i := range jobs {
-		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].K)}
+		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[from+i].K)}
 	}
 	var emit func(i int, rec results.Record)
 	if progress != nil {
@@ -495,7 +609,7 @@ func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress fun
 		func(w *worker, j campaign.Job) results.Record {
 			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			o, early := cp.classify(c, bus, j.Group, func() { cp.apply(c, f) })
+			o, early := cp.classify(c, bus, j.Group, w, func() { cp.apply(c, f) })
 			rec := record(f, o, early)
 			rec.Index = from + j.Index
 			return rec
@@ -520,7 +634,7 @@ func (cp *Campaign) UniformRecords(n, from int, seed int64, progress func(i int,
 	}
 	jobs := make([]campaign.Job, n-from)
 	for i := range jobs {
-		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].K)}
+		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[from+i].K)}
 	}
 	var emit func(i int, rec results.Record)
 	if progress != nil {
@@ -531,7 +645,7 @@ func (cp *Campaign) UniformRecords(n, from int, seed int64, progress func(i int,
 		func(w *worker, j campaign.Job) results.Record {
 			f := faults[from+j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
-			o, early := cp.classify(c, bus, j.Group, func() { applyUniform(c, f) })
+			o, early := cp.classify(c, bus, j.Group, w, func() { applyUniform(c, f) })
 			return results.Record{
 				Layer:     results.LayerArch,
 				Target:    UniformTarget,

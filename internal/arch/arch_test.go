@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vulnstack/internal/codegen"
+	"vulnstack/internal/dev"
 	"vulnstack/internal/emu"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/isa"
@@ -184,30 +185,54 @@ func TestArchEarlyStopRecordEquivalence(t *testing.T) {
 	t.Logf("early-stopped %d/%d injections", stopped, n)
 }
 
-func TestSnapForMatchesLinearScan(t *testing.T) {
-	// The binary search must agree with the obvious linear reference on
-	// every boundary shape, duplicates included.
-	cases := [][]uint64{
-		{0},
-		{0, 10, 20, 30},
-		{0, 5, 5, 5, 9},
-		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+// TestArchStateRoundTrip: the canonical state codec must restore every
+// architectural field it encodes and be deterministic (the convergence
+// test compares encodings bytes-wise).
+func TestArchStateRoundTrip(t *testing.T) {
+	s := emu.Snapshot{PC: 0x1040, Mode: isa.User, Instret: 987654}
+	for i := range s.Regs {
+		s.Regs[i] = uint64(i) * 0x0101010101010101
 	}
-	for _, at := range cases {
-		cp := &Campaign{}
-		for _, a := range at {
-			cp.snaps = append(cp.snaps, emu.Snapshot{Instret: a})
-		}
-		for k := uint64(0); k < at[len(at)-1]+3; k++ {
-			want := 0
-			for i, a := range at {
-				if a <= k {
-					want = i
-				}
-			}
-			if got := cp.snapFor(k); got != want {
-				t.Fatalf("instret=%v k=%d: got %d, want %d", at, k, got, want)
-			}
-		}
+	for i := range s.CSR {
+		s.CSR[i] = uint64(i) + 7
+	}
+	bus := &dev.Bus{Out: []byte("abc"), ExitCode: 3}
+	blob := appendArchState(nil, s, bus)
+	got, err := decodeArchState(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.KInstr = 0 // the codec excludes KInstr (aux sidecar)
+	if got != s {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, s)
+	}
+	if string(appendArchState(nil, s, bus)) != string(blob) {
+		t.Fatal("encoding not deterministic")
+	}
+	if _, err := decodeArchState(blob[:archFixedLen-1]); err == nil {
+		t.Fatal("short blob must not decode")
+	}
+}
+
+// TestPrepareFromChainMatchesCold: a campaign resumed from the cold
+// campaign's own chain (zero golden-run instructions) must produce a
+// bit-identical tally.
+func TestPrepareFromChainMatchesCold(t *testing.T) {
+	cold := prep(t, "sha", isa.VSA64)
+	warm, err := PrepareFromChain(cold.Img, cold.Chain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Resumed {
+		t.Fatal("warm campaign must report Resumed")
+	}
+	if warm.GoldenInstr != cold.GoldenInstr || warm.KInstr != cold.KInstr ||
+		string(warm.GoldenOut) != string(cold.GoldenOut) {
+		t.Fatal("golden summary mismatch")
+	}
+	a := cold.RunCampaign(micro.FPMWD, 30, 5, nil)
+	b := warm.RunCampaign(micro.FPMWD, 30, 5, nil)
+	if a != b {
+		t.Fatalf("cold %+v != warm %+v", a, b)
 	}
 }

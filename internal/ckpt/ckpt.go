@@ -1,0 +1,396 @@
+// Package ckpt implements the generic delta-checkpoint chain shared by
+// the execution-driven injection engines (internal/inject at the micro
+// layer, internal/arch at the architecture layer). A chain is a base
+// full snapshot plus per-checkpoint delta records: for both the RAM
+// image and the engine's canonically encoded machine-state blob, only
+// the 4 KiB chunks whose contents changed since the previous checkpoint
+// are stored. Memory is therefore O(base + Σ deltas) instead of
+// O(checkpoints × RAM), which is what lets `-snapshots` grow from ~12
+// full copies to hundreds of deltas in comparable memory.
+//
+// The chain answers four questions for an engine:
+//
+//   - Find(coord): nearest checkpoint at or before a fault coordinate
+//     (binary search), replacing the engines' duplicated snapFor.
+//   - StateAt/RestoreRAM: delta-walk restore into a worker arena —
+//     walking only the chunks with a version between the arena's
+//     current checkpoint and the target, instead of full copies.
+//   - Probe/StateEqual/RAMEqual: the convergence early-stop test. The
+//     engine encodes the faulty machine canonically; bytes-equality
+//     against the chain's blob ⟺ the engine's StateEqual, and RAM is
+//     compared only on the union of the faulty run's dirty pages and
+//     the chain's content-changed pages — sound, because every page
+//     outside that union provably equals the restore point's copy in
+//     both runs.
+//   - Encode/Decode: a colseg-serialized form persisted in the results
+//     store, digest-protected, so a warm store (top-up resume or a
+//     second process) skips the golden run entirely.
+//
+// Canonical encoding is the engine's contract: two machine states are
+// engine-StateEqual if and only if their encoded blobs are bytes-equal.
+// Per-checkpoint aux bytes carry restore-only data excluded from that
+// equality (the arch engine's kernel-instruction counter, which its
+// convergence test deliberately ignores).
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+
+	"vulnstack/internal/mem"
+)
+
+// ChunkShift selects the delta granularity: 4 KiB, matching
+// mem.PageShift so RAM chunks are exactly tracked pages.
+const ChunkShift = 12
+
+const chunkSize = 1 << ChunkShift
+
+// zeroChunk backs reads of never-stored chunks (absent ≡ zero).
+var zeroChunk [chunkSize]byte
+
+// Meta identifies a chain and carries the engine's golden-run summary.
+type Meta struct {
+	// Engine names the owning injector ("micro" or "arch"): a chain
+	// restores engine-specific state and is never cross-loaded.
+	Engine string
+	// Fingerprint keys the chain to the exact campaign configuration —
+	// target/seed, machine config, snapshot density, earlystop and
+	// decodecache flags, RAM size, format version. Loaders must reject
+	// any mismatch and fall back to a cold Prepare.
+	Fingerprint string
+	// Target and Config are human-readable labels for `results show`.
+	Target string
+	Config string
+	// RAMBytes is the captured RAM size.
+	RAMBytes int
+	// Golden is the engine-encoded golden-run summary (output bytes,
+	// exit code, cycle/instruction counts): everything Prepare would
+	// otherwise have to re-run the golden execution to learn.
+	Golden []byte
+}
+
+// chunkVer is one stored version of one chunk: its contents as of
+// checkpoint idx (valid until the next version of the same chunk).
+type chunkVer struct {
+	idx  int32
+	data []byte
+}
+
+// deltaSpace is a chunk-versioned byte space: a sequence of full images
+// (one per checkpoint) stored as, per chunk, the ascending list of
+// checkpoints at which its contents changed. An absent version means
+// the chunk has been zero since the base.
+type deltaSpace struct {
+	chunks  [][]chunkVer
+	lens    []int
+	perCkpt [][]int32 // chunk indices stored at each checkpoint
+	last    []byte    // previous full image, capture-time only
+}
+
+func chunkOf(img []byte, c int) []byte {
+	lo := c << ChunkShift
+	if lo >= len(img) {
+		return nil
+	}
+	hi := lo + chunkSize
+	if hi > len(img) {
+		hi = len(img)
+	}
+	return img[lo:hi]
+}
+
+func numChunks(n int) int { return (n + chunkSize - 1) >> ChunkShift }
+
+func isZero(b []byte) bool {
+	for len(b) >= 8 {
+		if string(b[:8]) != "\x00\x00\x00\x00\x00\x00\x00\x00" {
+			return false
+		}
+		b = b[8:]
+	}
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// add captures the next checkpoint's full image, storing only changed
+// chunks. The base (first) image is compared against all-zeroes.
+func (d *deltaSpace) add(img []byte) {
+	idx := len(d.lens)
+	nc := numChunks(len(img))
+	if prev := numChunks(len(d.last)); prev > nc && d.last != nil {
+		nc = prev // shrunk tail chunks store empty versions
+	}
+	for len(d.chunks) < nc {
+		d.chunks = append(d.chunks, nil)
+	}
+	var stored []int32
+	for c := 0; c < nc; c++ {
+		cur := chunkOf(img, c)
+		var changed bool
+		if idx == 0 {
+			changed = !isZero(cur)
+		} else {
+			changed = !bytes.Equal(cur, chunkOf(d.last, c))
+		}
+		if changed {
+			d.chunks[c] = append(d.chunks[c], chunkVer{idx: int32(idx), data: append([]byte(nil), cur...)})
+			stored = append(stored, int32(c))
+		}
+	}
+	d.lens = append(d.lens, len(img))
+	d.perCkpt = append(d.perCkpt, stored)
+	d.last = append(d.last[:0], img...)
+}
+
+// finish releases the capture-time rolling image.
+func (d *deltaSpace) finish() { d.last = nil }
+
+// get returns the contents of chunk c at checkpoint i (zeroes when no
+// version is stored; empty beyond the image length).
+func (d *deltaSpace) get(i, c int) []byte {
+	need := d.lens[i] - c<<ChunkShift
+	if need <= 0 {
+		return nil
+	}
+	if need > chunkSize {
+		need = chunkSize
+	}
+	if c < len(d.chunks) {
+		vers := d.chunks[c]
+		k := sort.Search(len(vers), func(j int) bool { return int(vers[j].idx) > i }) - 1
+		if k >= 0 {
+			data := vers[k].data
+			if len(data) > need {
+				data = data[:need]
+			}
+			return data
+		}
+	}
+	return zeroChunk[:need]
+}
+
+// walk visits every chunk index with a stored version in
+// (min(from,to), max(from,to)] — a superset of the chunks whose
+// contents differ between the two checkpoints. from = -1 covers
+// everything up to to. Chunks may be visited more than once.
+func (d *deltaSpace) walk(from, to int, visit func(c int)) {
+	lo, hi := from, to
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	for i := lo + 1; i <= hi; i++ {
+		for _, c := range d.perCkpt[i] {
+			visit(int(c))
+		}
+	}
+}
+
+// bytesStored sums the stored version payloads at checkpoint i.
+func (d *deltaSpace) bytesStored(i int) int {
+	n := 0
+	for _, c := range d.perCkpt[i] {
+		vers := d.chunks[c]
+		k := sort.Search(len(vers), func(j int) bool { return int(vers[j].idx) > i }) - 1
+		n += len(vers[k].data)
+	}
+	return n
+}
+
+// Chain is one checkpoint chain: coordinates, probes and aux sidecars
+// per checkpoint, plus the RAM and machine-state delta spaces.
+type Chain struct {
+	Meta   Meta
+	coords []uint64
+	probes []uint64
+	aux    [][]byte
+	ram    *deltaSpace
+	state  *deltaSpace
+}
+
+// New starts an empty chain for capture.
+func New(meta Meta) *Chain {
+	return &Chain{Meta: meta, ram: &deltaSpace{}, state: &deltaSpace{}}
+}
+
+// Add captures one checkpoint: its boundary coordinate (cycle or
+// instruction count, strictly ascending), the engine's cheap scalar
+// probe of the state, the full RAM image, the canonical machine-state
+// blob, and optional restore-only aux bytes.
+func (ch *Chain) Add(coord, probe uint64, ram, state, aux []byte) {
+	if n := len(ch.coords); n > 0 && coord <= ch.coords[n-1] {
+		panic("ckpt: checkpoint coordinates must be strictly ascending")
+	}
+	ch.coords = append(ch.coords, coord)
+	ch.probes = append(ch.probes, probe)
+	ch.aux = append(ch.aux, append([]byte(nil), aux...))
+	ch.ram.add(ram)
+	ch.state.add(state)
+}
+
+// Finish releases capture-time buffers once all checkpoints are added.
+func (ch *Chain) Finish() { ch.ram.finish(); ch.state.finish() }
+
+// Len returns the number of checkpoints.
+func (ch *Chain) Len() int { return len(ch.coords) }
+
+// Coord returns checkpoint i's boundary coordinate.
+func (ch *Chain) Coord(i int) uint64 { return ch.coords[i] }
+
+// Probe returns checkpoint i's scalar state probe.
+func (ch *Chain) Probe(i int) uint64 { return ch.probes[i] }
+
+// Aux returns checkpoint i's restore-only sidecar bytes (read-only).
+func (ch *Chain) Aux(i int) []byte { return ch.aux[i] }
+
+// Find returns the latest checkpoint whose coordinate is <= coord
+// (checkpoint 0 — the boot state — when coord precedes every boundary).
+func (ch *Chain) Find(coord uint64) int {
+	g := sort.Search(len(ch.coords), func(i int) bool { return ch.coords[i] > coord }) - 1
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// StateAt materializes checkpoint i's machine-state blob into buf
+// (reusing its storage), delta-walking from checkpoint `from` when buf
+// still holds from's blob; from = -1 forces a full materialization.
+func (ch *Chain) StateAt(i int, buf []byte, from int) []byte {
+	d := ch.state
+	want := d.lens[i]
+	if from < 0 || from >= len(d.lens) || len(buf) != d.lens[from] {
+		if cap(buf) < want {
+			buf = make([]byte, want)
+		}
+		buf = buf[:want]
+		nc := numChunks(want)
+		for c := 0; c < nc; c++ {
+			copy(chunkOf(buf, c), d.get(i, c))
+		}
+		return buf
+	}
+	if len(buf) < want {
+		// Grown region starts zeroed: chunks that stayed zero through
+		// the growth have no stored version to walk.
+		old := len(buf)
+		if cap(buf) < want {
+			nb := make([]byte, want)
+			copy(nb, buf)
+			buf = nb
+		} else {
+			buf = buf[:want]
+			clear(buf[old:])
+		}
+	} else {
+		buf = buf[:want]
+	}
+	nc := numChunks(want)
+	d.walk(from, i, func(c int) {
+		if c < nc {
+			copy(chunkOf(buf, c), d.get(i, c))
+		}
+	})
+	return buf
+}
+
+// RestoreRAM makes m's contents equal checkpoint to's RAM image. The
+// caller guarantees m currently equals checkpoint `from` except on m's
+// own tracked dirty pages (from = -1 means m is all zeroes, e.g. a
+// fresh arena). Only the dirty pages and the chunks with versions
+// between the two checkpoints are written; tracking is then re-based.
+func (ch *Chain) RestoreRAM(m *mem.Memory, from, to int) {
+	for _, p := range m.DirtyPageList() {
+		m.SetPage(p, ch.ram.get(to, int(p)))
+	}
+	ch.ram.walk(from, to, func(c int) {
+		m.SetPage(uint32(c), ch.ram.get(to, c))
+	})
+	m.ResetDirty()
+}
+
+// StateEqual reports whether blob is bytes-equal to checkpoint i's
+// machine-state blob, compared chunk-wise against the stored versions.
+// With a canonical engine encoding this is exactly the engine's
+// machine-state equality.
+func (ch *Chain) StateEqual(i int, blob []byte) bool {
+	d := ch.state
+	if len(blob) != d.lens[i] {
+		return false
+	}
+	nc := numChunks(len(blob))
+	for c := 0; c < nc; c++ {
+		if !bytes.Equal(chunkOf(blob, c), d.get(i, c)) {
+			return false
+		}
+	}
+	return true
+}
+
+// RAMEqual reports whether m's contents equal checkpoint j's RAM image,
+// given that m was restored from checkpoint g and dirty-tracked since.
+// Only m's dirty pages and the chain's content-changed pages in (g, j]
+// are compared: every other page equals checkpoint g's copy in both
+// images, so the comparison is exact, not approximate.
+func (ch *Chain) RAMEqual(m *mem.Memory, g, j int) bool {
+	for _, p := range m.DirtyPageList() {
+		if !bytes.Equal(m.Page(p), ch.ram.get(j, int(p))) {
+			return false
+		}
+	}
+	eq := true
+	ch.ram.walk(g, j, func(c int) {
+		if eq && !bytes.Equal(m.Page(uint32(c)), ch.ram.get(j, c)) {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// Stats summarizes a chain for display and for the memory criterion:
+// the chain's live size is ~BaseBytes + DeltaBytes, not
+// checkpoints × (RAM + state).
+type Stats struct {
+	Checkpoints int
+	FirstCoord  uint64
+	LastCoord   uint64
+	// BaseBytes is the stored size of checkpoint 0 (RAM + state
+	// chunks); DeltaBytes the total stored size of all later deltas.
+	BaseBytes  int
+	DeltaBytes int
+	AuxBytes   int
+}
+
+// Stats computes the chain's storage summary.
+func (ch *Chain) Stats() Stats {
+	st := Stats{Checkpoints: len(ch.coords)}
+	if len(ch.coords) > 0 {
+		st.FirstCoord = ch.coords[0]
+		st.LastCoord = ch.coords[len(ch.coords)-1]
+		st.BaseBytes = ch.ram.bytesStored(0) + ch.state.bytesStored(0)
+	}
+	for i := 1; i < len(ch.coords); i++ {
+		st.DeltaBytes += ch.ram.bytesStored(i) + ch.state.bytesStored(i)
+	}
+	for _, a := range ch.aux {
+		st.AuxBytes += len(a)
+	}
+	return st
+}
+
+// Fingerprint derives the chain key from the campaign's configuration
+// parts. Everything that changes the golden run or the validity of its
+// checkpoints — target key, machine config, snapshot density, the
+// earlystop/decodecache flags, RAM size, engine, format version — must
+// be a part; a loader seeing a different fingerprint must re-Prepare.
+func Fingerprint(parts ...string) string {
+	h := sha256.Sum256([]byte(strings.Join(parts, "\x1f")))
+	return hex.EncodeToString(h[:16])
+}

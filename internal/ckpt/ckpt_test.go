@@ -1,0 +1,349 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vulnstack/internal/mem"
+)
+
+// buildImages generates a sequence of images that mutate a few chunks
+// per step (with occasional growth/shrink for the state space), plus a
+// mostly-zero start — the shapes the RAM and machine-state planes
+// produce.
+func buildImages(r *rand.Rand, n, size int, resize bool) [][]byte {
+	imgs := make([][]byte, n)
+	cur := make([]byte, size)
+	// Sparse nonzero start: most chunks stay zero, like a fresh RAM.
+	for i := 0; i < size/64; i++ {
+		cur[r.Intn(size)] = byte(1 + r.Intn(255))
+	}
+	for i := range imgs {
+		if i > 0 {
+			for k := 0; k < 3; k++ {
+				cur[r.Intn(len(cur))] ^= byte(1 + r.Intn(255))
+			}
+			if resize && i%3 == 0 {
+				// Alternate growth and shrink across chunk boundaries.
+				delta := (r.Intn(3) - 1) * (chunkSize + 17)
+				nl := len(cur) + delta
+				if nl < 1 {
+					nl = 1
+				}
+				next := make([]byte, nl)
+				copy(next, cur)
+				cur = next
+			}
+		}
+		imgs[i] = append([]byte(nil), cur...)
+	}
+	return imgs
+}
+
+func chainOf(t *testing.T, ramImgs, stateImgs [][]byte) *Chain {
+	t.Helper()
+	ch := New(Meta{Engine: "test", RAMBytes: len(ramImgs[0]), Golden: []byte("g")})
+	for i := range ramImgs {
+		ch.Add(uint64(i*10), uint64(i)*7919, ramImgs[i], stateImgs[i], []byte{byte(i)})
+	}
+	ch.Finish()
+	return ch
+}
+
+// TestStateAtMatchesRetainedImages: materializing any checkpoint — full
+// or delta-walked from any other checkpoint — must reproduce the exact
+// captured image.
+func TestStateAtMatchesRetainedImages(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	ramImgs := buildImages(r, 12, 4*chunkSize, false)
+	stateImgs := buildImages(r, 12, 3*chunkSize+100, true)
+	ch := chainOf(t, ramImgs, stateImgs)
+
+	var buf []byte
+	for from := -1; from < 12; from++ {
+		for to := 0; to < 12; to++ {
+			src := -1
+			if from >= 0 {
+				// Seed the buffer with checkpoint `from` as the delta-walk
+				// precondition requires.
+				buf = ch.StateAt(from, buf, -1)
+				src = from
+			}
+			buf = ch.StateAt(to, buf, src)
+			if !bytes.Equal(buf, stateImgs[to]) {
+				t.Fatalf("StateAt(%d) from %d: %d bytes, want %d (content mismatch)",
+					to, from, len(buf), len(stateImgs[to]))
+			}
+		}
+	}
+}
+
+// TestRestoreRAMMatchesRetainedImages: the dirty-page + delta-walk RAM
+// restore must land exactly on the captured image, from any previous
+// restore point, with arbitrary writes in between.
+func TestRestoreRAMMatchesRetainedImages(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	size := 8 * chunkSize
+	ramImgs := buildImages(r, 10, size, false)
+	stateImgs := buildImages(r, 10, chunkSize, false)
+	ch := chainOf(t, ramImgs, stateImgs)
+
+	m := mem.New(uint64(size))
+	m.EnableTracking()
+	src := -1
+	for trial := 0; trial < 40; trial++ {
+		to := r.Intn(10)
+		ch.RestoreRAM(m, src, to)
+		src = to
+		if !bytes.Equal(m.Bytes(), ramImgs[to]) {
+			t.Fatalf("trial %d: RestoreRAM(%d) diverged", trial, to)
+		}
+		// Simulate a faulty run scribbling on tracked memory.
+		for k := 0; k < 5; k++ {
+			m.Write(uint64(mem.GuardTop+r.Intn(size-mem.GuardTop-8)), 8, r.Uint64())
+		}
+	}
+}
+
+// TestStateEqualAndRAMEqual: equality must hold exactly on the captured
+// images and break under any single-byte perturbation.
+func TestStateEqualAndRAMEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	size := 4 * chunkSize
+	ramImgs := buildImages(r, 6, size, false)
+	stateImgs := buildImages(r, 6, 2*chunkSize, false)
+	ch := chainOf(t, ramImgs, stateImgs)
+
+	for j := 0; j < 6; j++ {
+		if !ch.StateEqual(j, stateImgs[j]) {
+			t.Fatalf("StateEqual(%d) false on the captured image", j)
+		}
+		mut := append([]byte(nil), stateImgs[j]...)
+		mut[r.Intn(len(mut))] ^= 1
+		if ch.StateEqual(j, mut) {
+			t.Fatalf("StateEqual(%d) true on a perturbed image", j)
+		}
+		if ch.StateEqual(j, stateImgs[j][:len(stateImgs[j])-1]) {
+			t.Fatalf("StateEqual(%d) true on a truncated image", j)
+		}
+	}
+
+	m := mem.New(uint64(size))
+	m.EnableTracking()
+	src := -1
+	for g := 0; g < 5; g++ {
+		for j := g + 1; j < 6; j++ {
+			// A faulty run whose memory re-equals golden-at-j: restore the
+			// arena there (clean), which satisfies RAMEqual's precondition
+			// that unchecked pages already match.
+			ch.RestoreRAM(m, src, j)
+			src = j
+			if !ch.RAMEqual(m, g, j) {
+				t.Fatalf("RAMEqual(g=%d, j=%d) false on golden content", g, j)
+			}
+			// Any tracked divergence must be caught: FlipBit dirties the
+			// page, putting it in the compared set.
+			m.FlipBit(uint64(mem.GuardTop+r.Intn(size-mem.GuardTop)), 0)
+			if ch.RAMEqual(m, g, j) {
+				t.Fatalf("RAMEqual(g=%d, j=%d) true under a flipped bit", g, j)
+			}
+		}
+	}
+}
+
+// TestFindMatchesLinearScan: the binary search must agree with the
+// obvious linear reference on every boundary shape.
+func TestFindMatchesLinearScan(t *testing.T) {
+	cases := [][]uint64{
+		{0},
+		{0, 10, 20, 30},
+		{0, 5, 9},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		{3, 17, 200},
+	}
+	for _, at := range cases {
+		ch := New(Meta{})
+		for _, a := range at {
+			ch.Add(a, 0, nil, nil, nil)
+		}
+		ch.Finish()
+		for coord := uint64(0); coord < at[len(at)-1]+3; coord++ {
+			want := 0
+			for i, a := range at {
+				if a <= coord {
+					want = i
+				}
+			}
+			if got := ch.Find(coord); got != want {
+				t.Fatalf("coords=%v coord=%d: got %d, want %d", at, coord, got, want)
+			}
+		}
+	}
+}
+
+// TestAddRejectsNonAscending: duplicate or regressing coordinates are a
+// capture bug, not a tolerated input.
+func TestAddRejectsNonAscending(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add with a duplicate coordinate must panic")
+		}
+	}()
+	ch := New(Meta{})
+	ch.Add(5, 0, nil, nil, nil)
+	ch.Add(5, 0, nil, nil, nil)
+}
+
+// TestEncodeDecodeRoundTrip: a persisted chain must decode to a chain
+// with identical meta, coordinates, probes, aux, and materialized
+// images.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	ramImgs := buildImages(r, 8, 4*chunkSize, false)
+	stateImgs := buildImages(r, 8, 2*chunkSize+57, true)
+	ch := chainOf(t, ramImgs, stateImgs)
+	ch.Meta.Fingerprint = "abc123"
+	ch.Meta.Target = "sha/1/1/false/VSA64"
+	ch.Meta.Config = "A72"
+
+	data := ch.Encode()
+	meta, err := DecodeMeta(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Engine != ch.Meta.Engine || meta.Fingerprint != ch.Meta.Fingerprint ||
+		meta.Target != ch.Meta.Target || meta.Config != ch.Meta.Config ||
+		meta.RAMBytes != ch.Meta.RAMBytes || string(meta.Golden) != "g" {
+		t.Fatalf("DecodeMeta %+v != %+v", meta, ch.Meta)
+	}
+
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ch.Len() {
+		t.Fatalf("decoded %d checkpoints, want %d", got.Len(), ch.Len())
+	}
+	for i := 0; i < ch.Len(); i++ {
+		if got.Coord(i) != ch.Coord(i) || got.Probe(i) != ch.Probe(i) ||
+			!bytes.Equal(got.Aux(i), ch.Aux(i)) {
+			t.Fatalf("checkpoint %d index mismatch", i)
+		}
+		if !bytes.Equal(got.StateAt(i, nil, -1), stateImgs[i]) {
+			t.Fatalf("checkpoint %d state mismatch after round trip", i)
+		}
+	}
+	m1 := mem.New(uint64(4 * chunkSize))
+	m2 := mem.New(uint64(4 * chunkSize))
+	for i := 0; i < ch.Len(); i++ {
+		ch.RestoreRAM(m1, i-1, i)
+		got.RestoreRAM(m2, i-1, i)
+		if !bytes.Equal(m1.Bytes(), m2.Bytes()) || !bytes.Equal(m1.Bytes(), ramImgs[i]) {
+			t.Fatalf("checkpoint %d RAM mismatch after round trip", i)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption: truncation and bit flips anywhere in the
+// file must yield ErrChain, never a mis-restored chain. This is the
+// robustness contract campaign loaders rely on for their cold-Prepare
+// fallback.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	ramImgs := buildImages(r, 6, 4*chunkSize, false)
+	stateImgs := buildImages(r, 6, chunkSize, false)
+	ch := chainOf(t, ramImgs, stateImgs)
+	data := ch.Encode()
+
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("pristine chain must decode: %v", err)
+	}
+	// Truncation at a spread of cut points, including mid-header.
+	for _, cut := range []int{0, 1, 7, len(data) / 3, len(data) / 2, len(data) - 1} {
+		if _, err := Decode(data[:cut]); !errors.Is(err, ErrChain) {
+			t.Fatalf("truncated at %d: err=%v, want ErrChain", cut, err)
+		}
+	}
+	// Single bit flips at a spread of offsets.
+	for trial := 0; trial < 64; trial++ {
+		mut := append([]byte(nil), data...)
+		mut[r.Intn(len(mut))] ^= 1 << uint(r.Intn(8))
+		if ch2, err := Decode(mut); err == nil {
+			// The only acceptable "success" is a flip that left the file
+			// semantically identical — impossible for a single bit under
+			// the digest unless the flip hit unparsed slack, which colseg
+			// does not have. Treat success as failure.
+			_ = ch2
+			t.Fatalf("trial %d: bit-flipped chain decoded without error", trial)
+		} else if !errors.Is(err, ErrChain) {
+			t.Fatalf("trial %d: err=%v, want ErrChain", trial, err)
+		}
+	}
+	// Garbage is rejected, not crashed on.
+	junk := make([]byte, 512)
+	r.Read(junk)
+	if _, err := Decode(junk); !errors.Is(err, ErrChain) {
+		t.Fatalf("garbage: err=%v, want ErrChain", err)
+	}
+}
+
+// TestDeltaMemoryScaling: the acceptance criterion that checkpoint
+// memory is no longer O(checkpoints × image): a 128-checkpoint chain
+// over a sparsely mutating image must store far less than 128 full
+// copies — bounded here by the equivalent of 4 full images.
+func TestDeltaMemoryScaling(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	size := 64 * chunkSize
+	ch := New(Meta{RAMBytes: size})
+	cur := make([]byte, size)
+	for i := 0; i < size/128; i++ {
+		cur[r.Intn(size)] = byte(r.Intn(256))
+	}
+	state := make([]byte, 2*chunkSize)
+	for i := 0; i < 128; i++ {
+		// Two chunks of RAM and half the state mutate per checkpoint.
+		for k := 0; k < 2; k++ {
+			cur[r.Intn(size)] ^= byte(1 + r.Intn(255))
+		}
+		r.Read(state[:chunkSize])
+		ch.Add(uint64(i), 0, cur, state, nil)
+	}
+	ch.Finish()
+	st := ch.Stats()
+	if st.Checkpoints != 128 {
+		t.Fatalf("checkpoints %d", st.Checkpoints)
+	}
+	full := 128 * (size + len(state))
+	stored := st.BaseBytes + st.DeltaBytes
+	if stored >= full/8 {
+		t.Fatalf("128 delta checkpoints store %d bytes; full copies would be %d — deltas must save at least 8x", stored, full)
+	}
+	t.Logf("128 checkpoints: %d bytes stored vs %d full (%.1fx saving)", stored, full, float64(full)/float64(stored))
+}
+
+// TestFingerprintSensitivity: any part change must change the
+// fingerprint; identical parts must reproduce it.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint("micro", "v1", "sha/1/1/false/VSA64", "A72", "snapshots=192", "earlystop=true")
+	if base != Fingerprint("micro", "v1", "sha/1/1/false/VSA64", "A72", "snapshots=192", "earlystop=true") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	variants := [][]string{
+		{"arch", "v1", "sha/1/1/false/VSA64", "A72", "snapshots=192", "earlystop=true"},
+		{"micro", "v2", "sha/1/1/false/VSA64", "A72", "snapshots=192", "earlystop=true"},
+		{"micro", "v1", "sha/2/1/false/VSA64", "A72", "snapshots=192", "earlystop=true"},
+		{"micro", "v1", "sha/1/1/false/VSA64", "A57", "snapshots=192", "earlystop=true"},
+		{"micro", "v1", "sha/1/1/false/VSA64", "A72", "snapshots=12", "earlystop=true"},
+		{"micro", "v1", "sha/1/1/false/VSA64", "A72", "snapshots=192", "earlystop=false"},
+		// Concatenation ambiguity: moving a character across a part
+		// boundary must still change the hash (the separator guarantees).
+		{"micro", "v1", "sha/1/1/false/VSA64", "A72s", "napshots=192", "earlystop=true"},
+	}
+	for i, parts := range variants {
+		if Fingerprint(parts...) == base {
+			t.Fatalf("variant %d collides with base", i)
+		}
+	}
+}

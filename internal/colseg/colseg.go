@@ -30,6 +30,9 @@
 //	EncZigzag  one zigzag-folded varint per row (signed values)
 //	EncDict    uvarint ndict, ndict × { uvarint len, bytes }, then one
 //	           uvarint dictionary index per row
+//	EncBlob    one { uvarint len, bytes } per row (opaque byte blobs,
+//	           used by the checkpoint-chain segments for page contents
+//	           and machine-state deltas)
 //
 // The framing length makes blocks skippable and stream-readable without
 // parsing their directories; the directory makes column reads lazy, so
@@ -60,6 +63,7 @@ const (
 	EncUvarint
 	EncZigzag
 	EncDict
+	EncBlob
 	numEnc
 )
 
@@ -152,6 +156,16 @@ func (b *Builder) Dict(id uint8, vals []string) {
 		p = binary.AppendUvarint(p, idx[v])
 	}
 	b.add(id, EncDict, p)
+}
+
+// Blob adds an opaque per-row byte-blob column (length-prefixed rows).
+func (b *Builder) Blob(id uint8, vals [][]byte) {
+	var p []byte
+	for _, v := range vals {
+		p = binary.AppendUvarint(p, uint64(len(v)))
+		p = append(p, v...)
+	}
+	b.add(id, EncBlob, p)
 }
 
 // AppendTo appends the framed block to dst and returns the result.
@@ -290,6 +304,28 @@ func (b *Block) Dict(id uint8) ([]string, error) {
 		}
 		out[i] = dict[v]
 		data = data[n:]
+	}
+	return out, nil
+}
+
+// Blob decodes an opaque byte-blob column. Returned rows alias the
+// block's payload and must not be mutated.
+func (b *Block) Blob(id uint8) ([][]byte, error) {
+	data, err := b.find(id, EncBlob)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, b.rows)
+	for i := range out {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return nil, fmt.Errorf("%w: blob column %d row %d", ErrCorrupt, id, i)
+		}
+		out[i] = data[n : n+int(l)]
+		data = data[n+int(l):]
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: blob column %d has %d trailing bytes", ErrCorrupt, id, len(data))
 	}
 	return out, nil
 }

@@ -1,0 +1,58 @@
+package dev
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendDevice appends a canonical encoding of the device-side state —
+// exactly the StateEqual comparison set (halt ports, DMA registers and
+// error flag, output and debug streams) — to dst and returns the
+// result. Canonical means bytes-equal encodings ⟺ StateEqual buses, the
+// property the checkpoint chain's chunk-wise convergence comparison
+// relies on. Fixed-width fields come first so their chunk offsets are
+// stable across checkpoints; the variable-length streams trail.
+func (b *Bus) AppendDevice(dst []byte) []byte {
+	var fixed [49]byte
+	binary.LittleEndian.PutUint64(fixed[0:], uint64(b.Halt))
+	binary.LittleEndian.PutUint64(fixed[8:], b.ExitCode)
+	binary.LittleEndian.PutUint64(fixed[16:], b.DetectCode)
+	binary.LittleEndian.PutUint64(fixed[24:], b.PanicCode)
+	binary.LittleEndian.PutUint64(fixed[32:], b.dmaSrc)
+	binary.LittleEndian.PutUint64(fixed[40:], b.dmaLen)
+	if b.DMAErr {
+		fixed[48] = 1
+	}
+	dst = append(dst, fixed[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Out)))
+	dst = append(dst, b.Out...)
+	dst = binary.AppendUvarint(dst, uint64(len(b.Dbg)))
+	dst = append(dst, b.Dbg...)
+	return dst
+}
+
+// SetDevice decodes an AppendDevice encoding into this bus, replacing
+// its device-side state (RAM and Reader untouched, mirroring
+// RestoreFrom). It returns the remaining bytes after the encoding.
+func (b *Bus) SetDevice(data []byte) ([]byte, error) {
+	if len(data) < 49 {
+		return nil, fmt.Errorf("dev: device state truncated (%d bytes)", len(data))
+	}
+	b.Halt = HaltKind(binary.LittleEndian.Uint64(data[0:]))
+	b.ExitCode = binary.LittleEndian.Uint64(data[8:])
+	b.DetectCode = binary.LittleEndian.Uint64(data[16:])
+	b.PanicCode = binary.LittleEndian.Uint64(data[24:])
+	b.dmaSrc = binary.LittleEndian.Uint64(data[32:])
+	b.dmaLen = binary.LittleEndian.Uint64(data[40:])
+	b.DMAErr = data[48] != 0
+	data = data[49:]
+	for _, dst := range []*[]byte{&b.Out, &b.Dbg} {
+		l, n := binary.Uvarint(data)
+		if n <= 0 || uint64(len(data)-n) < l {
+			return nil, fmt.Errorf("dev: device stream truncated")
+		}
+		*dst = append((*dst)[:0], data[n:n+int(l)]...)
+		data = data[n+int(l):]
+	}
+	return data, nil
+}

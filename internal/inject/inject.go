@@ -1,19 +1,21 @@
 // Package inject drives microarchitecture-level fault-injection
 // campaigns (the GeFIN analogue): statistical single-bit-flip sampling
-// per Leveugle et al., snapshot-accelerated faulty runs, and outcome
+// per Leveugle et al., checkpoint-accelerated faulty runs, and outcome
 // classification into the paper's fault-effect classes (Masked, SDC,
 // Crash, Detected) plus the HVF fault-propagation models.
 package inject
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"vulnstack/internal/campaign"
+	"vulnstack/internal/ckpt"
 	"vulnstack/internal/dev"
 	"vulnstack/internal/kernel"
+	"vulnstack/internal/mem"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
 )
@@ -37,6 +39,9 @@ type Record = results.Record
 // Tally is the record-stream aggregate shared by every layer.
 type Tally = results.Tally
 
+// Engine is this injector's name in persisted checkpoint chains.
+const Engine = "micro"
+
 // Fault is one sampled single-bit transient fault.
 type Fault struct {
 	Struct micro.Structure
@@ -58,7 +63,7 @@ type Result struct {
 	// Live is false when the flip was provably dead at injection time.
 	Live bool
 	// EarlyStop reports the run was classified by golden-state
-	// convergence at a snapshot boundary instead of running to
+	// convergence at a checkpoint boundary instead of running to
 	// completion. Provenance only: the outcome is provably identical.
 	EarlyStop bool
 }
@@ -90,6 +95,36 @@ type Golden struct {
 	KInstr   uint64
 }
 
+// encodeGolden serializes the golden summary into a chain's Meta so a
+// warm load learns the reference run without executing it.
+func encodeGolden(g Golden) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(g.Out)))
+	b = append(b, g.Out...)
+	b = binary.AppendUvarint(b, g.ExitCode)
+	b = binary.AppendUvarint(b, g.Cycles)
+	b = binary.AppendUvarint(b, g.Instret)
+	return binary.AppendUvarint(b, g.KInstr)
+}
+
+func decodeGolden(b []byte) (Golden, error) {
+	var g Golden
+	n, k := binary.Uvarint(b)
+	if k <= 0 || uint64(len(b)-k) < n {
+		return g, fmt.Errorf("inject: truncated golden summary")
+	}
+	g.Out = append([]byte(nil), b[k:k+int(n)]...)
+	b = b[k+int(n):]
+	for _, dst := range []*uint64{&g.ExitCode, &g.Cycles, &g.Instret, &g.KInstr} {
+		v, k := binary.Uvarint(b)
+		if k <= 0 {
+			return g, fmt.Errorf("inject: truncated golden summary")
+		}
+		*dst = v
+		b = b[k:]
+	}
+	return g, nil
+}
+
 // Campaign holds everything needed to run injections for one
 // (program image, microarchitecture) pair.
 type Campaign struct {
@@ -97,14 +132,12 @@ type Campaign struct {
 	Cfg    micro.Config
 	Golden Golden
 
-	snaps  []*micro.Core
-	snapAt []uint64
-	// goldenDirty[i] lists the RAM pages the golden run wrote in the
-	// interval (snapAt[i-1], snapAt[i]] — the only pages on which
-	// snapshot i's RAM can differ from snapshot i-1's. The early-stop
-	// RAM comparison touches exactly these pages plus the faulty run's
-	// own dirty set.
-	goldenDirty [][]uint32
+	// chain is the delta checkpoint chain along the golden run: boot
+	// state plus content-changed RAM pages and machine-state chunks at
+	// each boundary (internal/ckpt). It replaces the old full-snapshot
+	// array, so checkpoint count is no longer bounded by
+	// O(snapshots × RAM) memory.
+	chain *ckpt.Chain
 	// Limit is the faulty-run watchdog in cycles.
 	Limit uint64
 	// Workers is the campaign fan-out; <= 0 selects runtime.NumCPU().
@@ -114,11 +147,18 @@ type Campaign struct {
 	// then always execute to halt or Limit. The zero value keeps the
 	// optimization on — outcomes are provably identical either way.
 	NoEarlyStop bool
+	// Resumed reports the campaign was prepared from a persisted chain:
+	// zero golden-run instructions were executed by Prepare.
+	Resumed bool
 }
 
+// Chain exposes the campaign's checkpoint chain (for persistence and
+// display; read-only).
+func (cp *Campaign) Chain() *ckpt.Chain { return cp.chain }
+
 // Prepare runs the golden execution (twice: once to learn its length,
-// once to capture evenly spaced snapshots) and returns a ready
-// campaign. nsnaps <= 1 disables snapshotting.
+// once to capture evenly spaced delta checkpoints) and returns a ready
+// campaign. nsnaps <= 1 keeps only the boot checkpoint.
 func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) (*Campaign, error) {
 	if cfg.ISA != img.ISA {
 		return nil, fmt.Errorf("inject: config %s is %v but image is %v", cfg.Name, cfg.ISA, img.ISA)
@@ -146,80 +186,116 @@ func Prepare(img *kernel.Image, cfg micro.Config, nsnaps int, maxCycles uint64) 
 	}
 	cp.Limit = 3*cp.Golden.Cycles + 50000
 
+	cp.chain = ckpt.New(ckpt.Meta{
+		Engine:   Engine,
+		Config:   cfg.Name,
+		RAMBytes: int(img.RAM.Size()),
+		Golden:   encodeGolden(cp.Golden),
+	})
+	c2 := micro.New(cfg, img.NewMemory(), img.Entry)
+	var sbuf []byte
+	capture := func() {
+		if n := cp.chain.Len(); n > 0 && c2.Cycle <= cp.chain.Coord(n-1) {
+			return
+		}
+		sbuf = c2.EncodeState(sbuf[:0])
+		cp.chain.Add(c2.Cycle, c2.StateProbe(), c2.Bus.Mem.Bytes(), sbuf, nil)
+	}
 	if nsnaps > 1 {
 		step := cp.Golden.Cycles / uint64(nsnaps)
 		if step == 0 {
 			step = 1
 		}
-		c2 := micro.New(cfg, img.NewMemory(), img.Entry)
-		// Track the golden run's RAM writes so each snapshot interval's
-		// dirty pages are known: the early-stop comparison then touches
-		// only pages the two runs could have dirtied differently.
-		c2.Bus.Mem.EnableTracking()
 		for next := uint64(0); next < cp.Golden.Cycles; next += step {
 			for c2.Cycle < next {
 				if !c2.Step() {
 					break
 				}
 			}
-			cp.snaps = append(cp.snaps, c2.Clone())
-			cp.snapAt = append(cp.snapAt, c2.Cycle)
-			cp.goldenDirty = append(cp.goldenDirty, c2.Bus.Mem.TakeDirtyPages())
+			capture()
+			if c2.Bus.Halted() {
+				break
+			}
 		}
 	} else {
-		// Even without snapshotting, keep one boot-state (cycle 0)
-		// snapshot so worker arenas always have a restore source.
-		cp.snaps = []*micro.Core{micro.New(cfg, img.NewMemory(), img.Entry)}
-		cp.snapAt = []uint64{0}
-		cp.goldenDirty = [][]uint32{nil}
+		// Even without interior checkpoints, keep the boot state so
+		// worker arenas always have a restore source.
+		capture()
 	}
+	cp.chain.Finish()
 	return cp, nil
 }
 
-// snapFor returns the index of the latest snapshot at or before cycle.
-// snapAt is non-decreasing (snapshots are taken along one golden run),
-// so binary search finds it; runs once per injection and must scale
-// with -snapshots.
-func (cp *Campaign) snapFor(cycle uint64) int {
-	// First index strictly past cycle; everything before it is <= cycle.
-	i := sort.Search(len(cp.snapAt), func(i int) bool { return cp.snapAt[i] > cycle })
-	if i == 0 {
-		return 0
+// PrepareFromChain builds a campaign from a persisted checkpoint chain
+// without executing a single golden-run instruction: the golden
+// summary, watchdog limit and every restore point come from the chain.
+// The caller is responsible for fingerprint-matching the chain to its
+// campaign configuration; this validates engine, image geometry and
+// decodability of the boot checkpoint, returning an error (for a cold
+// Prepare fallback) on any mismatch.
+func PrepareFromChain(img *kernel.Image, cfg micro.Config, ch *ckpt.Chain) (*Campaign, error) {
+	if cfg.ISA != img.ISA {
+		return nil, fmt.Errorf("inject: config %s is %v but image is %v", cfg.Name, cfg.ISA, img.ISA)
 	}
-	return i - 1
+	if ch.Meta.Engine != Engine {
+		return nil, fmt.Errorf("inject: chain engine %q, want %q", ch.Meta.Engine, Engine)
+	}
+	if ch.Meta.RAMBytes != int(img.RAM.Size()) {
+		return nil, fmt.Errorf("inject: chain RAM %d bytes, image has %d", ch.Meta.RAMBytes, img.RAM.Size())
+	}
+	if ch.Len() == 0 {
+		return nil, fmt.Errorf("inject: empty chain")
+	}
+	g, err := decodeGolden(ch.Meta.Golden)
+	if err != nil {
+		return nil, err
+	}
+	// Prove the chain restores on this geometry before committing.
+	trial := micro.New(cfg, mem.New(img.RAM.Size()), img.Entry)
+	if err := trial.DecodeState(ch.StateAt(0, nil, -1)); err != nil {
+		return nil, fmt.Errorf("inject: chain boot state: %w", err)
+	}
+	cp := &Campaign{
+		Img:     img,
+		Cfg:     cfg,
+		Golden:  g,
+		chain:   ch,
+		Resumed: true,
+	}
+	cp.Limit = 3*cp.Golden.Cycles + 50000
+	return cp, nil
 }
 
-// coreAt returns a fresh machine advanced to the given cycle. Dirty
-// tracking is enabled at the snapshot baseline so the early-stop RAM
-// comparison knows which pages this run touched.
-func (cp *Campaign) coreAt(cycle uint64) *micro.Core {
-	core := cp.snaps[cp.snapFor(cycle)].Clone()
-	core.Bus.Mem.EnableTracking()
-	for core.Cycle < cycle {
-		if !core.Step() {
-			break
-		}
-	}
-	return core
-}
-
-// worker is the reusable per-worker machine arena: one cloned core that
-// is restored in place (dirty RAM pages only, when the restore source
-// repeats) instead of deep-copied for every injection.
+// worker is the reusable per-worker machine arena: one core restored in
+// place by delta-walking the chain (dirty RAM pages plus the chunks
+// that changed between the previous and the new restore point) instead
+// of deep-copied for every injection.
 type worker struct {
 	arena *micro.Core
-	src   int // snapshot index the arena was last restored from
+	src   int // checkpoint index the arena was last restored from
+	// stateBuf holds the materialized machine-state blob of checkpoint
+	// src; cmpBuf is the convergence-test encode scratch.
+	stateBuf []byte
+	cmpBuf   []byte
 }
 
 // coreFor readies the worker's arena at the given cycle, restoring from
-// snapshot g.
+// checkpoint g.
 func (cp *Campaign) coreFor(w *worker, cycle uint64, g int) *micro.Core {
 	if w.arena == nil {
-		w.arena = cp.snaps[g].Clone()
-		w.arena.Bus.Mem.EnableTracking()
-	} else {
-		w.arena.RestoreFrom(cp.snaps[g], w.src == g)
+		m := mem.New(cp.Img.RAM.Size())
+		m.EnableTracking()
+		w.arena = micro.New(cp.Cfg, m, cp.Img.Entry)
+		w.src = -1
 	}
+	w.stateBuf = cp.chain.StateAt(g, w.stateBuf, w.src)
+	if err := w.arena.DecodeState(w.stateBuf); err != nil {
+		// Unreachable for a chain that passed Prepare/PrepareFromChain
+		// validation: every checkpoint was encoded by the same codec on
+		// the same geometry.
+		panic(fmt.Sprintf("inject: checkpoint %d restore: %v", g, err))
+	}
+	cp.chain.RestoreRAM(w.arena.Bus.Mem, w.src, g)
 	w.src = g
 	core := w.arena
 	for core.Cycle < cycle {
@@ -249,17 +325,18 @@ func (cp *Campaign) Sample(r *rand.Rand, s micro.Structure) Fault {
 	}
 }
 
-// Run performs one injection and classifies its effect. It deep-copies
-// a snapshot for the faulty run; campaigns use the worker-arena path in
-// RunCampaign instead, which restores state in place.
+// Run performs one injection and classifies its effect, building a
+// throwaway arena; campaigns use the pooled worker path in RunCampaign.
 func (cp *Campaign) Run(f Fault) Result {
-	return cp.classify(cp.coreAt(f.Cycle), f, cp.snapFor(f.Cycle))
+	w := &worker{src: -1}
+	g := cp.chain.Find(f.Cycle)
+	return cp.classify(cp.coreFor(w, f.Cycle, g), f, g, w)
 }
 
-// classify injects f into a machine already advanced to f.Cycle (a
-// clone of or restore from snapshot g), runs it to halt, the watchdog
-// limit or provable golden convergence, and classifies the effect.
-func (cp *Campaign) classify(core *micro.Core, f Fault, g int) Result {
+// classify injects f into a machine already advanced to f.Cycle
+// (restored from checkpoint g), runs it to halt, the watchdog limit or
+// provable golden convergence, and classifies the effect.
+func (cp *Campaign) classify(core *micro.Core, f Fault, g int, w *worker) Result {
 	if core.Bus.Halted() {
 		// Injection cycle raced with the halt: nothing to corrupt.
 		return Result{Fault: f, Outcome: Masked}
@@ -270,7 +347,7 @@ func (cp *Campaign) classify(core *micro.Core, f Fault, g int) Result {
 		res.Outcome = Masked
 		return res
 	}
-	halted, converged := cp.runFaulty(core, g)
+	halted, converged := cp.runFaulty(core, g, w)
 	switch {
 	case converged:
 		// Bit-equal to golden at the same cycle boundary: the remaining
@@ -299,20 +376,20 @@ func (cp *Campaign) classify(core *micro.Core, f Fault, g int) Result {
 }
 
 // runFaulty executes the faulty machine, pausing at every golden
-// snapshot boundary past g to test for convergence. It returns halted
+// checkpoint boundary past g to test for convergence. It returns halted
 // (the machine reached a halt port) and converged (the run was cut
 // short because its full state re-equaled golden's at a boundary).
-func (cp *Campaign) runFaulty(core *micro.Core, g int) (halted, converged bool) {
+func (cp *Campaign) runFaulty(core *micro.Core, g int, w *worker) (halted, converged bool) {
 	if cp.NoEarlyStop || !core.Bus.Mem.Tracking() {
 		return core.Run(cp.Limit), false
 	}
-	for j := g + 1; j < len(cp.snaps); j++ {
-		for core.Cycle < cp.snapAt[j] {
+	for j := g + 1; j < cp.chain.Len(); j++ {
+		for core.Cycle < cp.chain.Coord(j) {
 			if !core.Step() {
 				return true, false
 			}
 		}
-		if cp.converged(core, g, j) {
+		if cp.converged(core, g, j, w) {
 			return false, true
 		}
 	}
@@ -320,31 +397,19 @@ func (cp *Campaign) runFaulty(core *micro.Core, g int) (halted, converged bool) 
 }
 
 // converged reports whether the faulty core, now at the cycle of
-// snapshot j, is bit-identical to the golden run. Machine state is
-// compared directly (micro.Core.StateEqual); RAM is compared only on
-// the union of the faulty run's dirty pages (tracked since its restore
-// from snapshot g) and the pages golden dirtied in (snapAt[g],
-// snapAt[j]] — every other page provably equals snapshot g's copy in
-// both runs.
-func (cp *Campaign) converged(core *micro.Core, g, j int) bool {
-	gold := cp.snaps[j]
-	if core.Cycle != gold.Cycle || !core.StateEqual(gold) {
+// checkpoint j, is bit-identical to the golden run. The scalar probe
+// gates the test; on a match the core is encoded canonically and
+// compared chunk-wise against the chain (bytes-equality ⟺
+// micro.StateEqual), and RAM is compared on the union of the faulty
+// run's dirty pages (tracked since its restore from checkpoint g) and
+// the chain's content-changed pages in (g, j] — every other page
+// provably equals checkpoint g's copy in both runs.
+func (cp *Campaign) converged(core *micro.Core, g, j int, w *worker) bool {
+	if core.Cycle != cp.chain.Coord(j) || core.StateProbe() != cp.chain.Probe(j) {
 		return false
 	}
-	m, gm := core.Bus.Mem, gold.Bus.Mem
-	for _, p := range core.RAMDirtyPages() {
-		if !m.PageEqual(gm, p) {
-			return false
-		}
-	}
-	for k := g + 1; k <= j; k++ {
-		for _, p := range cp.goldenDirty[k] {
-			if !m.PageEqual(gm, p) {
-				return false
-			}
-		}
-	}
-	return true
+	w.cmpBuf = core.EncodeState(w.cmpBuf[:0])
+	return cp.chain.StateEqual(j, w.cmpBuf) && cp.chain.RAMEqual(core.Bus.Mem, g, j)
 }
 
 // RunCampaign performs n sampled injections into structure s, fanned
@@ -379,7 +444,7 @@ func (cp *Campaign) Records(s micro.Structure, n, from int, seed int64, progress
 	}
 	jobs := make([]campaign.Job, n-from)
 	for i := range jobs {
-		jobs[i] = campaign.Job{Index: i, Group: cp.snapFor(faults[from+i].Cycle)}
+		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[from+i].Cycle)}
 	}
 	var emit func(i int, rec Record)
 	if progress != nil {
@@ -389,7 +454,7 @@ func (cp *Campaign) Records(s micro.Structure, n, from int, seed int64, progress
 		func() *worker { return &worker{src: -1} },
 		func(w *worker, j campaign.Job) Record {
 			f := faults[from+j.Index]
-			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f, j.Group).Record()
+			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f, j.Group, w).Record()
 			rec.Index = from + j.Index
 			return rec
 		},

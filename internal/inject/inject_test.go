@@ -52,20 +52,22 @@ func TestGoldenRun(t *testing.T) {
 	}
 }
 
-// TestSnapshotDeterminism: a run resumed from any snapshot must finish
-// with the golden output.
+// TestSnapshotDeterminism: a run restored from any checkpoint must
+// finish with the golden output. One worker arena is reused across all
+// checkpoints, exercising the incremental delta-walk restore path.
 func TestSnapshotDeterminism(t *testing.T) {
 	cp := shaCampaign(t, micro.ConfigA9(), 6)
-	for i, at := range cp.snapAt {
-		core := cp.coreAt(at)
+	w := &worker{src: -1}
+	for i := 0; i < cp.Chain().Len(); i++ {
+		core := cp.coreFor(w, cp.Chain().Coord(i), i)
 		if !core.Run(cp.Limit) {
-			t.Fatalf("snapshot %d did not complete", i)
+			t.Fatalf("checkpoint %d did not complete", i)
 		}
 		if string(core.Bus.Out) != string(cp.Golden.Out) {
-			t.Fatalf("snapshot %d: output diverged", i)
+			t.Fatalf("checkpoint %d: output diverged", i)
 		}
 		if core.Cycle != cp.Golden.Cycles {
-			t.Fatalf("snapshot %d: %d cycles, golden %d", i, core.Cycle, cp.Golden.Cycles)
+			t.Fatalf("checkpoint %d: %d cycles, golden %d", i, core.Cycle, cp.Golden.Cycles)
 		}
 	}
 }
@@ -74,7 +76,8 @@ func TestSnapshotDeterminism(t *testing.T) {
 // a double-run sanity path — here we simply check cycle-0-free runs.
 func TestFaultFreeRunFromMidpoint(t *testing.T) {
 	cp := shaCampaign(t, micro.ConfigA72(), 4)
-	core := cp.coreAt(cp.Golden.Cycles / 2)
+	mid := cp.Golden.Cycles / 2
+	core := cp.coreFor(&worker{src: -1}, mid, cp.Chain().Find(mid))
 	if !core.Run(cp.Limit) {
 		t.Fatal("midpoint run did not complete")
 	}
@@ -260,27 +263,46 @@ func TestProgressContract(t *testing.T) {
 	}
 }
 
-func TestSnapForMatchesLinearScan(t *testing.T) {
-	// The binary search must agree with the obvious linear reference on
-	// every boundary shape, duplicates included.
-	cases := [][]uint64{
-		{0},
-		{0, 10, 20, 30},
-		{0, 5, 5, 5, 9},
-		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+// TestGoldenRoundTrip: the golden summary survives the chain meta codec.
+func TestGoldenRoundTrip(t *testing.T) {
+	g := Golden{Out: []byte("digest"), ExitCode: 7, Cycles: 123456, Instret: 9999, KInstr: 321}
+	got, err := decodeGolden(encodeGolden(g))
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, at := range cases {
-		cp := &Campaign{snapAt: at}
-		for cycle := uint64(0); cycle < at[len(at)-1]+3; cycle++ {
-			want := 0
-			for i, a := range at {
-				if a <= cycle {
-					want = i
-				}
-			}
-			if got := cp.snapFor(cycle); got != want {
-				t.Fatalf("snapAt=%v cycle=%d: got %d, want %d", at, cycle, got, want)
-			}
-		}
+	if string(got.Out) != string(g.Out) || got.ExitCode != g.ExitCode ||
+		got.Cycles != g.Cycles || got.Instret != g.Instret || got.KInstr != g.KInstr {
+		t.Fatalf("round trip %+v != %+v", got, g)
+	}
+	if _, err := decodeGolden(encodeGolden(g)[:3]); err == nil {
+		t.Fatal("truncated summary must not decode")
+	}
+}
+
+// TestPrepareFromChainMatchesCold: a campaign resumed from the cold
+// campaign's own chain (zero golden-run instructions) must produce a
+// bit-identical tally.
+func TestPrepareFromChainMatchesCold(t *testing.T) {
+	cfg := micro.ConfigA72()
+	spec, _ := workload.Get("sha")
+	img := image(t, spec.Gen(3, 1), cfg)
+	cold, err := Prepare(img, cfg, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := PrepareFromChain(img, cfg, cold.Chain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Resumed {
+		t.Fatal("warm campaign must report Resumed")
+	}
+	if warm.Golden.Cycles != cold.Golden.Cycles || string(warm.Golden.Out) != string(cold.Golden.Out) {
+		t.Fatal("golden summary mismatch")
+	}
+	a := cold.RunCampaign(micro.StructRF, 25, 5, nil)
+	b := warm.RunCampaign(micro.StructRF, 25, 5, nil)
+	if a != b {
+		t.Fatalf("cold %+v != warm %+v", a, b)
 	}
 }

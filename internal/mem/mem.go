@@ -128,6 +128,53 @@ func (m *Memory) TakeDirtyPages() []uint32 {
 	return pages
 }
 
+// Page returns the contents of page p as a subslice of the backing
+// store (short for the final partial page, empty when out of range).
+// The slice aliases internal state: it is valid only until the next
+// write/restore and must not be mutated.
+func (m *Memory) Page(p uint32) []byte {
+	lo := int(p) << PageShift
+	if lo >= len(m.data) {
+		return nil
+	}
+	hi := lo + PageSize
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	return m.data[lo:hi]
+}
+
+// Bytes returns the full RAM contents as a read-only aliasing slice
+// (checkpoint capture walks it chunk-wise). Must not be mutated.
+func (m *Memory) Bytes() []byte { return m.data }
+
+// NumPages returns how many pages (including a final partial one) the
+// RAM spans.
+func (m *Memory) NumPages() int { return (len(m.data) + PageSize - 1) >> PageShift }
+
+// SetPage overwrites page p with data without marking it dirty: the
+// checkpoint-chain restore uses it to materialize a known-good state
+// and then re-baselines tracking itself via ResetDirty.
+func (m *Memory) SetPage(p uint32, data []byte) {
+	lo := int(p) << PageShift
+	if lo >= len(m.data) {
+		return
+	}
+	hi := lo + PageSize
+	if hi > len(m.data) {
+		hi = len(m.data)
+	}
+	copy(m.data[lo:hi], data)
+}
+
+// ResetDirty clears the dirty set without copying anything: the caller
+// asserts the contents now match whatever baseline it restores against.
+func (m *Memory) ResetDirty() {
+	if m.track {
+		m.clearDirty()
+	}
+}
+
 // PageEqual reports whether page p has identical contents in m and src.
 // Sizes must match; an out-of-range page compares equal (both empty).
 func (m *Memory) PageEqual(src *Memory, p uint32) bool {

@@ -1,0 +1,572 @@
+package micro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"vulnstack/internal/isa"
+)
+
+// This file is the canonical machine-state codec behind the delta
+// checkpoint chain (internal/ckpt). The contract is exact:
+//
+//	EncodeState(a) bytes-equal EncodeState(b)  ⟺  a.StateEqual(b)
+//
+// so the chain's chunk-wise blob comparison IS the convergence test,
+// and DecodeState(EncodeState(c)) reproduces a core that is StateEqual
+// to c and behaves identically (RAM excluded — the chain restores it
+// separately, page-wise).
+//
+// Canonicality is why the encoding normalizes exactly the two spots
+// where StateEqual admits representational slack: a cache line's nil
+// taint slice encodes as all-zero mask bytes (taintSliceEqual treats
+// them as equal), and the RAM taint map encodes as its nonzero entries
+// in ascending address order (taintsEqual treats absent as zero).
+// Everything StateEqual excludes — RAM contents, the measurement-only
+// c.Taint, the decode memo, OnCommit — is excluded here too.
+//
+// Layout: all fixed-size sections (scalars, register files, ROB/LSQ
+// arrays, branch predictor, caches) come first so their byte offsets
+// are identical across checkpoints — delta chunking then stores only
+// genuinely changed state — and the variable-length sections (free
+// list, issue/fetch queues, completion ring, RAM taints, device state)
+// trail.
+
+func appendU64(dst []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(dst, v) }
+
+func appendI(dst []byte, v int) []byte { return binary.LittleEndian.AppendUint64(dst, uint64(int64(v))) }
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// EncodeState appends the canonical encoding of the core's
+// StateEqual-relevant state to dst and returns the result.
+func (c *Core) EncodeState(dst []byte) []byte {
+	dst = appendU64(dst, c.Cycle)
+	dst = appendU64(dst, c.Instret)
+	dst = appendU64(dst, c.KInstr)
+	dst = appendU64(dst, c.seq)
+	dst = appendI(dst, int(c.mode))
+	dst = appendU64(dst, c.fetchPC)
+	dst = appendBool(dst, c.fetchStall)
+	for _, v := range []int{c.robHead, c.robTail, c.robCount, c.lqH, c.lqT, c.lqN, c.sqH, c.sqT, c.sqN} {
+		dst = appendI(dst, v)
+	}
+	for _, v := range c.csr {
+		dst = appendU64(dst, v)
+	}
+	for _, v := range c.retRAT {
+		dst = appendI(dst, v)
+	}
+	for _, v := range c.frontRAT {
+		dst = appendI(dst, v)
+	}
+	for _, v := range c.prf {
+		dst = appendU64(dst, v)
+	}
+	for _, v := range c.prfReady {
+		dst = appendBool(dst, v)
+	}
+	for _, v := range c.prfTaint {
+		dst = appendBool(dst, v)
+	}
+	for i := range c.rob {
+		dst = appendRobe(dst, &c.rob[i])
+	}
+	for i := range c.lq {
+		dst = appendLSQ(dst, &c.lq[i])
+	}
+	for i := range c.sq {
+		dst = appendLSQ(dst, &c.sq[i])
+	}
+	dst = c.bp.appendState(dst)
+	dst = c.l1i.appendState(dst)
+	dst = c.l1d.appendState(dst)
+	dst = c.l2.appendState(dst)
+
+	// Variable-length tail.
+	dst = binary.AppendUvarint(dst, uint64(len(c.freeList)))
+	for _, v := range c.freeList {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.iq)))
+	for _, v := range c.iq {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(c.fq)))
+	for i := range c.fq {
+		dst = appendFetch(dst, &c.fq[i])
+	}
+	for _, bucket := range c.ring {
+		dst = binary.AppendUvarint(dst, uint64(len(bucket)))
+		for _, e := range bucket {
+			dst = binary.AppendUvarint(dst, uint64(e.idx))
+			dst = binary.AppendUvarint(dst, e.seq)
+		}
+	}
+	dst = appendTaints(dst, c.ram.taints)
+	return c.Bus.AppendDevice(dst)
+}
+
+func appendRobe(dst []byte, r *robe) []byte {
+	dst = appendBool(dst, r.valid)
+	dst = appendU64(dst, r.seq)
+	dst = appendInstr(dst, &r.in)
+	dst = appendU64(dst, r.pc)
+	dst = appendU64(dst, r.npc)
+	dst = appendI(dst, int(r.mode))
+	dst = appendBool(dst, r.hasExc)
+	dst = appendU64(dst, r.excCause)
+	dst = appendU64(dst, r.excVal)
+	dst = appendI(dst, r.archRd)
+	dst = appendI(dst, r.newPhys)
+	dst = appendI(dst, r.oldPhys)
+	dst = appendI(dst, r.src1)
+	dst = appendI(dst, r.src2)
+	dst = appendBool(dst, r.issued)
+	dst = appendBool(dst, r.executed)
+	dst = appendU64(dst, r.result)
+	dst = appendBool(dst, r.isLoad)
+	dst = appendBool(dst, r.isStore)
+	dst = appendI(dst, r.lsq)
+	dst = appendBool(dst, r.serialize)
+	dst = appendU64(dst, r.actualNext)
+	dst = appendBool(dst, r.isCtl)
+	dst = appendBool(dst, r.tainted)
+	dst = appendBool(dst, r.fetchTaint)
+	dst = appendBool(dst, r.fetchWI)
+	dst = appendBool(dst, r.lsqAddrT)
+	dst = appendBool(dst, r.lsqDataT)
+	dst = appendBool(dst, r.storeDataT)
+	dst = appendU64(dst, r.doneCycle)
+	return appendBool(dst, r.inFlight)
+}
+
+func appendLSQ(dst []byte, e *lsqEntry) []byte {
+	dst = appendBool(dst, e.valid)
+	dst = appendU64(dst, e.seq)
+	dst = appendI(dst, e.rob)
+	dst = appendBool(dst, e.isStore)
+	dst = appendU64(dst, e.addr)
+	dst = appendBool(dst, e.addrOK)
+	dst = appendU64(dst, e.data)
+	dst = appendBool(dst, e.dataOK)
+	dst = appendI(dst, e.size)
+	dst = appendBool(dst, e.addrTaint)
+	dst = appendBool(dst, e.dataTaint)
+	return appendBool(dst, e.dataSrcTaint)
+}
+
+func appendFetch(dst []byte, f *fetchEntry) []byte {
+	dst = appendU64(dst, f.pc)
+	dst = appendU64(dst, f.npc)
+	dst = binary.LittleEndian.AppendUint32(dst, f.word)
+	dst = appendInstr(dst, &f.in)
+	dst = appendBool(dst, f.ok)
+	dst = appendBool(dst, f.fetchExc)
+	dst = appendU64(dst, f.excCause)
+	dst = appendU64(dst, f.ready)
+	dst = appendBool(dst, f.fetchTaint)
+	return appendBool(dst, f.fetchWI)
+}
+
+func appendInstr(dst []byte, in *isa.Instr) []byte {
+	dst = appendI(dst, int(in.Op))
+	dst = appendI(dst, in.Rd)
+	dst = appendI(dst, in.Rs1)
+	dst = appendI(dst, in.Rs2)
+	dst = appendU64(dst, uint64(in.Imm))
+	return binary.LittleEndian.AppendUint32(dst, in.Raw)
+}
+
+func (bp *branchPred) appendState(dst []byte) []byte {
+	dst = appendI(dst, bp.rasTop)
+	dst = append(dst, bp.counters...)
+	for _, v := range bp.btbTag {
+		dst = appendU64(dst, v)
+	}
+	for _, v := range bp.btbTgt {
+		dst = appendU64(dst, v)
+	}
+	for _, v := range bp.ras {
+		dst = appendU64(dst, v)
+	}
+	return dst
+}
+
+func (c *cache) appendState(dst []byte) []byte {
+	dst = appendU64(dst, uint64(c.tick))
+	lb := c.cfg.LineBytes
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			dst = appendBool(dst, l.valid)
+			dst = appendBool(dst, l.dirty)
+			dst = appendU64(dst, l.tag)
+			dst = appendU64(dst, uint64(l.lru))
+			// nil taint ≡ all-zero: always emit the full mask so the
+			// encoding is canonical.
+			if l.taint == nil {
+				for i := 0; i < lb; i++ {
+					dst = append(dst, 0)
+				}
+			} else {
+				dst = append(dst, l.taint...)
+			}
+		}
+	}
+	return append(dst, c.backing...)
+}
+
+// appendTaints emits the RAM taint map canonically: nonzero entries
+// only, ascending address order.
+func appendTaints(dst []byte, taints map[uint64]taintMask) []byte {
+	keys := make([]uint64, 0, len(taints))
+	//lint:ordered keys are collected then sorted; order-free
+	for k, v := range taints {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, k)
+		dst = append(dst, byte(taints[k]))
+	}
+	return dst
+}
+
+// StateProbe folds the cheap scalar slice of the state into one word:
+// the first-stage convergence gate. A faulty run whose probe differs
+// from the golden checkpoint's cannot be StateEqual, so the expensive
+// full encode-and-compare only runs on a probe match.
+func (c *Core) StateProbe() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(c.Cycle)
+	mix(c.Instret)
+	mix(c.KInstr)
+	mix(c.seq)
+	mix(uint64(c.mode))
+	mix(c.fetchPC)
+	if c.fetchStall {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(uint64(c.robHead)<<32 | uint64(uint32(c.robCount)))
+	mix(uint64(c.lqN)<<32 | uint64(uint32(c.sqN)))
+	mix(uint64(len(c.fq))<<32 | uint64(uint32(len(c.iq))))
+	for _, v := range c.csr {
+		mix(v)
+	}
+	for i := range c.retRAT {
+		mix(uint64(int64(c.retRAT[i]))*31 + uint64(int64(c.frontRAT[i])))
+	}
+	for _, v := range c.prf {
+		mix(v)
+	}
+	return h
+}
+
+// stateReader decodes an EncodeState blob with sticky error handling.
+type stateReader struct {
+	b   []byte
+	bad bool
+}
+
+func (r *stateReader) u64() uint64 {
+	if r.bad || len(r.b) < 8 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *stateReader) i() int { return int(int64(r.u64())) }
+
+func (r *stateReader) u32() uint32 {
+	if r.bad || len(r.b) < 4 {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *stateReader) bool() bool {
+	if r.bad || len(r.b) < 1 {
+		r.bad = true
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v != 0
+}
+
+func (r *stateReader) uv() uint64 {
+	if r.bad {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.bad = true
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *stateReader) bytes(n int) []byte {
+	if r.bad || n < 0 || len(r.b) < n {
+		r.bad = true
+		return nil
+	}
+	v := r.b[:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// DecodeState restores the core from an EncodeState blob, reusing the
+// core's allocations (the in-place analogue of RestoreFrom for the
+// checkpoint chain). The core must have the geometry the blob was
+// captured with (same Config). RAM contents are not touched — the
+// chain restores them page-wise — and, as with RestoreFrom, the decode
+// memo survives (entries are word-tagged and can never go stale) while
+// OnCommit and the measurement taint state reset.
+func (c *Core) DecodeState(blob []byte) error {
+	r := &stateReader{b: blob}
+	c.Cycle = r.u64()
+	c.Instret = r.u64()
+	c.KInstr = r.u64()
+	c.seq = r.u64()
+	c.mode = isa.Mode(r.i())
+	c.fetchPC = r.u64()
+	c.fetchStall = r.bool()
+	c.robHead, c.robTail, c.robCount = r.i(), r.i(), r.i()
+	c.lqH, c.lqT, c.lqN = r.i(), r.i(), r.i()
+	c.sqH, c.sqT, c.sqN = r.i(), r.i(), r.i()
+	for i := range c.csr {
+		c.csr[i] = r.u64()
+	}
+	for i := range c.retRAT {
+		c.retRAT[i] = r.i()
+	}
+	for i := range c.frontRAT {
+		c.frontRAT[i] = r.i()
+	}
+	for i := range c.prf {
+		c.prf[i] = r.u64()
+	}
+	for i := range c.prfReady {
+		c.prfReady[i] = r.bool()
+	}
+	for i := range c.prfTaint {
+		c.prfTaint[i] = r.bool()
+	}
+	for i := range c.rob {
+		readRobe(r, &c.rob[i])
+	}
+	for i := range c.lq {
+		readLSQ(r, &c.lq[i])
+	}
+	for i := range c.sq {
+		readLSQ(r, &c.sq[i])
+	}
+	c.bp.readState(r)
+	c.l1i.readState(r)
+	c.l1d.readState(r)
+	c.l2.readState(r)
+
+	n := int(r.uv())
+	if n < 0 || n > 4*len(c.prf)+64 {
+		return fmt.Errorf("micro: state blob free-list length %d", n)
+	}
+	c.freeList = c.freeList[:0]
+	for i := 0; i < n; i++ {
+		c.freeList = append(c.freeList, int(r.uv()))
+	}
+	n = int(r.uv())
+	if n < 0 || n > 4*len(c.rob)+64 {
+		return fmt.Errorf("micro: state blob issue-queue length %d", n)
+	}
+	c.iq = c.iq[:0]
+	for i := 0; i < n; i++ {
+		c.iq = append(c.iq, int(r.uv()))
+	}
+	n = int(r.uv())
+	if n < 0 || n > 16*c.Cfg.FetchWidth+64 {
+		return fmt.Errorf("micro: state blob fetch-queue length %d", n)
+	}
+	c.fq = c.fq[:0]
+	for i := 0; i < n; i++ {
+		var f fetchEntry
+		readFetch(r, &f)
+		c.fq = append(c.fq, f)
+	}
+	for i := range c.ring {
+		k := int(r.uv())
+		if k < 0 || k > 4*len(c.rob)+64 {
+			return fmt.Errorf("micro: state blob ring bucket length %d", k)
+		}
+		c.ring[i] = c.ring[i][:0]
+		for j := 0; j < k; j++ {
+			idx := int(r.uv())
+			seq := r.uv()
+			c.ring[i] = append(c.ring[i], ringEnt{idx: idx, seq: seq})
+		}
+	}
+	nt := int(r.uv())
+	if nt < 0 || nt > len(c.Bus.Mem.Bytes())+64 {
+		return fmt.Errorf("micro: state blob taint count %d", nt)
+	}
+	clear(c.ram.taints)
+	for i := 0; i < nt; i++ {
+		addr := r.uv()
+		m := r.bytes(1)
+		if r.bad {
+			break
+		}
+		c.ram.taints[addr] = m[0]
+	}
+	if r.bad {
+		return fmt.Errorf("micro: truncated state blob")
+	}
+	rest, err := c.Bus.SetDevice(r.b)
+	if err != nil {
+		return fmt.Errorf("micro: state blob device: %w", err)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("micro: %d trailing state blob bytes", len(rest))
+	}
+	c.Taint = taintState{}
+	c.OnCommit = nil
+	return nil
+}
+
+func readRobe(r *stateReader, e *robe) {
+	e.valid = r.bool()
+	e.seq = r.u64()
+	readInstr(r, &e.in)
+	e.pc = r.u64()
+	e.npc = r.u64()
+	e.mode = isa.Mode(r.i())
+	e.hasExc = r.bool()
+	e.excCause = r.u64()
+	e.excVal = r.u64()
+	e.archRd = r.i()
+	e.newPhys = r.i()
+	e.oldPhys = r.i()
+	e.src1 = r.i()
+	e.src2 = r.i()
+	e.issued = r.bool()
+	e.executed = r.bool()
+	e.result = r.u64()
+	e.isLoad = r.bool()
+	e.isStore = r.bool()
+	e.lsq = r.i()
+	e.serialize = r.bool()
+	e.actualNext = r.u64()
+	e.isCtl = r.bool()
+	e.tainted = r.bool()
+	e.fetchTaint = r.bool()
+	e.fetchWI = r.bool()
+	e.lsqAddrT = r.bool()
+	e.lsqDataT = r.bool()
+	e.storeDataT = r.bool()
+	e.doneCycle = r.u64()
+	e.inFlight = r.bool()
+}
+
+func readLSQ(r *stateReader, e *lsqEntry) {
+	e.valid = r.bool()
+	e.seq = r.u64()
+	e.rob = r.i()
+	e.isStore = r.bool()
+	e.addr = r.u64()
+	e.addrOK = r.bool()
+	e.data = r.u64()
+	e.dataOK = r.bool()
+	e.size = r.i()
+	e.addrTaint = r.bool()
+	e.dataTaint = r.bool()
+	e.dataSrcTaint = r.bool()
+}
+
+func readFetch(r *stateReader, f *fetchEntry) {
+	f.pc = r.u64()
+	f.npc = r.u64()
+	f.word = r.u32()
+	readInstr(r, &f.in)
+	f.ok = r.bool()
+	f.fetchExc = r.bool()
+	f.excCause = r.u64()
+	f.ready = r.u64()
+	f.fetchTaint = r.bool()
+	f.fetchWI = r.bool()
+}
+
+func readInstr(r *stateReader, in *isa.Instr) {
+	in.Op = isa.Op(r.i())
+	in.Rd = r.i()
+	in.Rs1 = r.i()
+	in.Rs2 = r.i()
+	in.Imm = int64(r.u64())
+	in.Raw = r.u32()
+}
+
+func (bp *branchPred) readState(r *stateReader) {
+	bp.rasTop = r.i()
+	copy(bp.counters, r.bytes(len(bp.counters)))
+	for i := range bp.btbTag {
+		bp.btbTag[i] = r.u64()
+	}
+	for i := range bp.btbTgt {
+		bp.btbTgt[i] = r.u64()
+	}
+	for i := range bp.ras {
+		bp.ras[i] = r.u64()
+	}
+}
+
+func (c *cache) readState(r *stateReader) {
+	c.tick = int64(r.u64())
+	lb := c.cfg.LineBytes
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			l.valid = r.bool()
+			l.dirty = r.bool()
+			l.tag = r.u64()
+			l.lru = int64(r.u64())
+			mask := r.bytes(lb)
+			if isZeroMask(mask) {
+				l.taint = nil
+			} else {
+				l.taint = append(l.taint[:0], mask...)
+			}
+		}
+	}
+	copy(c.backing, r.bytes(len(c.backing)))
+}
+
+func isZeroMask(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -560,6 +560,87 @@ func (s *Store) Compact() (CompactStats, error) {
 	return st, nil
 }
 
+// ChainExt is the file extension of persisted checkpoint chains. The
+// store treats chains as opaque bytes keyed by their config/seed
+// fingerprint (internal/ckpt encodes, decodes and digest-protects
+// them); List() never confuses them with campaign manifests because it
+// only reads *.json.
+const ChainExt = ".ckpt"
+
+func (s *Store) chainPath(fp string) string { return filepath.Join(s.dir, fp+ChainExt) }
+
+// validChainFP guards the fingerprint-as-filename contract (hex from
+// ckpt.Fingerprint) against path tricks in CLI-supplied values.
+func validChainFP(fp string) bool {
+	if fp == "" || len(fp) > 128 {
+		return false
+	}
+	for _, c := range fp {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// SaveChain persists an encoded checkpoint chain under its fingerprint,
+// atomically replacing any previous chain with the same identity.
+func (s *Store) SaveChain(fp string, data []byte) error {
+	if !validChainFP(fp) {
+		return fmt.Errorf("results: invalid chain fingerprint %q", fp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.chainPath(fp)
+	tmp := path + ".tmp"
+	os.Remove(tmp)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadChain returns the persisted chain bytes for fp; ok=false when no
+// chain with that fingerprint is stored.
+func (s *Store) LoadChain(fp string) ([]byte, bool, error) {
+	if !validChainFP(fp) {
+		return nil, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.chainPath(fp))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// ListChains returns the fingerprints of every persisted checkpoint
+// chain in the store, sorted.
+func (s *Store) ListChains() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var fps []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ChainExt) {
+			continue
+		}
+		if fp := strings.TrimSuffix(name, ChainExt); validChainFP(fp) {
+			fps = append(fps, fp)
+		}
+	}
+	sort.Strings(fps)
+	return fps, nil
+}
+
 // List returns every stored campaign manifest, sorted by key.
 func (s *Store) List() ([]Manifest, error) {
 	s.mu.Lock()

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"vulnstack/internal/arch"
+	"vulnstack/internal/ckpt"
 	"vulnstack/internal/codegen"
 	"vulnstack/internal/harden"
 	"vulnstack/internal/inject"
@@ -123,8 +124,68 @@ func Build(t Target, is isa.ISA) (*System, error) {
 		IR:        m,
 		Image:     img,
 		microC:    make(map[string]*inject.Campaign),
-		Snapshots: 12,
+		Snapshots: DefaultSnapshots,
 	}, nil
+}
+
+// DefaultSnapshots is the default golden-run checkpoint count. Since
+// checkpoints became chunk-granular deltas (internal/ckpt) their memory
+// no longer scales O(snapshots × RAM), so the default is dense — the
+// old full-snapshot default was 12 — which shortens the average
+// restore-and-advance distance per injection and gives convergence
+// early-stop far more boundaries to cut runs at.
+const DefaultSnapshots = 192
+
+// chainFingerprint identifies the checkpoint chain a campaign would
+// capture: every input that shapes the golden run, its checkpoints, or
+// how they are consumed. A persisted chain is only ever reused on an
+// exact fingerprint match — a store written under different flags (or
+// a different format version) triggers a fresh golden run instead of a
+// silent mismatch.
+func (s *System) chainFingerprint(engine, config string) string {
+	return ckpt.Fingerprint(
+		engine,
+		fmt.Sprintf("v%d", ckpt.ChainVersion),
+		s.targetKey(),
+		config,
+		fmt.Sprintf("snapshots=%d", s.Snapshots),
+		fmt.Sprintf("ram=%d", RAMSize),
+		fmt.Sprintf("earlystop=%v", !s.NoEarlyStop),
+		fmt.Sprintf("decodecache=%v", !s.NoDecodeCache),
+	)
+}
+
+// loadChain fetches and decodes a persisted checkpoint chain by
+// fingerprint, returning nil on any failure: absent file, truncation,
+// bit flips (ckpt.Decode digest-checks everything after the header), or
+// a fingerprint mismatch inside the file. nil sends the caller down the
+// cold Prepare path, so a damaged store costs a golden run, never
+// wrong results.
+func (s *System) loadChain(fp string) *ckpt.Chain {
+	if s.Store == nil {
+		return nil
+	}
+	data, ok, err := s.Store.LoadChain(fp)
+	if err != nil || !ok {
+		return nil
+	}
+	ch, err := ckpt.Decode(data)
+	if err != nil || ch.Meta.Fingerprint != fp {
+		return nil
+	}
+	return ch
+}
+
+// saveChain persists a freshly captured chain under its fingerprint,
+// best-effort: campaigns proceed identically whether or not the write
+// lands.
+func (s *System) saveChain(fp string, ch *ckpt.Chain) {
+	if s.Store == nil {
+		return
+	}
+	ch.Meta.Fingerprint = fp
+	ch.Meta.Target = s.targetKey()
+	_ = s.Store.SaveChain(fp, ch.Encode())
 }
 
 // MicroCampaign returns (building and caching on first use) the
@@ -141,9 +202,18 @@ func (s *System) MicroCampaign(cfg micro.Config) (*inject.Campaign, error) {
 	// The decode-cache switch is part of the core configuration (baked
 	// into the golden snapshots), so it must be set before Prepare.
 	cfg.NoDecodeCache = s.NoDecodeCache
-	cp, err := inject.Prepare(s.Image, cfg, s.Snapshots, 0)
-	if err != nil {
-		return nil, err
+	fp := s.chainFingerprint(inject.Engine, cfg.Name)
+	cp, err := (*inject.Campaign)(nil), error(nil)
+	if ch := s.loadChain(fp); ch != nil {
+		// Warm path: the persisted chain carries the golden summary and
+		// every restore point — Prepare executes zero instructions.
+		cp, _ = inject.PrepareFromChain(s.Image, cfg, ch)
+	}
+	if cp == nil {
+		if cp, err = inject.Prepare(s.Image, cfg, s.Snapshots, 0); err != nil {
+			return nil, err
+		}
+		s.saveChain(fp, cp.Chain())
 	}
 	cp.Workers = s.Workers
 	cp.NoEarlyStop = s.NoEarlyStop
@@ -156,9 +226,17 @@ func (s *System) ArchCampaign() (*arch.Campaign, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.archC == nil {
-		cp, err := arch.Prepare(s.Image, s.Snapshots)
-		if err != nil {
-			return nil, err
+		fp := s.chainFingerprint(arch.Engine, "")
+		var cp *arch.Campaign
+		var err error
+		if ch := s.loadChain(fp); ch != nil {
+			cp, _ = arch.PrepareFromChain(s.Image, ch)
+		}
+		if cp == nil {
+			if cp, err = arch.Prepare(s.Image, s.Snapshots); err != nil {
+				return nil, err
+			}
+			s.saveChain(fp, cp.Chain())
 		}
 		cp.Workers = s.Workers
 		cp.NoEarlyStop = s.NoEarlyStop

@@ -47,6 +47,7 @@ const module = "vulnstack"
 var defaultPackages = []string{
 	module + "/internal/inject",
 	module + "/internal/arch",
+	module + "/internal/ckpt",
 	module + "/internal/llfi",
 	module + "/internal/results",
 	module + "/internal/colseg",
