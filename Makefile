@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check cover bench bench-short bench-agg gobench
+.PHONY: all build test vet lint race check cover bench bench-short bench-agg bench-strat bench-strat-short gobench
 
 all: check
 
@@ -45,11 +45,23 @@ check:
 # delta-walk, chain memory vs 12 full snapshots — tallies asserted
 # bit-identical across all paths). gobench keeps the raw Go testing
 # benchmarks.
-bench:
+bench: bench-strat
 	$(GO) run ./cmd/vulnstack bench -ckpt -bench all
 
-bench-short:
+bench-short: bench-strat-short
 	$(GO) run ./cmd/vulnstack bench -short -ckpt -bench all -out BENCH_short.json
+
+# bench-strat compares injections-to-target-CI for the stratified
+# campaign mode against uniform worst-case sampling on every benchmark
+# at the paper's 2.88% margin. The command itself asserts the gates: a
+# majority of benchmarks must need >= 3x fewer injections (1.5x in the
+# small short variant, where the per-stratum pilot dominates), and every
+# stratified estimate must land inside the uniform run's 99% CI.
+bench-strat:
+	$(GO) run ./cmd/vulnstack bench -strat -out BENCH_strat.json
+
+bench-strat-short:
+	$(GO) run ./cmd/vulnstack bench -strat -short -out BENCH_strat_short.json
 
 # bench-agg measures record re-aggregation throughput (JSONL re-parse
 # vs the streaming columnar cursor) on a small synthetic campaign,

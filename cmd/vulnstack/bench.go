@@ -88,6 +88,42 @@ type CkptBench struct {
 	RestoreSpeedup float64 `json:"restore_speedup"`
 }
 
+// StratRow is one benchmark's stratified-vs-uniform comparison at the
+// micro layer: the injections each sampling regime needs to promise the
+// same CI half-width. The uniform side is the fixed worst-case budget
+// (it cannot adapt — its margin claim assumes p = 0.5); the stratified
+// side is what the adaptive allocator actually spent before its
+// reweighted CI met the same target. WithinCI is the unbiasedness
+// check: the stratified estimate must land inside the uniform run's CI.
+type StratRow struct {
+	Bench     string `json:"bench"`
+	NUniform  int    `json:"n_uniform"`
+	NStrat    int    `json:"n_strat"`
+	Strata    int    `json:"strata"`
+	// Reduction is NUniform/NStrat — injections saved to the same bound.
+	Reduction  float64 `json:"reduction"`
+	EstUniform float64 `json:"est_uniform"`
+	EstStrat   float64 `json:"est_strat"`
+	HalfWidth  float64 `json:"half_width"`
+	WithinCI   bool    `json:"within_ci"`
+	NsUniform  int64   `json:"ns_uniform"`
+	NsStrat    int64   `json:"ns_strat"`
+}
+
+// StratBench is the stratified-sampling benchmark section: per-bench
+// rows plus the aggregate the Makefile gates on.
+type StratBench struct {
+	CI         float64 `json:"ci"`
+	Confidence float64 `json:"confidence"`
+	Pool       int     `json:"pool"`
+	Struct     string  `json:"struct"`
+	// ReductionFloor is the gate: a majority of benchmarks must reach
+	// this many times fewer injections than uniform.
+	ReductionFloor  float64    `json:"reduction_floor"`
+	Rows            []StratRow `json:"rows"`
+	MedianReduction float64    `json:"median_reduction"`
+}
+
 // BenchReport is the schema of BENCH_<date>.json.
 type BenchReport struct {
 	Date       string                           `json:"date"`
@@ -103,6 +139,8 @@ type BenchReport struct {
 	Aggregation *AggBench `json:"aggregation,omitempty"`
 	// Checkpoint is present when the run included -ckpt.
 	Checkpoint *CkptBench `json:"checkpoint,omitempty"`
+	// Stratified is present when the run included -strat.
+	Stratified *StratBench `json:"stratified,omitempty"`
 }
 
 // cmdBench measures per-injection cost per layer per benchmark, with
@@ -120,6 +158,8 @@ func cmdBench(args []string) error {
 	agg := fs.Bool("agg", false, "run the re-aggregation benchmark (JSONL vs columnar); alone, skips the per-layer benches")
 	aggRows := fs.Int("aggrows", 1_000_000, "synthetic campaign size for -agg")
 	ckpt := fs.Bool("ckpt", false, "run the delta-checkpoint benchmark (cold vs warm Prepare, full-restore vs delta-walk); alone, skips the per-layer benches")
+	stratB := fs.Bool("strat", false, "run the stratified-sampling benchmark (injections to target CI, stratified vs uniform, every benchmark); alone, skips the per-layer benches")
+	stratCI := fs.Float64("stratci", 0, "target CI half-width for -strat (0 = the paper's 2.88% margin, or 9% in -short)")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Parse(args)
 
@@ -136,14 +176,21 @@ func cmdBench(args []string) error {
 	case *benches == "all":
 	case *benches != "":
 		names = strings.Split(*benches, ",")
-	case *agg, *ckpt:
-		// -agg/-ckpt with no explicit benchmark list measure only their
-		// own subject.
+	case *agg, *ckpt, *stratB:
+		// -agg/-ckpt/-strat with no explicit benchmark list measure only
+		// their own subject (-strat iterates benchmarks on its own).
 		names = nil
+	}
+	stratNames := vulnstack.Benchmarks()
+	if *benches != "" && *benches != "all" {
+		stratNames = strings.Split(*benches, ",")
 	}
 	if *short {
 		if (*benches == "" || *benches == "all") && len(names) > 3 {
 			names = names[:3]
+		}
+		if (*benches == "" || *benches == "all") && len(stratNames) > 3 {
+			stratNames = stratNames[:3]
 		}
 		if *n > 30 {
 			*n = 30
@@ -203,6 +250,16 @@ func cmdBench(args []string) error {
 			cb.Bench, float64(cb.NsPrepareCold)/1e6, float64(cb.NsPrepareWarm)/1e6, cb.PrepareSpeedup,
 			float64(cb.NsPerInjectionFullRestore)/1e3, float64(cb.NsPerInjectionDeltaWalk)/1e3, cb.RestoreSpeedup,
 			cb.Checkpoints, cb.ChainBytes, cb.MemoryVsTwelveFull)
+	}
+
+	if *stratB {
+		sb, err := benchStrat(stratNames, cfg, st, *stratCI, *seed, *short)
+		if err != nil {
+			return fmt.Errorf("bench strat: %w", err)
+		}
+		rep.Stratified = sb
+		fmt.Printf("stratified (±%.2f%% at %.0f%%): median %.1fx fewer injections than the uniform worst case across %d benchmarks\n",
+			100*sb.CI, 100*sb.Confidence, sb.MedianReduction, len(sb.Rows))
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -427,6 +484,99 @@ func benchCkpt(cfg micro.Config, st micro.Structure, n int, seed int64) (*CkptBe
 		cb.RestoreSpeedup = float64(nsFull) / float64(nsDelta)
 	}
 	return cb, nil
+}
+
+// benchStrat compares injections-to-target-CI for stratified against
+// uniform sampling at the micro layer on every benchmark. The micro
+// layer is where adaptive stratification pays: its outcomes are
+// masked-heavy (far from the p = 0.5 the uniform worst-case budget
+// assumes), so the per-stratum variance estimates let the allocator
+// stop early while promising the same bound. Two gates are asserted:
+// every stratified estimate must land inside the uniform run's CI
+// (unbiasedness), and a majority of benchmarks must clear the reduction
+// floor — 3x at the paper's full-scale margin, 1.5x at the small -short
+// scale where the per-stratum pilot is a larger share of the budget.
+func benchStrat(names []string, cfg micro.Config, st micro.Structure, ci float64, seed int64, short bool) (*StratBench, error) {
+	opt := vulnstack.StratOptions{CI: ci}
+	floor := 3.0
+	if short {
+		floor = 1.5
+		if opt.CI <= 0 {
+			opt.CI = 0.09
+		}
+		opt.Pool = 2000
+		opt.N0 = 8
+	}
+	if opt.CI <= 0 {
+		opt.CI = vulnstack.DefaultStratCI
+	}
+	sb := &StratBench{
+		CI:             opt.CI,
+		Confidence:     0.99,
+		Pool:           vulnstack.DefaultStratPool,
+		Struct:         st.String(),
+		ReductionFloor: floor,
+	}
+	if opt.Pool > 0 {
+		sb.Pool = opt.Pool
+	}
+	nUniform := vulnstack.UniformSamplesFor(opt.CI, sb.Confidence)
+	margin := vulnstack.Margin(nUniform)
+
+	var reductions []float64
+	cleared := 0
+	for _, bench := range names {
+		sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1}, isa.VSA64)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tally, err := sys.MicroTally(cfg, st, nUniform, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s uniform: %w", bench, err)
+		}
+		nsUniform := time.Since(start).Nanoseconds()
+		start = time.Now()
+		res, err := sys.StratMicro(cfg, st, opt, seed)
+		if err != nil {
+			return nil, fmt.Errorf("%s stratified: %w", bench, err)
+		}
+		nsStrat := time.Since(start).Nanoseconds()
+
+		row := StratRow{
+			Bench:      bench,
+			NUniform:   nUniform,
+			NStrat:     res.N,
+			Strata:     len(res.Strata),
+			Reduction:  float64(nUniform) / float64(res.N),
+			EstUniform: tally.AVF(),
+			EstStrat:   res.Split.Total(),
+			HalfWidth:  res.HalfWidth,
+			NsUniform:  nsUniform,
+			NsStrat:    nsStrat,
+		}
+		d := row.EstStrat - row.EstUniform
+		row.WithinCI = d >= -margin && d <= margin
+		if !row.WithinCI {
+			return nil, fmt.Errorf("%s: stratified estimate %.4f outside the uniform CI %.4f ± %.4f — unbiasedness violated",
+				bench, row.EstStrat, row.EstUniform, margin)
+		}
+		if row.Reduction >= floor {
+			cleared++
+		}
+		reductions = append(reductions, row.Reduction)
+		sb.Rows = append(sb.Rows, row)
+		fmt.Printf("stratified %-10s uniform %4d -> strat %4d (%4.1fx, %2d strata)  est %5.2f%% vs %5.2f%% (hw ±%.2f%%)  %.1fs -> %.1fs\n",
+			bench, nUniform, res.N, row.Reduction, row.Strata,
+			100*row.EstUniform, 100*row.EstStrat, 100*row.HalfWidth,
+			float64(nsUniform)/1e9, float64(nsStrat)/1e9)
+	}
+	sb.MedianReduction = median(reductions)
+	if len(sb.Rows) > 0 && cleared*2 <= len(sb.Rows) {
+		return nil, fmt.Errorf("only %d/%d benchmarks reached the %.1fx injection-reduction floor (median %.1fx)",
+			cleared, len(sb.Rows), floor, sb.MedianReduction)
+	}
+	return sb, nil
 }
 
 // syntheticRecords draws a deterministic mixed campaign shaped like a

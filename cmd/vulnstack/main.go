@@ -8,6 +8,7 @@
 //	vulnstack analyze [-bench a,b] [-seed S] [-store DIR] [-ace=false]
 //	vulnstack run -bench sha [-config A72] [-harden]
 //	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR] [-cpuprofile F] [-memprofile F]
+//	vulnstack campaign -strat [-layer micro|arch|soft] [-ci 0.0288] [-conf 0.99] [-pool 20000] [-n0 N] [-maxnew N] [-store DIR]
 //	vulnstack bench [-bench a,b] [-n N] [-out FILE]
 //	vulnstack results [list|show|export|compact] -store DIR [-id ID] [filters]
 package main
@@ -20,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -182,8 +184,15 @@ func cmdCampaign(args []string) error {
 	bench := fs.String("bench", "sha", "benchmark name")
 	cfgName := fs.String("config", "A72", "microarchitecture")
 	stName := fs.String("struct", "RF", "structure (RF, LSQ, L1i, L1d, L2)")
-	layer := fs.String("layer", "micro", "injection layer: micro (structure faults) or uniform (register-uniform PVF, the quantity the static/ACE bounds dominate)")
+	layer := fs.String("layer", "micro", "injection layer: micro (structure faults), uniform (register-uniform PVF, the quantity the static/ACE bounds dominate), or — with -strat — arch / soft")
 	n := fs.Int("n", 200, "number of injections")
+	strat := fs.Bool("strat", false, "two-level stratified campaign: adaptive per-stratum injection until the reweighted CI meets -ci (replaces -n)")
+	ci := fs.Float64("ci", vulnstack.DefaultStratCI, "stratified target CI half-width (default: the paper's 2.88% margin for 2000 uniform samples)")
+	conf := fs.Float64("conf", 0.99, "stratified CI confidence level")
+	pool := fs.Int("pool", vulnstack.DefaultStratPool, "stratified fault-site pool size")
+	n0 := fs.Int("n0", 0, "stratified pilot injections per stratum (0 = default)")
+	maxNew := fs.Int("maxnew", 0, "stratified fresh-injection budget for this invocation (0 = unbounded; a truncated run resumes from -store bit-identically)")
+	fpmName := fs.String("fpm", "WD", "arch-layer fault model for -strat -layer arch (WD, WI, WOI)")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
@@ -200,6 +209,10 @@ func cmdCampaign(args []string) error {
 	}
 	defer stopProf()
 
+	if *strat {
+		opt := vulnstack.StratOptions{CI: *ci, Confidence: *conf, Pool: *pool, N0: *n0, MaxNew: *maxNew}
+		return stratCampaign(*layer, *bench, *cfgName, *stName, *fpmName, *seed, *hard, *workers, *storeDir, opt)
+	}
 	if *layer == "uniform" {
 		return uniformCampaign(*bench, *n, *seed, *hard, *workers, *storeDir, !*earlyStop, !*decodeCache)
 	}
@@ -306,6 +319,93 @@ func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, st
 	}
 	fmt.Printf("  %d injections in %v (%.1f/s)\n", n, elapsed.Round(time.Millisecond),
 		float64(n)/elapsed.Seconds())
+	return nil
+}
+
+// stratCampaign runs one adaptive two-level stratified campaign at the
+// requested layer and prints the unbiased reweighted estimate with the
+// per-stratum breakdown and the provenance stamp (plan parameters +
+// partition fingerprint) that identifies the record stream in a store.
+func stratCampaign(layer, bench, cfgName, stName, fpmName string, seed int64, hard bool, workers int, storeDir string, opt vulnstack.StratOptions) error {
+	cfg, err := micro.ConfigByName(cfgName)
+	if err != nil {
+		return err
+	}
+	is := cfg.ISA
+	if layer != "micro" {
+		// The arch and soft injectors run the 64-bit ISA exclusively.
+		is = isa.VSA64
+	}
+	sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1, Harden: hard}, is)
+	if err != nil {
+		return err
+	}
+	sys.Workers = workers
+	if storeDir != "" {
+		store, err := results.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		sys.Store = store
+	}
+
+	start := time.Now()
+	var res vulnstack.StratResult
+	var what string
+	switch layer {
+	case "micro":
+		st, perr := micro.ParseStructure(stName)
+		if perr != nil {
+			return perr
+		}
+		what = fmt.Sprintf("%s structure faults on %s", st, cfg.Name)
+		res, err = sys.StratMicro(cfg, st, opt, seed)
+	case "arch":
+		fpm, perr := results.ParseFPM(fpmName)
+		if perr != nil {
+			return perr
+		}
+		what = fmt.Sprintf("architectural %s faults", fpm)
+		res, err = sys.StratPVF(fpm, opt, seed)
+	case "soft":
+		what = "software-level IR faults"
+		res, err = sys.StratSVF(opt, seed)
+	default:
+		return fmt.Errorf("campaign -strat: unknown -layer %q (micro, arch, soft)", layer)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	target := opt.CI
+	level := opt.Confidence
+	nUniform := vulnstack.UniformSamplesFor(target, level)
+	fmt.Printf("%s, stratified: %s\n", bench, what)
+	fmt.Printf("  failures (SDC+Crash) %6.2f%%  ±%.2f%% achieved at %.0f%% (target ±%.2f%%)\n",
+		100*res.Split.Total(), 100*res.HalfWidth, 100*level, 100*target)
+	fmt.Printf("  SDC %5.2f%%  Crash %5.2f%%  Detected %5.2f%%  Masked %5.2f%%\n",
+		100*res.Split.SDC, 100*res.Split.Crash, 100*res.Split.Detected, 100*res.Split.Masked)
+	ratio := "more"
+	if res.N <= nUniform {
+		ratio = "fewer"
+	}
+	fmt.Printf("  injections %d (%d fresh) from a %d-site pool; uniform worst case %d (%.1fx %s)\n",
+		res.N, res.Fresh, res.Pool, nUniform,
+		max(float64(nUniform)/float64(res.N), float64(res.N)/float64(nUniform)), ratio)
+	fmt.Printf("  %-28s %7s %6s %7s %6s %6s %6s\n", "STRATUM", "SIZE", "N", "MASK", "SDC", "CRASH", "DET")
+	for _, sr := range res.Strata {
+		t := sr.Tally
+		fmt.Printf("  %-28s %7d %6d %7d %6d %6d %6d\n", sr.Label, sr.Size, t.N,
+			t.Outcomes[0], t.Outcomes[1], t.Outcomes[2], t.Outcomes[3])
+	}
+	fmt.Printf("  provenance %s\n", res.Key)
+	if sys.Store != nil {
+		fmt.Printf("  store: served %d stored records, ran %d new (id %s)\n",
+			res.N-res.Fresh, res.Fresh, res.Key.ID())
+	}
+	fmt.Printf("  %d fresh injections in %v (%.1f/s)\n", res.Fresh, elapsed.Round(time.Millisecond),
+		float64(res.Fresh)/elapsed.Seconds())
 	return nil
 }
 
@@ -522,6 +622,15 @@ func showCampaign(store *results.Store, id string, f results.Filter) error {
 			100*tally.HVF(), 100*tally.FPMShare(micro.FPMWD), 100*tally.FPMShare(micro.FPMWI),
 			100*tally.FPMShare(micro.FPMWOI), 100*tally.FPMShare(micro.FPMESC))
 	}
+	if tallies, labels := stratumTallies(store, id, f); len(labels) > 0 {
+		fmt.Printf("  strata (%d, label = class/bit-bucket/liveness-bucket):\n", len(labels))
+		fmt.Printf("    %-28s %6s %7s %6s %6s %6s\n", "STRATUM", "N", "MASK", "SDC", "CRASH", "DET")
+		for _, l := range labels {
+			t := tallies[l]
+			fmt.Printf("    %-28s %6d %7d %6d %6d %6d\n", l, t.N,
+				t.Outcomes[0], t.Outcomes[1], t.Outcomes[2], t.Outcomes[3])
+		}
+	}
 	if ch := chainFor(loadChains(store), m.Key); ch != nil {
 		st := ch.Stats()
 		coordName := "instrs"
@@ -534,6 +643,37 @@ func showCampaign(store *results.Store, id string, f results.Filter) error {
 			st.BaseBytes, st.DeltaBytes, st.AuxBytes, ch.Meta.RAMBytes)
 	}
 	return nil
+}
+
+// stratumTallies re-reads a campaign grouping its records by their
+// stored stratum label (the schema-v2 provenance column of stratified
+// campaigns). Uniform campaigns carry no labels and yield nothing; so
+// do legacy segments written before the column existed.
+func stratumTallies(store *results.Store, id string, f results.Filter) (map[string]results.Tally, []string) {
+	_, c, err := store.CursorID(id, f)
+	if err != nil {
+		return nil, nil
+	}
+	defer c.Close()
+	tallies := map[string]results.Tally{}
+	var labels []string
+	err = c.Each(func(r results.Record) error {
+		if r.Stratum == "" {
+			return nil
+		}
+		t, seen := tallies[r.Stratum]
+		if !seen {
+			labels = append(labels, r.Stratum)
+		}
+		t.Add(r)
+		tallies[r.Stratum] = t
+		return nil
+	})
+	if err != nil {
+		return nil, nil
+	}
+	sort.Strings(labels)
+	return tallies, labels
 }
 
 // exportCampaign streams a campaign's (filtered) records to stdout in

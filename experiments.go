@@ -346,12 +346,21 @@ func (l *Lab) stamp(r *report.Report) {
 		return
 	}
 	if ms, err := st.List(); err == nil {
-		var records int
+		var records, strat int
 		for _, m := range ms {
 			records += m.N
+			if m.Key.Mode != "" {
+				strat++
+			}
 		}
-		r.Notef("results store: %s — %d campaigns, %d records (inspect with: vulnstack results -store %s)",
-			st.Dir(), len(ms), records, st.Dir())
+		note := fmt.Sprintf("results store: %s — %d campaigns, %d records", st.Dir(), len(ms), records)
+		if strat > 0 {
+			// Stratified streams carry their full sampling provenance
+			// (plan parameters + partition fingerprint) in the key's
+			// mode component, so the stamp needs only the count.
+			note += fmt.Sprintf(", %d stratified (plan + partition fingerprint in each key's mode)", strat)
+		}
+		r.Notef("%s (inspect with: vulnstack results -store %s)", note, st.Dir())
 	}
 }
 

@@ -585,36 +585,74 @@ func (cp *Campaign) RunCampaign(fpm micro.FPM, n int, seed int64, progress func(
 // key concatenate into exactly a one-shot n-injection record set (the
 // top-up resume primitive).
 func (cp *Campaign) Records(fpm micro.FPM, n, from int, seed int64, progress func(i int, r results.Record)) []results.Record {
-	r := rand.New(rand.NewSource(seed))
-	faults := make([]Fault, n)
-	for i := range faults {
-		faults[i] = cp.Sample(r, fpm)
-	}
+	faults := cp.Pool(fpm, n, seed)
 	if from < 0 {
 		from = 0
 	}
 	if from >= n {
 		return nil
 	}
-	jobs := make([]campaign.Job, n-from)
+	return cp.RecordsAt(faults[from:], from, progress)
+}
+
+// Pool pre-draws the n-fault sequence for the given FPM from seed —
+// exactly the faults Records would inject, exposed so stratified
+// campaigns can partition the pool into equivalence classes and inject
+// per-stratum subsets of it.
+func (cp *Campaign) Pool(fpm micro.FPM, n int, seed int64) []Fault {
+	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r, fpm)
+	}
+	return faults
+}
+
+// RecordsAt injects the given faults (any ordered subset of a pool) and
+// returns their records with absolute indices base+i — the stratified
+// analogue of Records, bit-identical for every worker count.
+func (cp *Campaign) RecordsAt(faults []Fault, base int, progress func(i int, r results.Record)) []results.Record {
+	jobs := make([]campaign.Job, len(faults))
 	for i := range jobs {
-		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[from+i].K)}
+		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[i].K)}
 	}
 	var emit func(i int, rec results.Record)
 	if progress != nil {
-		emit = func(i int, rec results.Record) { progress(from+i, rec) }
+		emit = func(i int, rec results.Record) { progress(base+i, rec) }
 	}
 	return campaign.Run(jobs, cp.Workers,
 		func() *worker { return &worker{src: -1} },
 		func(w *worker, j campaign.Job) results.Record {
-			f := faults[from+j.Index]
+			f := faults[j.Index]
 			c, bus := cp.cpuFor(w, f.K, j.Group)
 			o, early := cp.classify(c, bus, j.Group, w, func() { cp.apply(c, f) })
 			rec := record(f, o, early)
-			rec.Index = from + j.Index
+			rec.Index = base + j.Index
 			return rec
 		},
 		emit)
+}
+
+// CkptFor returns the index of the checkpoint governing a dynamic
+// instruction instant — the program point stratified sampling keys
+// static features on.
+func (cp *Campaign) CkptFor(k uint64) int { return cp.chain.Find(k) }
+
+// CheckpointPCs returns the architectural PC of every checkpoint's
+// restore state, materialized by one incremental delta-walk of the
+// chain.
+func (cp *Campaign) CheckpointPCs() []uint64 {
+	pcs := make([]uint64, cp.chain.Len())
+	var buf []byte
+	for i := range pcs {
+		buf = cp.chain.StateAt(i, buf, i-1)
+		s, err := decodeArchState(buf)
+		if err != nil {
+			continue // undecodable legacy blob: its sites share one stratum
+		}
+		pcs[i] = s.PC
+	}
+	return pcs
 }
 
 // UniformRecords executes register-uniform injections [from, n) of the

@@ -1,0 +1,222 @@
+// Adaptive stratified allocation: the planning half of stratified
+// campaign mode. A StratPlan owns the per-stratum pool sizes and the
+// target confidence bound; the driver alternates between injecting the
+// counts the plan asks for and feeding the resulting tallies back,
+// until Next returns nil (bound met, or pool exhausted).
+//
+// Everything here is a pure function of completed-round tallies, so a
+// stratified campaign's record stream is a deterministic function of
+// (seed, pool, partition, plan parameters): resuming from a store
+// replays stored records through the same planner and lands on the
+// identical stream — the stratified analogue of the uniform layers'
+// pre-drawn-sequence top-up contract. No map iteration anywhere: strata
+// are slices in fixed partition order.
+package campaign
+
+import (
+	"math"
+
+	"vulnstack/internal/results"
+	"vulnstack/internal/vuln"
+)
+
+// Default plan parameters (used when the corresponding field is <= 0).
+const (
+	// DefaultPilot is the pilot sample count per stratum: enough for a
+	// first variance estimate, small enough that tiny strata don't
+	// dominate the pilot round.
+	DefaultPilot = 24
+	// DefaultMinRound is the smallest top-up round the plan will ask
+	// for, amortizing per-round overhead (store appends, re-planning).
+	DefaultMinRound = 32
+)
+
+// StratPlan plans sample allocation across the strata of a pre-drawn
+// fault-site pool. Sizes is the per-stratum pool size M_h in partition
+// order (fixed for the campaign's lifetime); CI and Confidence define
+// the stopping rule: stop when the reweighted estimator's half-width
+// (vuln.StratifiedHalfWidth) is <= CI at the given confidence.
+type StratPlan struct {
+	Sizes      []int
+	N0         int     // pilot samples per stratum (DefaultPilot if <= 0)
+	CI         float64 // target half-width
+	Confidence float64 // e.g. 0.99
+	MinRound   int     // smallest top-up round (DefaultMinRound if <= 0)
+}
+
+func (p StratPlan) pilotN() int {
+	if p.N0 <= 0 {
+		return DefaultPilot
+	}
+	return p.N0
+}
+
+func (p StratPlan) minRound() int {
+	if p.MinRound <= 0 {
+		return DefaultMinRound
+	}
+	return p.MinRound
+}
+
+// Strata pairs pool sizes with their tallies for the vuln estimators.
+// Callers must pass tallies in the same partition order as sizes.
+func Strata(sizes []int, tallies []results.Tally) []vuln.Stratum {
+	strata := make([]vuln.Stratum, len(sizes))
+	for i, m := range sizes {
+		strata[i] = vuln.Stratum{Size: m}
+		if i < len(tallies) {
+			strata[i].Tally = tallies[i]
+		}
+	}
+	return strata
+}
+
+// Pilot is the first round: N0 samples per stratum, clamped to the
+// stratum's pool size (tiny strata are simply enumerated).
+func (p StratPlan) Pilot() []int {
+	n0 := p.pilotN()
+	counts := make([]int, len(p.Sizes))
+	for i, m := range p.Sizes {
+		counts[i] = n0
+		if counts[i] > m {
+			counts[i] = m
+		}
+	}
+	return counts
+}
+
+// Next plans the next round from completed-round tallies: nil when the
+// target half-width is met or the pool is exhausted, otherwise the
+// per-stratum additional sample counts (same order as Sizes; entries
+// may be zero).
+//
+// The round size comes from inverting the half-width formula with
+// Neyman-optimal allocation: for total n split n_h ∝ W_h·s_h the
+// stratified variance is (Σ W_h s_h)²/n, so the bound e needs
+//
+//	n* = z² (Σ W_h s_h)² / e_eff²,   e_eff² = e² − z²·poolTerm
+//
+// where poolTerm is the irreducible pool-vs-truth residual already
+// charged by StratifiedHalfWidth (floored at e²/4 so a pool barely
+// larger than needed still converges instead of demanding n* → ∞).
+// The round is clamped to [MinRound, current total] — never more than
+// doubling per round keeps early noisy variance estimates from
+// over-committing — and apportioned ∝ W_h·s_h by largest remainder
+// with deterministic tie-breaking, clipped to each stratum's remaining
+// pool.
+func (p StratPlan) Next(tallies []results.Tally) []int {
+	strata := Strata(p.Sizes, tallies)
+	if vuln.StratifiedHalfWidth(strata, p.Confidence) <= p.CI {
+		return nil
+	}
+	total, m := 0, 0
+	remaining := make([]int, len(strata))
+	for i, s := range strata {
+		total += s.Tally.N
+		m += s.Size
+		remaining[i] = s.Size - s.Tally.N
+		if remaining[i] < 0 {
+			remaining[i] = 0
+		}
+	}
+	totalRemaining := 0
+	for _, r := range remaining {
+		totalRemaining += r
+	}
+	if totalRemaining == 0 || m == 0 {
+		return nil
+	}
+
+	z := vuln.Z(p.Confidence)
+	score := make([]float64, len(strata)) // W_h * s_h
+	sumScore := 0.0
+	for i, s := range strata {
+		score[i] = float64(s.Size) / float64(m) * vuln.StratumDev(s)
+		sumScore += score[i]
+	}
+	eEff2 := p.CI*p.CI - z*z*poolTerm(strata, m)
+	if floor := 0.25 * p.CI * p.CI; eEff2 < floor {
+		eEff2 = floor
+	}
+	nStar := int(math.Ceil(z * z * sumScore * sumScore / eEff2))
+
+	round := nStar - total
+	if round < p.minRound() {
+		round = p.minRound()
+	}
+	if total > 0 && round > total {
+		round = total
+	}
+	if round > totalRemaining {
+		round = totalRemaining
+	}
+	return apportion(round, score, remaining)
+}
+
+// poolTerm is the largest per-outcome pool-vs-truth residual
+// p̃(1-p̃)/M of the current pooled estimate — the same term
+// StratifiedHalfWidth charges, recomputed here so the allocator solves
+// for the part of the bound that sampling can actually shrink.
+func poolTerm(strata []vuln.Stratum, m int) float64 {
+	pooled := vuln.StratifiedSplit(strata)
+	worst := 0.0
+	for _, frac := range [...]float64{pooled.Masked, pooled.SDC, pooled.Crash, pooled.Detected} {
+		p := (frac*float64(m) + 0.5) / (float64(m) + 1)
+		if v := p * (1 - p) / float64(m); v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// apportion splits a round of n samples across strata proportionally to
+// score, clipped to each stratum's remaining pool. Deterministic: floor
+// shares first, then leftovers one at a time to the stratum with the
+// largest score among those with capacity (ties to the lowest index).
+func apportion(n int, score []float64, remaining []int) []int {
+	alloc := make([]int, len(score))
+	for n > 0 {
+		sum := 0.0
+		for i, sc := range score {
+			if alloc[i] < remaining[i] {
+				sum += sc
+			}
+		}
+		assigned := 0
+		if sum > 0 {
+			for i, sc := range score {
+				room := remaining[i] - alloc[i]
+				if room <= 0 {
+					continue
+				}
+				share := int(math.Floor(float64(n) * sc / sum))
+				if share > room {
+					share = room
+				}
+				alloc[i] += share
+				assigned += share
+			}
+		}
+		if assigned == 0 {
+			// Floor shares all rounded to zero (or all scores zero):
+			// hand one sample to the best-scoring stratum with
+			// capacity, lowest index on ties.
+			best := -1
+			for i := range score {
+				if alloc[i] >= remaining[i] {
+					continue
+				}
+				if best < 0 || score[i] > score[best] {
+					best = i
+				}
+			}
+			if best < 0 {
+				break // no capacity anywhere
+			}
+			alloc[best]++
+			assigned = 1
+		}
+		n -= assigned
+	}
+	return alloc
+}

@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"vulnstack/internal/results"
+	"vulnstack/internal/vuln"
+)
+
+func stratTally(n, sdc int) results.Tally {
+	var t results.Tally
+	for i := 0; i < n; i++ {
+		if i < sdc {
+			t.AddOutcome(results.SDC)
+		} else {
+			t.AddOutcome(results.Masked)
+		}
+	}
+	return t
+}
+
+func TestStratPlanPilotClampsToPoolSize(t *testing.T) {
+	p := StratPlan{Sizes: []int{1000, 10, 0}, N0: 24, CI: 0.05, Confidence: 0.99}
+	got := p.Pilot()
+	want := []int{24, 10, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Pilot() = %v, want %v", got, want)
+	}
+	if def := (StratPlan{Sizes: []int{1000}}).Pilot()[0]; def != DefaultPilot {
+		t.Fatalf("default pilot = %d, want %d", def, DefaultPilot)
+	}
+}
+
+func TestStratPlanNextStopsWhenBoundMet(t *testing.T) {
+	// One big stratum, heavily sampled and all-masked: the half-width
+	// collapses to near the pool term, well under a loose 10% target.
+	p := StratPlan{Sizes: []int{20000}, CI: 0.10, Confidence: 0.99}
+	tallies := []results.Tally{stratTally(5000, 0)}
+	strata := Strata(p.Sizes, tallies)
+	if hw := vuln.StratifiedHalfWidth(strata, 0.99); hw > p.CI {
+		t.Fatalf("test setup: half-width %.4f not under target %.4f", hw, p.CI)
+	}
+	if got := p.Next(tallies); got != nil {
+		t.Fatalf("Next() = %v, want nil once bound met", got)
+	}
+}
+
+func TestStratPlanNextStopsWhenPoolExhausted(t *testing.T) {
+	// Tiny fully-enumerated pool, impossible target: nothing left to
+	// sample, so the plan must stop rather than loop.
+	p := StratPlan{Sizes: []int{8, 4}, CI: 1e-6, Confidence: 0.99}
+	tallies := []results.Tally{stratTally(8, 4), stratTally(4, 0)}
+	if got := p.Next(tallies); got != nil {
+		t.Fatalf("Next() = %v, want nil on exhausted pool", got)
+	}
+}
+
+func TestStratPlanNextFavorsHighVarianceStrata(t *testing.T) {
+	// Equal-size strata: one all-masked (near-zero variance), one with a
+	// 50/50 outcome split (maximal variance). Neyman allocation must
+	// send more samples to the second.
+	p := StratPlan{Sizes: []int{10000, 10000}, CI: 0.01, Confidence: 0.99}
+	tallies := []results.Tally{stratTally(100, 0), stratTally(100, 50)}
+	got := p.Next(tallies)
+	if got == nil {
+		t.Fatal("Next() = nil, want a round")
+	}
+	if got[1] <= got[0] {
+		t.Fatalf("allocation %v does not favor the high-variance stratum", got)
+	}
+}
+
+func TestStratPlanNextDeterministicAndCapped(t *testing.T) {
+	p := StratPlan{Sizes: []int{5000, 300, 40}, CI: 0.02, Confidence: 0.99, MinRound: 32}
+	tallies := []results.Tally{stratTally(24, 3), stratTally(24, 12), stratTally(24, 1)}
+	a := p.Next(tallies)
+	b := p.Next(tallies)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Next not deterministic: %v vs %v", a, b)
+	}
+	if a == nil {
+		t.Fatal("Next() = nil, want a round")
+	}
+	total, sampled := 0, 0
+	for i, n := range a {
+		if n < 0 {
+			t.Fatalf("negative allocation %v", a)
+		}
+		if n > p.Sizes[i]-tallies[i].N {
+			t.Fatalf("stratum %d allocated %d past its remaining pool %d", i, n, p.Sizes[i]-tallies[i].N)
+		}
+		total += n
+		sampled += tallies[i].N
+	}
+	if total < p.MinRound {
+		t.Fatalf("round %d below MinRound %d with pool to spare", total, p.MinRound)
+	}
+	if total > sampled {
+		t.Fatalf("round %d more than doubles current total %d", total, sampled)
+	}
+}
+
+func TestStratPlanConvergesUnderSimulation(t *testing.T) {
+	// Drive the plan loop against a synthetic ground truth: each round's
+	// new samples land in proportion p_h of SDC, deterministically (the
+	// i-th sample of stratum h is SDC iff i*p_h crosses an integer).
+	// The loop must terminate with the bound met before exhausting the
+	// pool, and the reweighted estimate must land near truth.
+	sizes := []int{12000, 6000, 2000}
+	probs := []float64{0.02, 0.40, 0.75}
+	p := StratPlan{Sizes: sizes, CI: 0.03, Confidence: 0.99}
+
+	counts := p.Pilot()
+	sampled := make([]int, len(sizes))
+	tallies := make([]results.Tally, len(sizes))
+	rounds := 0
+	for counts != nil {
+		rounds++
+		if rounds > 100 {
+			t.Fatal("plan failed to converge in 100 rounds")
+		}
+		for h, c := range counts {
+			for i := 0; i < c; i++ {
+				k := sampled[h] + i
+				if int(float64(k+1)*probs[h]) > int(float64(k)*probs[h]) {
+					tallies[h].AddOutcome(results.SDC)
+				} else {
+					tallies[h].AddOutcome(results.Masked)
+				}
+			}
+			sampled[h] += c
+		}
+		counts = p.Next(tallies)
+	}
+	strata := Strata(sizes, tallies)
+	if hw := vuln.StratifiedHalfWidth(strata, 0.99); hw > p.CI {
+		total := 0
+		for _, n := range sampled {
+			total += n
+		}
+		if total < sizes[0]+sizes[1]+sizes[2] {
+			t.Fatalf("stopped with half-width %.4f > target %.4f and pool remaining", hw, p.CI)
+		}
+	}
+	est := vuln.StratifiedSplit(strata).SDC
+	truth := 0.0
+	m := 0
+	for h, s := range sizes {
+		truth += float64(s) * probs[h]
+		m += s
+	}
+	truth /= float64(m)
+	if d := est - truth; d < -0.05 || d > 0.05 {
+		t.Fatalf("estimate %.4f far from truth %.4f", est, truth)
+	}
+}

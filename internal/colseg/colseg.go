@@ -199,6 +199,20 @@ type Block struct {
 // Rows returns the block's record count.
 func (b *Block) Rows() int { return b.rows }
 
+// Has reports whether the block carries a column with the given id.
+// Blocks are self-describing (every block lists its columns in its
+// directory), so schema growth is backward compatible: a reader probes
+// for a column added after the block was written and substitutes the
+// zero value when it is absent, instead of rejecting the segment.
+func (b *Block) Has(id uint8) bool {
+	for _, c := range b.cols {
+		if c.id == id {
+			return true
+		}
+	}
+	return false
+}
+
 func (b *Block) find(id uint8, enc Enc) ([]byte, error) {
 	for _, c := range b.cols {
 		if c.id != id {

@@ -431,32 +431,68 @@ func (cp *Campaign) RunCampaign(s micro.Structure, n int, seed int64, progress f
 // a one-shot n-injection campaign yields — the top-up resume primitive
 // the persistent store builds on.
 func (cp *Campaign) Records(s micro.Structure, n, from int, seed int64, progress func(i int, r Record)) []Record {
-	r := rand.New(rand.NewSource(seed))
-	faults := make([]Fault, n)
-	for i := range faults {
-		faults[i] = cp.Sample(r, s)
-	}
+	faults := cp.Pool(s, n, seed)
 	if from < 0 {
 		from = 0
 	}
 	if from >= n {
 		return nil
 	}
-	jobs := make([]campaign.Job, n-from)
+	return cp.RecordsAt(faults[from:], from, progress)
+}
+
+// Pool pre-draws the n-fault sequence for structure s from seed —
+// exactly the faults Records would inject, exposed so stratified
+// campaigns can partition the pool into equivalence classes and inject
+// per-stratum subsets of it.
+func (cp *Campaign) Pool(s micro.Structure, n int, seed int64) []Fault {
+	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r, s)
+	}
+	return faults
+}
+
+// RecordsAt injects the given faults (any ordered subset of a pool) and
+// returns their records with absolute indices base+i — the stratified
+// analogue of Records, whose record stream is a pure function of the
+// fault slice: bit-identical for every worker count.
+func (cp *Campaign) RecordsAt(faults []Fault, base int, progress func(i int, r Record)) []Record {
+	jobs := make([]campaign.Job, len(faults))
 	for i := range jobs {
-		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[from+i].Cycle)}
+		jobs[i] = campaign.Job{Index: i, Group: cp.chain.Find(faults[i].Cycle)}
 	}
 	var emit func(i int, rec Record)
 	if progress != nil {
-		emit = func(i int, rec Record) { progress(from+i, rec) }
+		emit = func(i int, rec Record) { progress(base+i, rec) }
 	}
 	return campaign.Run(jobs, cp.Workers,
 		func() *worker { return &worker{src: -1} },
 		func(w *worker, j campaign.Job) Record {
-			f := faults[from+j.Index]
+			f := faults[j.Index]
 			rec := cp.classify(cp.coreFor(w, f.Cycle, j.Group), f, j.Group, w).Record()
-			rec.Index = from + j.Index
+			rec.Index = base + j.Index
 			return rec
 		},
 		emit)
+}
+
+// CkptFor returns the index of the checkpoint governing an injection
+// cycle (the restore source a faulty run starts from) — the program
+// point stratified sampling keys static features on.
+func (cp *Campaign) CkptFor(cycle uint64) int { return cp.chain.Find(cycle) }
+
+// CheckpointPCs returns the fetch PC of every checkpoint's restore
+// state, materialized by one incremental delta-walk of the chain. A
+// checkpoint whose blob predates the PC field reports 0 (its sites land
+// in one harmless stratum).
+func (cp *Campaign) CheckpointPCs() []uint64 {
+	pcs := make([]uint64, cp.chain.Len())
+	var buf []byte
+	for i := range pcs {
+		buf = cp.chain.StateAt(i, buf, i-1)
+		pcs[i], _ = micro.StatePC(buf)
+	}
+	return pcs
 }

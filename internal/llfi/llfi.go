@@ -187,24 +187,51 @@ func (cp *Campaign) RunCampaign(n int, seed int64, progress func(i int, r result
 // key concatenate into exactly a one-shot n-injection record set (the
 // top-up resume primitive).
 func (cp *Campaign) Records(n, from int, seed int64, progress func(i int, r results.Record)) []results.Record {
-	r := rand.New(rand.NewSource(seed))
-	faults := make([]Fault, n)
-	for i := range faults {
-		faults[i] = cp.Sample(r)
-	}
+	faults := cp.Pool(n, seed)
 	if from < 0 {
 		from = 0
 	}
 	if from >= n {
 		return nil
 	}
-	jobs := make([]campaign.Job, n-from)
+	return cp.RecordsAt(faults[from:], from, progress)
+}
+
+// Pool pre-draws the n-fault sequence from seed — exactly the faults
+// Records would inject, exposed so stratified campaigns can partition
+// the pool into equivalence classes and inject per-stratum subsets.
+func (cp *Campaign) Pool(n int, seed int64) []Fault {
+	r := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, n)
+	for i := range faults {
+		faults[i] = cp.Sample(r)
+	}
+	return faults
+}
+
+// UsedDef reports whether the golden run ever read the value of dynamic
+// definition seq. Conservatively true when def-use tracking was skipped
+// (NoDeadDefFilter) — callers using it as a stratification feature then
+// simply get one coarser stratum, never a wrong estimate.
+func (cp *Campaign) UsedDef(seq uint64) bool {
+	if cp.usedDefs == nil {
+		return true
+	}
+	w := int(seq >> 6)
+	return w < len(cp.usedDefs) && cp.usedDefs[w]&(1<<(seq&63)) != 0
+}
+
+// RecordsAt injects the given faults (any ordered subset of a pool) and
+// returns their records with absolute indices base+i — the stratified
+// analogue of Records, bit-identical for every worker count.
+func (cp *Campaign) RecordsAt(faults []Fault, base int, progress func(i int, r results.Record)) []results.Record {
+	jobs := make([]campaign.Job, len(faults))
 	for i := range jobs {
 		jobs[i] = campaign.Job{Index: i}
 	}
 	var emit func(i int, rec results.Record)
 	if progress != nil {
-		emit = func(i int, rec results.Record) { progress(from+i, rec) }
+		emit = func(i int, rec results.Record) { progress(base+i, rec) }
 	}
 	return campaign.Run(jobs, cp.Workers,
 		func() *ir.Interp {
@@ -213,7 +240,7 @@ func (cp *Campaign) Records(n, from int, seed int64, progress func(i int, r resu
 			return ip
 		},
 		func(ip *ir.Interp, j campaign.Job) results.Record {
-			f := faults[from+j.Index]
+			f := faults[j.Index]
 			var rec results.Record
 			if cp.deadDef(f) {
 				rec = record(f, inject.Masked)
@@ -222,7 +249,7 @@ func (cp *Campaign) Records(n, from int, seed int64, progress func(i int, r resu
 				ip.Reset()
 				rec = record(f, cp.runOn(ip, f))
 			}
-			rec.Index = from + j.Index
+			rec.Index = base + j.Index
 			return rec
 		},
 		emit)

@@ -44,6 +44,21 @@ func appendBool(dst []byte, v bool) []byte {
 	return append(dst, 0)
 }
 
+// statePCOffset is the byte offset of fetchPC in an EncodeState blob:
+// Cycle, Instret, KInstr, seq and mode precede it, 8 bytes each.
+const statePCOffset = 5 * 8
+
+// StatePC extracts the fetch PC from an EncodeState blob without
+// decoding the rest: the program point a checkpoint restores to, used
+// as the governing address for static features (e.g. liveness buckets
+// in stratified sampling). ok=false on a blob too short to hold it.
+func StatePC(blob []byte) (uint64, bool) {
+	if len(blob) < statePCOffset+8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(blob[statePCOffset:]), true
+}
+
 // EncodeState appends the canonical encoding of the core's
 // StateEqual-relevant state to dst and returns the result.
 func (c *Core) EncodeState(dst []byte) []byte {

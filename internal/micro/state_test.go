@@ -66,6 +66,24 @@ func TestStateCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatePC: the cheap fetch-PC peek must agree with the encoded
+// core's actual fetch PC, and reject blobs too short to hold it.
+func TestStatePC(t *testing.T) {
+	cfg := ConfigA72()
+	core := midpointCore(t, cfg)
+	blob := core.EncodeState(nil)
+	pc, ok := StatePC(blob)
+	if !ok {
+		t.Fatal("StatePC rejected a full state blob")
+	}
+	if pc != core.fetchPC {
+		t.Fatalf("StatePC = %#x, core fetchPC = %#x", pc, core.fetchPC)
+	}
+	if _, ok := StatePC(blob[:statePCOffset+7]); ok {
+		t.Fatal("StatePC accepted a blob too short to hold the PC")
+	}
+}
+
 // TestStateCodecCanonical: bytes-equality of encodings must track
 // StateEqual in both directions — the property the checkpoint chain's
 // chunk-wise convergence compare rests on.

@@ -39,6 +39,11 @@ const (
 	colContact              // uvarint
 	colLive                 // bits
 	colEarly                // bits
+	// colStratum (schema v2) is the stratified-campaign equivalence
+	// class label. Blocks written before it existed omit it; readers
+	// probe with Block.Has and substitute "" (uniform sampling), so
+	// legacy segments stay readable without migration.
+	colStratum // dict
 )
 
 // BlockRows is the record batch size of one columnar block: large
@@ -63,6 +68,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 	contact := make([]uint64, n)
 	live := make([]bool, n)
 	early := make([]bool, n)
+	stratum := make([]string, n)
 	prev := int64(0)
 	for i, r := range recs {
 		if i == 0 {
@@ -83,6 +89,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 		contact[i] = r.Contact
 		live[i] = r.Live
 		early[i] = r.EarlyStop
+		stratum[i] = r.Stratum
 	}
 	b := colseg.NewBuilder(n)
 	b.Zigzag(colIndex, idx)
@@ -98,6 +105,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 	b.Uvarint(colContact, contact)
 	b.Bits(colLive, live)
 	b.Bits(colEarly, early)
+	b.Dict(colStratum, stratum)
 	return b.AppendTo(dst)
 }
 
@@ -170,6 +178,14 @@ func blockRecords(b *colseg.Block, dst []Record) ([]Record, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Legacy blocks (schema v1) predate the stratum column: absent means
+	// uniform sampling, read back as "".
+	var stratum []string
+	if b.Has(colStratum) {
+		if stratum, err = b.Dict(colStratum); err != nil {
+			return nil, err
+		}
+	}
 	prev := int64(0)
 	for i := 0; i < b.Rows(); i++ {
 		index := idx[i]
@@ -177,7 +193,7 @@ func blockRecords(b *colseg.Block, dst []Record) ([]Record, error) {
 			index += prev + 1
 		}
 		prev = index
-		dst = append(dst, Record{
+		rec := Record{
 			Index:     int(index),
 			Layer:     Layer(layer[i]),
 			Target:    target[i],
@@ -191,7 +207,11 @@ func blockRecords(b *colseg.Block, dst []Record) ([]Record, error) {
 			Contact:   contact[i],
 			Live:      live[i],
 			EarlyStop: early[i],
-		})
+		}
+		if stratum != nil {
+			rec.Stratum = stratum[i]
+		}
+		dst = append(dst, rec)
 	}
 	return dst, nil
 }

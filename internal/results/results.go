@@ -77,6 +77,13 @@ type Record struct {
 	// the flag. omitempty keeps old stores (schema v1) readable — absent
 	// means false.
 	EarlyStop bool `json:"es,omitempty"`
+	// Stratum is the equivalence-class label of a stratified campaign's
+	// record (empty for uniform sampling): provenance for the reweighted
+	// estimators, letting stored campaigns be re-aggregated per stratum
+	// without re-deriving the partition. Stored as a dictionary-encoded
+	// column; segments written before schema v2 simply lack it and read
+	// back empty.
+	Stratum string `json:"st,omitempty"`
 }
 
 // Tally is the aggregate of a record stream. It is a comparable value:

@@ -30,9 +30,11 @@ import (
 	"vulnstack/internal/colseg"
 )
 
-// SchemaVersion is the on-disk record schema. Loads of a different
-// version fail loudly rather than silently misaggregating.
-const SchemaVersion = 1
+// SchemaVersion is the on-disk record schema. v2 added the optional
+// per-record stratum column; v1 segments stay readable (the column is
+// absent and reads back empty). Loads of a newer or unknown version
+// fail loudly rather than silently misaggregating.
+const SchemaVersion = 2
 
 // Storage formats a campaign's records may be in on disk. The columnar
 // segment is the native format; JSONL is interchange/debug, kept
@@ -64,10 +66,20 @@ type Key struct {
 	Struct string `json:"struct,omitempty"`
 	// Seed drives the pre-drawn fault sequence.
 	Seed int64 `json:"seed"`
+	// Mode distinguishes sampling regimes that draw different fault
+	// sequences from the same (layer, target, config, struct, seed) —
+	// e.g. a stratified campaign's plan parameters and partition
+	// fingerprint. Empty for uniform campaigns, keeping pre-v2 IDs (and
+	// their stored records) unchanged.
+	Mode string `json:"mode,omitempty"`
 }
 
 func (k Key) String() string {
-	return fmt.Sprintf("%s/%s/%s/%s/seed=%d", k.Layer, k.Target, k.Config, k.Struct, k.Seed)
+	s := fmt.Sprintf("%s/%s/%s/%s/seed=%d", k.Layer, k.Target, k.Config, k.Struct, k.Seed)
+	if k.Mode != "" {
+		s += "/mode=" + k.Mode
+	}
+	return s
 }
 
 // ID is the key's stable store filename stem.
@@ -124,8 +136,8 @@ func (s *Store) readManifest(id string) (Manifest, bool, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return Manifest{}, false, fmt.Errorf("results: manifest %s: %w", id, err)
 	}
-	if m.Schema != SchemaVersion {
-		return Manifest{}, false, fmt.Errorf("results: manifest %s has schema %d, want %d", id, m.Schema, SchemaVersion)
+	if m.Schema < 1 || m.Schema > SchemaVersion {
+		return Manifest{}, false, fmt.Errorf("results: manifest %s has schema %d, want 1..%d", id, m.Schema, SchemaVersion)
 	}
 	if m.Format == "" {
 		m.Format = FormatJSONL

@@ -138,3 +138,15 @@ func (g *CFG) NodeAt(addr uint64) int {
 	}
 	return -1
 }
+
+// LiveOutAt returns the live-out register mask at an instruction
+// address, valid after Liveness(); ok=false when the address is outside
+// the analyzed text. Consumers that only need a coarse feature (e.g.
+// stratified-sampling liveness buckets) count the set bits.
+func (g *CFG) LiveOutAt(addr uint64) (uint32, bool) {
+	i := g.NodeAt(addr)
+	if i < 0 {
+		return 0, false
+	}
+	return g.Nodes[i].liveOut, true
+}

@@ -1,0 +1,87 @@
+package strata
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBitBucket(t *testing.T) {
+	cases := []struct{ bit, want int }{
+		{0, 0}, {7, 0}, {8, 1}, {31, 1}, {32, 2}, {63, 2},
+	}
+	for _, c := range cases {
+		if got := BitBucket(c.bit); got != c.want {
+			t.Errorf("BitBucket(%d) = %d, want %d", c.bit, got, c.want)
+		}
+	}
+}
+
+func TestLiveBucket(t *testing.T) {
+	cases := []struct{ count, nregs, want int }{
+		{-1, 32, -1}, {0, 32, 0}, {10, 32, 0}, {11, 32, 1},
+		{21, 32, 1}, {22, 32, 2}, {32, 32, 2}, {5, 0, 0},
+	}
+	for _, c := range cases {
+		if got := LiveBucket(c.count, c.nregs); got != c.want {
+			t.Errorf("LiveBucket(%d,%d) = %d, want %d", c.count, c.nregs, got, c.want)
+		}
+	}
+}
+
+func TestPartitionStableOrderAndSizes(t *testing.T) {
+	// Sites alternate between three keys in a scrambled first-seen
+	// order; the partition must order strata by sorted key, not
+	// insertion or map order.
+	keys := []Key{
+		{Class: "RF", Bit: 2, Live: 0},
+		{Class: "L1d", Bit: 0, Live: 1},
+		{Class: "RF", Bit: 0, Live: 0},
+	}
+	p := New(9, func(i int) Key { return keys[i%3] })
+	wantLabels := []string{"L1d/b0/l1", "RF/b0/l0", "RF/b2/l0"}
+	if got := p.Labels(); !reflect.DeepEqual(got, wantLabels) {
+		t.Fatalf("Labels() = %v, want %v", got, wantLabels)
+	}
+	if got := p.Sizes(); !reflect.DeepEqual(got, []int{3, 3, 3}) {
+		t.Fatalf("Sizes() = %v, want [3 3 3]", got)
+	}
+	// Site membership round-trips through Sites().
+	for h := 0; h < p.NumStrata(); h++ {
+		for _, site := range p.Sites(h) {
+			if p.Stratum(site) != h {
+				t.Fatalf("site %d in Sites(%d) but Stratum says %d", site, h, p.Stratum(site))
+			}
+		}
+	}
+	// Pool order preserved within a stratum.
+	if got := p.Sites(1); !reflect.DeepEqual(got, []int{2, 5, 8}) {
+		t.Fatalf("Sites(1) = %v, want [2 5 8]", got)
+	}
+}
+
+func TestPartitionFingerprint(t *testing.T) {
+	keyOf := func(i int) Key { return Key{Class: "RF", Bit: i % 2, Live: 0} }
+	a := New(10, keyOf)
+	b := New(10, keyOf)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical partitions disagree on fingerprint")
+	}
+	c := New(10, func(i int) Key { return Key{Class: "RF", Bit: (i + 1) % 2, Live: 0} })
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different assignments share a fingerprint")
+	}
+	d := New(11, keyOf)
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different pool sizes share a fingerprint")
+	}
+	if len(a.Fingerprint()) != 12 {
+		t.Fatalf("fingerprint length %d, want 12", len(a.Fingerprint()))
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	p := New(0, func(int) Key { panic("keyOf called for empty pool") })
+	if p.NumStrata() != 0 || len(p.Sizes()) != 0 || len(p.Labels()) != 0 {
+		t.Fatalf("empty partition not empty: %d strata", p.NumStrata())
+	}
+}

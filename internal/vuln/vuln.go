@@ -118,18 +118,57 @@ func Weighted(parts []Split, bits []int) Split {
 	return out
 }
 
-// zFor maps confidence levels to normal quantiles.
-func zFor(confidence float64) float64 {
-	switch {
-	case confidence >= 0.999:
-		return 3.2905
-	case confidence >= 0.99:
-		return 2.5758
-	case confidence >= 0.95:
-		return 1.9600
-	default:
-		return 1.6449
+// Z returns the two-sided normal quantile for a confidence level: the
+// z with P(|N(0,1)| <= z) = confidence. It evaluates the inverse normal
+// CDF properly (Acklam's rational approximation, |relative error| <
+// 1.2e-9) instead of the old four-step lookup, because stratified
+// allocation solves for sample counts from z and a coarse quantile
+// would mis-size every round. Confidence is clamped to [0.90,
+// 1 - 1e-12]: levels below the old default branch keep its value, and
+// the top clamp keeps the result finite.
+func Z(confidence float64) float64 {
+	if confidence < 0.90 {
+		confidence = 0.90
 	}
+	if confidence > 1-1e-12 {
+		confidence = 1 - 1e-12
+	}
+	return invNorm((1 + confidence) / 2)
+}
+
+// zFor is the internal spelling Margin/SamplesFor always used.
+func zFor(confidence float64) float64 { return Z(confidence) }
+
+// invNorm is Acklam's rational approximation to the inverse of the
+// standard normal CDF, defined for p in (0, 1).
+func invNorm(p float64) float64 {
+	const plow = 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return invNormTail(q)
+	case p > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -invNormTail(q)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((-3.969683028665376e+01*r+2.209460984245205e+02)*r-
+			2.759285104469687e+02)*r+1.383577518672690e+02)*r-
+			3.066479806614716e+01)*r + 2.506628277459239e+00) * q /
+			(((((-5.447609879822406e+01*r+1.615858368580409e+02)*r-
+				1.556989798598866e+02)*r+6.680131188771972e+01)*r-
+				1.328068155288572e+01)*r + 1)
+	}
+}
+
+// invNormTail evaluates the lower-tail branch at q = sqrt(-2 ln p).
+func invNormTail(q float64) float64 {
+	return (((((-7.784894002430293e-03*q-3.223964580411365e-01)*q-
+		2.400758277161838e+00)*q-2.549732539343734e+00)*q+
+		4.374664141464968e+00)*q + 2.938163982698783e+00) /
+		((((7.784695709041462e-03*q+3.224671290700398e-01)*q+
+			2.445134137142996e+00)*q + 3.754408661907416e+00)*q + 1)
 }
 
 // Margin returns the worst-case (p = 0.5) sampling error margin for n
@@ -147,6 +186,133 @@ func Margin(n int, confidence float64) float64 {
 func SamplesFor(e, confidence float64) int {
 	z := zFor(confidence)
 	return int(math.Ceil(z * z * 0.25 / (e * e)))
+}
+
+// Stratum is one equivalence class of a stratified campaign's fault-site
+// pool: its site count (the reweighting weight numerator) and the tally
+// of the injections performed inside it. Tally.N <= Size always; a
+// stratum with Size > 0 but Tally.N == 0 has not been piloted yet and
+// contributes its worst-case variance to the half-width (forcing the
+// allocator to sample it) while contributing nothing to the point
+// estimate.
+type Stratum struct {
+	Size  int
+	Tally results.Tally
+}
+
+// stratWeights returns W_h = Size_h / M (each stratum's share of the
+// pool) and the pool size M. Empty strata weigh zero.
+func stratWeights(strata []Stratum) ([]float64, int) {
+	total := 0
+	for _, s := range strata {
+		total += s.Size
+	}
+	w := make([]float64, len(strata))
+	if total == 0 {
+		return w, 0
+	}
+	for i, s := range strata {
+		w[i] = float64(s.Size) / float64(total)
+	}
+	return w, total
+}
+
+// StratifiedSplit is the unbiased reweighted estimate of a stratified
+// campaign: est = sum over strata of W_h * p̂_h, with W_h the stratum's
+// pool share and p̂_h its within-stratum outcome fraction. Because the
+// pool is an i.i.d. uniform draw from the fault space, the sites of one
+// stratum are (in pool order) an i.i.d. sample of that stratum, so
+// injecting any prefix of them estimates p_h without bias and the
+// weighted sum estimates the uniform-sampling quantity the paper
+// reports.
+func StratifiedSplit(strata []Stratum) Split {
+	w, _ := stratWeights(strata)
+	var out Split
+	for i, s := range strata {
+		out = out.Add(SplitOf(s.Tally).Scale(w[i]))
+	}
+	return out
+}
+
+// stratumVar is the estimated variance of one stratum's outcome-o
+// proportion estimator: Laplace-smoothed p̃(1-p̃)/n (the smoothing keeps
+// single-outcome strata from reporting an impossible zero variance and
+// freezing allocation at a wrong point estimate), with the finite-
+// population correction (1 - n/M) — a fully enumerated stratum has no
+// sampling error left. An unsampled stratum reports the worst case.
+func stratumVar(s Stratum, o results.Outcome) float64 {
+	n := float64(s.Tally.N)
+	if s.Tally.N <= 0 {
+		if s.Size == 0 {
+			return 0
+		}
+		return 0.25
+	}
+	p := (float64(s.Tally.Outcomes[o]) + 0.5) / (n + 1)
+	v := p * (1 - p) / n
+	if s.Size > 0 {
+		fpc := 1 - n/float64(s.Size)
+		if fpc < 0 {
+			fpc = 0
+		}
+		v *= fpc
+	}
+	return v
+}
+
+// StratumDev is the estimated within-stratum standard deviation driving
+// Neyman allocation: sqrt of the largest smoothed p̃(1-p̃) over the
+// outcome classes (the binding class for the max-based half-width). An
+// unsampled stratum reports the worst case 0.5.
+func StratumDev(s Stratum) float64 {
+	if s.Tally.N <= 0 {
+		return 0.5
+	}
+	n := float64(s.Tally.N)
+	best := 0.0
+	for o := results.Outcome(0); o < results.NumOutcomes; o++ {
+		p := (float64(s.Tally.Outcomes[o]) + 0.5) / (n + 1)
+		if v := p * (1 - p); v > best {
+			best = v
+		}
+	}
+	return math.Sqrt(best)
+}
+
+// StratifiedHalfWidth is the z-scaled CI half-width of the stratified
+// estimator, maximized over the four outcome classes:
+//
+//	max_o z * sqrt( sum_h W_h^2 * var_h(o)  +  p̃_o(1-p̃_o)/M )
+//
+// The first term is the within-pool stratified sampling variance (with
+// per-stratum smoothing and finite-population correction); the second
+// charges the pool itself — the pool of M sites is an M-sample uniform
+// estimate of the true fault space, so even enumerating it exhaustively
+// leaves that residual. Including it keeps the bound honest against the
+// uniform-sampling margin convention it is compared to.
+func StratifiedHalfWidth(strata []Stratum, confidence float64) float64 {
+	w, m := stratWeights(strata)
+	if m == 0 {
+		return 1
+	}
+	pooled := StratifiedSplit(strata)
+	classes := [results.NumOutcomes]float64{
+		results.Masked: pooled.Masked, results.SDC: pooled.SDC,
+		results.Crash: pooled.Crash, results.Detected: pooled.Detected,
+	}
+	worst := 0.0
+	for o := results.Outcome(0); o < results.NumOutcomes; o++ {
+		v := 0.0
+		for i, s := range strata {
+			v += w[i] * w[i] * stratumVar(s, o)
+		}
+		p := (classes[o]*float64(m) + 0.5) / (float64(m) + 1)
+		v += p * (1 - p) / float64(m)
+		if v > worst {
+			worst = v
+		}
+	}
+	return Z(confidence) * math.Sqrt(worst)
 }
 
 // RPVF computes the refined PVF: per-FPM PVF splits combined with the

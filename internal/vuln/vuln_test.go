@@ -61,6 +61,184 @@ func TestMarginMatchesPaper(t *testing.T) {
 	}
 }
 
+// TestZPinnedQuantiles pins the inverse-normal quantiles against the
+// standard table values the old step function only approximated at
+// three points — stratified allocation solves for sample counts from
+// these, so they must be real quantiles at every level.
+func TestZPinnedQuantiles(t *testing.T) {
+	for _, tc := range []struct{ conf, z float64 }{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+		{0.999, 3.2905},
+	} {
+		if got := Z(tc.conf); math.Abs(got-tc.z) > 1e-4 {
+			t.Errorf("Z(%v) = %.5f, want %.4f", tc.conf, got, tc.z)
+		}
+	}
+	// Monotone in confidence, including levels between the old steps.
+	prev := 0.0
+	for _, c := range []float64{0.90, 0.92, 0.95, 0.97, 0.99, 0.995, 0.999} {
+		z := Z(c)
+		if z <= prev {
+			t.Fatalf("Z not monotone at %v: %v <= %v", c, z, prev)
+		}
+		prev = z
+	}
+	// Out-of-range levels clamp instead of returning NaN/Inf.
+	if z := Z(-1); math.Abs(z-Z(0.90)) > 1e-12 {
+		t.Errorf("Z(-1) = %v, want the 0.90 clamp", z)
+	}
+	if z := Z(1); math.IsInf(z, 0) || math.IsNaN(z) || z < Z(0.999) {
+		t.Errorf("Z(1) = %v, want a large finite quantile", z)
+	}
+}
+
+// TestWeightedDegenerate: reweighting must not divide by zero or
+// silently bias on degenerate weight vectors.
+func TestWeightedDegenerate(t *testing.T) {
+	// All-zero bit weights: no structure contributes, the split is zero.
+	if got := Weighted([]Split{{SDC: 1}, {Crash: 1}}, []int{0, 0}); got != (Split{}) {
+		t.Fatalf("zero-weight Weighted = %+v, want zero", got)
+	}
+	// Empty inputs are a valid (empty) combination.
+	if got := Weighted(nil, nil); got != (Split{}) {
+		t.Fatalf("empty Weighted = %+v", got)
+	}
+	// A parts/bits length mismatch is a programming error and must fail
+	// loudly — a silent truncation would misweight every structure.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Weighted must panic on a parts/bits length mismatch")
+		}
+	}()
+	Weighted([]Split{{SDC: 1}}, []int{1, 2})
+}
+
+// TestSplitCursorDegenerate: the streaming aggregation path must handle
+// zero-record campaigns and agree with the in-memory path.
+func TestSplitCursorDegenerate(t *testing.T) {
+	st, err := results.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := results.Key{Layer: "soft", Target: "t", Seed: 1}
+	if err := st.Save(empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	c, ok, err := st.Cursor(empty, results.Filter{})
+	if err != nil || !ok {
+		t.Fatalf("cursor: ok=%v err=%v", ok, err)
+	}
+	defer c.Close()
+	got, err := SplitCursor(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Split{}) {
+		t.Fatalf("empty campaign split = %+v, want zero", got)
+	}
+
+	full := results.Key{Layer: "soft", Target: "t", Seed: 2}
+	recs := []results.Record{
+		{Index: 0, Outcome: results.SDC},
+		{Index: 1, Outcome: results.Masked},
+	}
+	if err := st.Save(full, recs); err != nil {
+		t.Fatal(err)
+	}
+	c2, _, err := st.Cursor(full, results.Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got2, err := SplitCursor(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != SplitRecords(recs) {
+		t.Fatalf("cursor split %+v != record split %+v", got2, SplitRecords(recs))
+	}
+}
+
+// TestStratifiedDegenerate: the reweighted estimators must stay finite
+// and unbiased on zero-row strata, single-outcome strata, and empty
+// partitions.
+func TestStratifiedDegenerate(t *testing.T) {
+	if got := StratifiedSplit(nil); got != (Split{}) {
+		t.Fatalf("empty partition = %+v", got)
+	}
+	if hw := StratifiedHalfWidth(nil, 0.99); hw != 1 {
+		t.Fatalf("empty partition half-width = %v, want worst case 1", hw)
+	}
+
+	// A zero-row stratum contributes nothing to the estimate but keeps
+	// the half-width wide (it is unmeasured, not zero).
+	strata := []Stratum{
+		{Size: 100, Tally: tallyOf(50, 10, results.SDC)},
+		{Size: 100}, // unsampled
+	}
+	est := StratifiedSplit(strata)
+	if !almost(est.SDC, 0.5*(10.0/50)) {
+		t.Fatalf("zero-row stratum biased the estimate: %+v", est)
+	}
+	hw := StratifiedHalfWidth(strata, 0.99)
+	if math.IsNaN(hw) || hw < 0.1 {
+		t.Fatalf("unsampled stratum must keep the CI wide, got %v", hw)
+	}
+
+	// Single-outcome strata: smoothing keeps variance and deviation
+	// positive (a frozen zero would stop allocation at a wrong point).
+	one := Stratum{Size: 1000, Tally: tallyOf(20, 20, results.Masked)}
+	if d := StratumDev(one); d <= 0 || math.IsNaN(d) {
+		t.Fatalf("single-outcome deviation = %v", d)
+	}
+	hw2 := StratifiedHalfWidth([]Stratum{one}, 0.99)
+	if hw2 <= 0 || math.IsNaN(hw2) {
+		t.Fatalf("single-outcome half-width = %v", hw2)
+	}
+
+	// Fully enumerated pool: only the pool-vs-truth residual remains,
+	// which shrinks with pool size.
+	exact := []Stratum{{Size: 40, Tally: tallyOf(40, 8, results.Crash)}}
+	big := []Stratum{{Size: 4000, Tally: tallyOf(4000, 800, results.Crash)}}
+	if StratifiedHalfWidth(big, 0.99) >= StratifiedHalfWidth(exact, 0.99) {
+		t.Fatal("exhausting a larger pool must tighten the bound")
+	}
+
+	// Half-width tightens as strata fill in.
+	loose := []Stratum{{Size: 10000, Tally: tallyOf(20, 10, results.SDC)}}
+	tight := []Stratum{{Size: 10000, Tally: tallyOf(2000, 1000, results.SDC)}}
+	if StratifiedHalfWidth(tight, 0.99) >= StratifiedHalfWidth(loose, 0.99) {
+		t.Fatal("more samples must tighten the half-width")
+	}
+}
+
+// tallyOf builds an n-record tally with k outcomes of class o and the
+// rest Masked (or all o when o is Masked).
+func tallyOf(n, k int, o results.Outcome) results.Tally {
+	var t results.Tally
+	t.N = n
+	t.Outcomes[o] = k
+	if o != results.Masked {
+		t.Outcomes[results.Masked] = n - k
+	} else {
+		t.Outcomes[o] = n
+	}
+	return t
+}
+
+// TestStratifiedMatchesUniformOnOneStratum: with a single stratum the
+// reweighted estimate degenerates to the plain split — the unbiasedness
+// anchor every multi-stratum case reduces to.
+func TestStratifiedMatchesUniformOnOneStratum(t *testing.T) {
+	tl := tallyOf(200, 37, results.SDC)
+	got := StratifiedSplit([]Stratum{{Size: 5000, Tally: tl}})
+	if want := SplitOf(tl); !almost(got.SDC, want.SDC) || !almost(got.Masked, want.Masked) {
+		t.Fatalf("one-stratum estimate %+v != split %+v", got, want)
+	}
+}
+
 func TestOppositePairs(t *testing.T) {
 	a := []float64{3, 2, 1}
 	b := []float64{1, 2, 3}

@@ -22,6 +22,7 @@ import (
 	"vulnstack/internal/micro"
 	"vulnstack/internal/minic"
 	"vulnstack/internal/results"
+	"vulnstack/internal/static"
 	"vulnstack/internal/vuln"
 	"vulnstack/internal/workload"
 )
@@ -64,6 +65,9 @@ type System struct {
 	microC map[string]*inject.Campaign
 	archC  *arch.Campaign
 	llfiC  *llfi.Campaign
+	// staticG caches the liveness-solved static CFG of the image
+	// (stratified sampling's liveness-bucket feature; see strat.go).
+	staticG *static.CFG
 	// Snapshots controls golden-run snapshot counts for campaign
 	// acceleration.
 	Snapshots int
@@ -491,3 +495,9 @@ func FPMDist(cfg micro.Config, srs []StructResult) map[micro.FPM]float64 {
 // Margin reports the sampling error margin of an n-sample campaign at
 // 99% confidence (the paper's convention).
 func Margin(n int) float64 { return vuln.Margin(n, 0.99) }
+
+// UniformSamplesFor is the uniform worst-case sample count that
+// guarantees margin e at the given confidence — the fixed budget a
+// non-stratified campaign needs, and therefore the comparator a
+// stratified run's injection count is judged against.
+func UniformSamplesFor(e, confidence float64) int { return vuln.SamplesFor(e, confidence) }

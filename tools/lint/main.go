@@ -12,6 +12,11 @@
 //     a loop whose effect is genuinely order-free may carry a
 //     `//lint:ordered <why>` comment on the range line or the line
 //     above to state that and suppress the diagnostic
+//   - range over a map keyed by strata.Key, which the annotation can
+//     NOT suppress: stratum order is part of the stratified record
+//     stream's identity (pilot and round allocations are emitted in
+//     partition order), so stratum maps must be walked through the
+//     Partition's stable ordering, never through map iteration
 //
 // Test files are exempt. The linter is stdlib-only: it typechecks the
 // audited packages from source (go/parser + go/types), resolving
@@ -57,6 +62,7 @@ var defaultPackages = []string{
 	module + "/internal/mem",
 	module + "/internal/dev",
 	module + "/internal/campaign",
+	module + "/internal/strata",
 }
 
 // clockFuncs are the time package's wall-clock reads. Duration
@@ -84,7 +90,7 @@ func main() {
 	l := &loader{
 		fset: token.NewFileSet(),
 		std:  importer.ForCompiler(token.NewFileSet(), "source", nil),
-		pkgs: make(map[string]*types.Package),
+		pkgs: make(map[string]*loaded),
 		root: root,
 	}
 	var bad []string
@@ -128,20 +134,31 @@ func moduleRoot() (string, error) {
 // loader typechecks module packages from source, memoizing results.
 // It is itself the types.Importer for module-internal imports;
 // standard-library imports go through the GOROOT source importer.
+// Syntax and type info are memoized alongside the package so that a
+// package which is both audited and imported by a later audited
+// package resolves to one *types.Package instance — two instances
+// would make identical types non-identical to the checker.
 type loader struct {
 	fset *token.FileSet
 	std  types.Importer
-	pkgs map[string]*types.Package
+	pkgs map[string]*loaded
 	root string
 }
 
+// loaded is one typechecked module package with its audit inputs.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
 func (l *loader) Import(path string) (*types.Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
-	}
 	if path == module || strings.HasPrefix(path, module+"/") {
-		pkg, _, _, err := l.load(path)
-		return pkg, err
+		ld, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return ld.pkg, nil
 	}
 	return l.std.Import(path)
 }
@@ -154,12 +171,16 @@ func (l *loader) dir(path string) string {
 }
 
 // load parses and typechecks one module package (non-test files only),
-// returning its syntax and type info alongside the package.
-func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+// returning its syntax and type info alongside the package. Each path
+// is loaded at most once per process.
+func (l *loader) load(path string) (*loaded, error) {
+	if ld, ok := l.pkgs[path]; ok {
+		return ld, nil
+	}
 	dir := l.dir(path)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -169,12 +190,12 @@ func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, er
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+		return nil, fmt.Errorf("no Go files in %s", dir)
 	}
 	info := &types.Info{
 		Types: make(map[ast.Expr]types.TypeAndValue),
@@ -183,18 +204,20 @@ func (l *loader) load(path string) (*types.Package, []*ast.File, *types.Info, er
 	conf := types.Config{Importer: l}
 	pkg, err := conf.Check(path, l.fset, files, info)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	l.pkgs[path] = pkg
-	return pkg, files, info, nil
+	ld := &loaded{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = ld
+	return ld, nil
 }
 
 // lint audits one package and returns its violations.
 func (l *loader) lint(path string) ([]string, error) {
-	_, files, info, err := l.load(path)
+	ld, err := l.load(path)
 	if err != nil {
 		return nil, err
 	}
+	files, info := ld.files, ld.info
 	var bad []string
 	for _, f := range files {
 		// Lines whose comments carry the order-free annotation.
@@ -235,7 +258,13 @@ func (l *loader) lint(path string) ([]string, error) {
 				if t == nil {
 					return true
 				}
-				if _, isMap := t.Underlying().(*types.Map); !isMap {
+				m, isMap := t.Underlying().(*types.Map)
+				if !isMap {
+					return true
+				}
+				if stratumKeyed(m) {
+					// Unsuppressable: stratum order is stream identity.
+					bad = append(bad, l.violation(n.Pos(), "range over a stratum map (strata.Key); walk the Partition's stable order instead — //lint:ordered does not apply"))
 					return true
 				}
 				line := l.fset.Position(n.Pos()).Line
@@ -248,6 +277,18 @@ func (l *loader) lint(path string) ([]string, error) {
 		})
 	}
 	return bad, nil
+}
+
+// stratumKeyed reports whether a map's key type is strata.Key — the
+// equivalence-class identity of stratified campaigns, whose ordering is
+// part of the record-stream contract.
+func stratumKeyed(m *types.Map) bool {
+	named, ok := m.Key().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == module+"/internal/strata" && obj.Name() == "Key"
 }
 
 func (l *loader) violation(pos token.Pos, format string, args ...any) string {
