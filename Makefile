@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check cover bench bench-short bench-agg bench-strat bench-strat-short gobench
+.PHONY: all build test vet lint vet-analyzers race check cover bench bench-short bench-agg bench-strat bench-strat-short gobench
 
 all: check
 
@@ -14,6 +14,13 @@ vet:
 # results packages (see tools/lint): no wall-clock reads, no global
 # math/rand source, no unannotated map iteration.
 lint:
+	$(GO) run ./tools/lint
+
+# vet-analyzers is the CI static-analysis gate: go vet with its full
+# standard analyzer suite across every package, then the determinism
+# linter. Both reuse the Go build cache, so a warm run is seconds.
+vet-analyzers:
+	$(GO) vet ./...
 	$(GO) run ./tools/lint
 
 test:

@@ -2,10 +2,12 @@ package vulnstack
 
 import (
 	"fmt"
+	"math/bits"
 
 	"vulnstack/internal/ace"
 	"vulnstack/internal/harden"
 	"vulnstack/internal/isa"
+	"vulnstack/internal/llfi"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/report"
 	"vulnstack/internal/results"
@@ -206,5 +208,107 @@ func (l *Lab) Analyze(ao AnalyzeOptions) (*report.Report, error) {
 	}
 	r.Notef("the verifier re-derives every duplication and guard obligation from the IR (it does not trust the transform); the unhardened column shows the same verdict on unprotected code")
 	r.Notef("analysis provenance: seed %d; zero fault injections performed (no injector prepared)", seed)
+	return r, nil
+}
+
+// AnalyzeBits produces the bit-precise static-resolution report: per
+// benchmark, how many fault-site bits the known-bits/demanded-bits
+// analysis proves masked — at the hardware text level (both ISAs, a
+// stratification feature) and at the software IR level (a sound
+// per-site verdict consumed by `campaign -static`). It runs golden
+// executions (to weight the soft verdict by the dynamic fault pool) but
+// performs zero fault injections.
+func (l *Lab) AnalyzeBits() (*report.Report, error) {
+	r := &report.Report{
+		ID:    "StaticBits",
+		Title: "Bit-precise static resolution: provably-masked fault-site bits by layer",
+	}
+	benches := l.Opts.benches()
+	seed := l.Opts.Seed
+
+	type entry struct {
+		hw     map[isa.ISA]static.BitStats
+		hwDom  map[isa.ISA]bool
+		defs   int
+		demand int64
+		frac   float64
+		// pool resolution: of a DefaultStratPool-site dynamic fault
+		// pool, the share the static verdict resolves without injection.
+		poolResolved int
+		poolSize     int
+	}
+	entries := make([]entry, len(benches))
+	fns := make([]func() error, len(benches))
+	for i, b := range benches {
+		fns[i] = func() error {
+			e := entry{hw: make(map[isa.ISA]static.BitStats), hwDom: make(map[isa.ISA]bool)}
+			for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+				s, err := l.System(Target{Bench: b}, is)
+				if err != nil {
+					return err
+				}
+				bf := s.bitFlow()
+				e.hw[is] = bf.Stats()
+				e.hwDom[is] = bf.DemandWithinLiveness()
+			}
+			s, err := l.System(Target{Bench: b}, isa.VSA64)
+			if err != nil {
+				return err
+			}
+			s.Static = true
+			cp, err := s.LLFICampaign()
+			if err != nil {
+				return err
+			}
+			ib := cp.IRBits()
+			if ib == nil {
+				return fmt.Errorf("analyze -bits: %s: no IR demanded-bits analysis (campaign prepared without site tracking)", b)
+			}
+			e.defs = ib.Defs
+			for _, d := range ib.Demanded {
+				e.demand += int64(bits.OnesCount64(d))
+			}
+			e.frac = ib.ResolvedFrac()
+			pool := cp.Pool(DefaultStratPool, seed)
+			e.poolSize = len(pool)
+			for _, f := range pool {
+				if cp.StaticMasked(f) {
+					e.poolResolved++
+				}
+			}
+			entries[i] = e
+			return nil
+		}
+	}
+	if err := l.fill(fns...); err != nil {
+		return nil, err
+	}
+
+	for _, is := range []isa.ISA{isa.VSA64, isa.VSA32} {
+		t := r.NewTable(fmt.Sprintf("(a) hardware text demanded-bits (%v)", is),
+			"Benchmark", "Instrs", "LiveBits", "Demanded", "Resolved", "Dem⊆Live")
+		for i, b := range benches {
+			st := entries[i].hw[is]
+			chain := "ok"
+			if !entries[i].hwDom[is] {
+				chain = "VIOLATED"
+			}
+			t.AddRow(b, fmt.Sprint(st.Instrs), fmt.Sprint(st.LiveBits),
+				fmt.Sprint(st.DemandedBits), report.Pct(st.ResolvedFrac()), chain)
+		}
+	}
+	r.Notef("hardware resolved bits are live-out register bits the backward pass proves undemanded at that program point: a stratification feature only — the architectural target of a hardware fault is dynamic state (renamed physical registers, forward-walked instants), so no per-site verdict exists at the micro/arch layers")
+
+	t := r.NewTable("(b) software IR demanded-bits (VSA64, sound per-site verdict)",
+		"Benchmark", "Defs", "SiteBits", "Demanded", "Resolved", "PoolResolved")
+	for i, b := range benches {
+		e := entries[i]
+		t.AddRow(b, fmt.Sprint(e.defs), fmt.Sprint(int64(e.defs)*int64(llfi.Width)),
+			fmt.Sprint(e.demand), report.Pct(e.frac),
+			fmt.Sprintf("%s (%d/%d)", report.Pct(float64(e.poolResolved)/float64(e.poolSize)), e.poolResolved, e.poolSize))
+	}
+	r.Notef("Resolved is the static per-site-bit fraction proven masked; PoolResolved weights it by the dynamic fault pool (%d sites drawn as `campaign -strat` draws them) — exactly the injections `campaign -static` never performs", DefaultStratPool)
+	r.Notef("dominance chain: demanded-bits ⊆ register liveness ⊆ dynamic ACE ⊆ injected PVF (see DESIGN.md); the Dem⊆Live column machine-checks the first containment")
+	r.Notef("analysis provenance: seed %d; golden executions only, zero fault injections performed", seed)
 	return r, nil
 }

@@ -124,6 +124,45 @@ type StratBench struct {
 	MedianReduction float64    `json:"median_reduction"`
 }
 
+// StaticRow is one benchmark's static-resolution comparison at the soft
+// layer: the live injections a stratified campaign needs to promise the
+// same CI bound with and without the bit-precise demanded-bits pass.
+// Fewer is the per-benchmark gate (strictly fewer live injections);
+// WithinCI is the unbiasedness check (the two reweighted estimates must
+// agree within their combined half-widths).
+type StaticRow struct {
+	Bench string `json:"bench"`
+	// NBase / NStatic are the live (actually executed) injections of the
+	// stratified baseline and the static-resolution run.
+	NBase   int `json:"n_base"`
+	NStatic int `json:"n_static"`
+	// Resolved is the pool sites the static analysis classified without
+	// injection; ResolvedFrac its share of the pool.
+	Resolved     int     `json:"resolved"`
+	ResolvedFrac float64 `json:"resolved_frac"`
+	EstBase      float64 `json:"est_base"`
+	EstStatic    float64 `json:"est_static"`
+	HWBase       float64 `json:"half_width_base"`
+	HWStatic     float64 `json:"half_width_static"`
+	Fewer        bool    `json:"fewer"`
+	WithinCI     bool    `json:"within_ci"`
+	NsBase       int64   `json:"ns_base"`
+	NsStatic     int64   `json:"ns_static"`
+}
+
+// StaticBench is the static-resolution benchmark section (the schema of
+// BENCH_static.json): per-benchmark rows plus the majority gate.
+type StaticBench struct {
+	CI         float64     `json:"ci"`
+	Confidence float64     `json:"confidence"`
+	Pool       int         `json:"pool"`
+	Rows       []StaticRow `json:"rows"`
+	// FewerCount benchmarks performed strictly fewer live injections
+	// than the stratified baseline; the gate requires a majority.
+	FewerCount      int     `json:"fewer_count"`
+	MedianReduction float64 `json:"median_reduction"`
+}
+
 // BenchReport is the schema of BENCH_<date>.json.
 type BenchReport struct {
 	Date       string                           `json:"date"`
@@ -141,6 +180,8 @@ type BenchReport struct {
 	Checkpoint *CkptBench `json:"checkpoint,omitempty"`
 	// Stratified is present when the run included -strat.
 	Stratified *StratBench `json:"stratified,omitempty"`
+	// Static is present when the run included -static.
+	Static *StaticBench `json:"static,omitempty"`
 }
 
 // cmdBench measures per-injection cost per layer per benchmark, with
@@ -159,7 +200,8 @@ func cmdBench(args []string) error {
 	aggRows := fs.Int("aggrows", 1_000_000, "synthetic campaign size for -agg")
 	ckpt := fs.Bool("ckpt", false, "run the delta-checkpoint benchmark (cold vs warm Prepare, full-restore vs delta-walk); alone, skips the per-layer benches")
 	stratB := fs.Bool("strat", false, "run the stratified-sampling benchmark (injections to target CI, stratified vs uniform, every benchmark); alone, skips the per-layer benches")
-	stratCI := fs.Float64("stratci", 0, "target CI half-width for -strat (0 = the paper's 2.88% margin, or 9% in -short)")
+	staticB := fs.Bool("static", false, "run the static-resolution benchmark (soft-layer stratified live injections to target CI, demanded-bits on vs off, every benchmark) -> BENCH_static.json; alone, skips the per-layer benches")
+	stratCI := fs.Float64("stratci", 0, "target CI half-width for -strat/-static (0 = the paper's 2.88% margin, or 9% in -short)")
 	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
 	fs.Parse(args)
 
@@ -176,9 +218,10 @@ func cmdBench(args []string) error {
 	case *benches == "all":
 	case *benches != "":
 		names = strings.Split(*benches, ",")
-	case *agg, *ckpt, *stratB:
-		// -agg/-ckpt/-strat with no explicit benchmark list measure only
-		// their own subject (-strat iterates benchmarks on its own).
+	case *agg, *ckpt, *stratB, *staticB:
+		// -agg/-ckpt/-strat/-static with no explicit benchmark list
+		// measure only their own subject (-strat and -static iterate
+		// benchmarks on their own).
 		names = nil
 	}
 	stratNames := vulnstack.Benchmarks()
@@ -202,6 +245,9 @@ func cmdBench(args []string) error {
 	file := *out
 	if file == "" {
 		file = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+		if *staticB && len(names) == 0 && !*agg && !*ckpt && !*stratB {
+			file = "BENCH_static.json"
+		}
 	}
 
 	rep := BenchReport{
@@ -260,6 +306,16 @@ func cmdBench(args []string) error {
 		rep.Stratified = sb
 		fmt.Printf("stratified (±%.2f%% at %.0f%%): median %.1fx fewer injections than the uniform worst case across %d benchmarks\n",
 			100*sb.CI, 100*sb.Confidence, sb.MedianReduction, len(sb.Rows))
+	}
+
+	if *staticB {
+		sb, err := benchStatic(stratNames, *stratCI, *seed, *short)
+		if err != nil {
+			return fmt.Errorf("bench static: %w", err)
+		}
+		rep.Static = sb
+		fmt.Printf("static resolution (±%.2f%% at %.0f%%): %d/%d benchmarks strictly fewer live injections than the stratified baseline (median %.2fx)\n",
+			100*sb.CI, 100*sb.Confidence, sb.FewerCount, len(sb.Rows), sb.MedianReduction)
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -575,6 +631,102 @@ func benchStrat(names []string, cfg micro.Config, st micro.Structure, ci float64
 	if len(sb.Rows) > 0 && cleared*2 <= len(sb.Rows) {
 		return nil, fmt.Errorf("only %d/%d benchmarks reached the %.1fx injection-reduction floor (median %.1fx)",
 			cleared, len(sb.Rows), floor, sb.MedianReduction)
+	}
+	return sb, nil
+}
+
+// benchStatic compares live-injections-to-target-CI for a soft-layer
+// stratified campaign with and without the bit-precise demanded-bits
+// pass on every benchmark. The soft layer is the one with a sound
+// per-site verdict (the IR definition a fault targets is static), so
+// every provably-Masked stratum contributes its whole mass to the
+// estimate with zero injections. Two gates are asserted: the two
+// reweighted estimates must agree within their combined CI half-widths
+// (unbiasedness — the resolved mass replaces sampling, it must not move
+// the estimate), and a strict majority of benchmarks must perform
+// strictly fewer live injections than the stratified baseline at the
+// same bound.
+func benchStatic(names []string, ci float64, seed int64, short bool) (*StaticBench, error) {
+	opt := vulnstack.StratOptions{CI: ci}
+	if short {
+		if opt.CI <= 0 {
+			opt.CI = 0.09
+		}
+		opt.Pool = 2000
+		opt.N0 = 8
+	}
+	if opt.CI <= 0 {
+		opt.CI = vulnstack.DefaultStratCI
+	}
+	sb := &StaticBench{
+		CI:         opt.CI,
+		Confidence: 0.99,
+		Pool:       vulnstack.DefaultStratPool,
+	}
+	if opt.Pool > 0 {
+		sb.Pool = opt.Pool
+	}
+
+	run := func(bench string, static bool) (vulnstack.StratResult, int64, error) {
+		// Two systems per benchmark: the static flag is baked into the
+		// cached soft campaign at first use, so the modes cannot share one.
+		sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1}, isa.VSA64)
+		if err != nil {
+			return vulnstack.StratResult{}, 0, err
+		}
+		sys.Static = static
+		start := time.Now()
+		res, err := sys.StratSVF(opt, seed)
+		return res, time.Since(start).Nanoseconds(), err
+	}
+
+	var reductions []float64
+	for _, bench := range names {
+		base, nsBase, err := run(bench, false)
+		if err != nil {
+			return nil, fmt.Errorf("%s baseline: %w", bench, err)
+		}
+		stat, nsStatic, err := run(bench, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s static: %w", bench, err)
+		}
+		row := StaticRow{
+			Bench:        bench,
+			NBase:        base.N,
+			NStatic:      stat.N,
+			Resolved:     stat.Resolved,
+			ResolvedFrac: float64(stat.Resolved) / float64(stat.Pool),
+			EstBase:      base.Split.Total(),
+			EstStatic:    stat.Split.Total(),
+			HWBase:       base.HalfWidth,
+			HWStatic:     stat.HalfWidth,
+			Fewer:        stat.N < base.N,
+			NsBase:       nsBase,
+			NsStatic:     nsStatic,
+		}
+		d := row.EstStatic - row.EstBase
+		bound := row.HWBase + row.HWStatic
+		row.WithinCI = d >= -bound && d <= bound
+		if !row.WithinCI {
+			return nil, fmt.Errorf("%s: static estimate %.4f differs from baseline %.4f by more than the combined half-widths ±%.4f — unbiasedness violated",
+				bench, row.EstStatic, row.EstBase, bound)
+		}
+		if row.Fewer {
+			sb.FewerCount++
+		}
+		if stat.N > 0 {
+			reductions = append(reductions, float64(base.N)/float64(stat.N))
+		}
+		sb.Rows = append(sb.Rows, row)
+		fmt.Printf("static %-10s live %4d -> %4d (%4.2fx, %4.1f%% resolved)  est %5.2f%% vs %5.2f%% (hw ±%.2f%% / ±%.2f%%)  %.1fs -> %.1fs\n",
+			bench, base.N, stat.N, float64(base.N)/float64(stat.N), 100*row.ResolvedFrac,
+			100*row.EstBase, 100*row.EstStatic, 100*row.HWBase, 100*row.HWStatic,
+			float64(nsBase)/1e9, float64(nsStatic)/1e9)
+	}
+	sb.MedianReduction = median(reductions)
+	if len(sb.Rows) > 0 && sb.FewerCount*2 <= len(sb.Rows) {
+		return nil, fmt.Errorf("only %d/%d benchmarks performed strictly fewer live injections with static resolution (median %.2fx)",
+			sb.FewerCount, len(sb.Rows), sb.MedianReduction)
 	}
 	return sb, nil
 }

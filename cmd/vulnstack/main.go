@@ -5,10 +5,11 @@
 //
 //	vulnstack list
 //	vulnstack experiment fig4 [-navf N] [-npvf N] [-nsvf N] [-bench a,b] [-seed S] [-store DIR]
-//	vulnstack analyze [-bench a,b] [-seed S] [-store DIR] [-ace=false]
+//	vulnstack analyze [-bench a,b] [-seed S] [-store DIR] [-ace=false] [-bits]
 //	vulnstack run -bench sha [-config A72] [-harden]
 //	vulnstack campaign -bench sha -config A72 -struct L2 -n 200 [-store DIR] [-cpuprofile F] [-memprofile F]
-//	vulnstack campaign -strat [-layer micro|arch|soft] [-ci 0.0288] [-conf 0.99] [-pool 20000] [-n0 N] [-maxnew N] [-store DIR]
+//	vulnstack campaign -layer soft -bench sha -n 200 [-static] [-store DIR]
+//	vulnstack campaign -strat [-layer micro|arch|soft] [-static] [-ci 0.0288] [-conf 0.99] [-pool 20000] [-n0 N] [-maxnew N] [-store DIR]
 //	vulnstack bench [-bench a,b] [-n N] [-out FILE]
 //	vulnstack results [list|show|export|compact] -store DIR [-id ID] [filters]
 package main
@@ -29,6 +30,7 @@ import (
 	"vulnstack/internal/ckpt"
 	"vulnstack/internal/isa"
 	"vulnstack/internal/micro"
+	"vulnstack/internal/report"
 	"vulnstack/internal/results"
 )
 
@@ -134,17 +136,58 @@ func cmdAnalyze(args []string) error {
 	fs.StringVar(&o.StoreDir, "store", o.StoreDir, "results store to diff static bounds against stored injection campaigns")
 	benches := fs.String("bench", "", "comma-separated benchmark subset")
 	withACE := fs.Bool("ace", true, "include the dynamic-trace ACE column (runs a golden execution, still no injections)")
+	bitsRep := fs.Bool("bits", false, "bit-precise resolution report: per-benchmark statically-resolved fault-site fractions at every layer")
 	fs.Parse(args)
 	if *benches != "" {
 		o.Benches = strings.Split(*benches, ",")
 	}
+	// A store named on the command line must exist and hold campaigns:
+	// silently rendering an all-dash diff table against a store that was
+	// mistyped or never populated looks like a real (empty) result.
+	if o.StoreDir != "" {
+		if err := checkStore(o.StoreDir); err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+	}
 	start := time.Now()
-	r, err := vulnstack.NewLab(o).Analyze(vulnstack.AnalyzeOptions{WithACE: *withACE})
+	lab := vulnstack.NewLab(o)
+	var r *report.Report
+	var err error
+	if *bitsRep {
+		r, err = lab.AnalyzeBits()
+	} else {
+		r, err = lab.Analyze(vulnstack.AnalyzeOptions{WithACE: *withACE})
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Print(r.String())
 	fmt.Printf("\n[static analysis in %v]\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// checkStore rejects a -store argument naming a missing directory or a
+// store with no campaigns in it, so analyze fails loudly instead of
+// printing a zero-row diff.
+func checkStore(dir string) error {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("store directory %q does not exist (run a campaign or experiment with -store %s first)", dir, dir)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("store path %q is not a directory", dir)
+	}
+	store, err := results.OpenStore(dir)
+	if err != nil {
+		return err
+	}
+	ms, err := store.List()
+	if err != nil {
+		return err
+	}
+	if len(ms) == 0 {
+		return fmt.Errorf("store %q holds no campaigns (run a campaign or experiment with -store %s first)", dir, dir)
+	}
 	return nil
 }
 
@@ -193,6 +236,7 @@ func cmdCampaign(args []string) error {
 	n0 := fs.Int("n0", 0, "stratified pilot injections per stratum (0 = default)")
 	maxNew := fs.Int("maxnew", 0, "stratified fresh-injection budget for this invocation (0 = unbounded; a truncated run resumes from -store bit-identically)")
 	fpmName := fs.String("fpm", "WD", "arch-layer fault model for -strat -layer arch (WD, WI, WOI)")
+	static := fs.Bool("static", false, "bit-precise static resolution: classify provably-masked soft-layer sites without injecting (tallies stay bit-identical); with -strat, adds the demanded-bits stratum level at every layer")
 	seed := fs.Int64("seed", 1, "sampling seed")
 	hard := fs.Bool("harden", false, "apply the fault-tolerance transform")
 	workers := fs.Int("workers", 0, "campaign worker goroutines (0 = all CPUs; tallies are identical for any value)")
@@ -211,13 +255,16 @@ func cmdCampaign(args []string) error {
 
 	if *strat {
 		opt := vulnstack.StratOptions{CI: *ci, Confidence: *conf, Pool: *pool, N0: *n0, MaxNew: *maxNew}
-		return stratCampaign(*layer, *bench, *cfgName, *stName, *fpmName, *seed, *hard, *workers, *storeDir, opt)
+		return stratCampaign(*layer, *bench, *cfgName, *stName, *fpmName, *seed, *hard, *workers, *storeDir, *static, opt)
 	}
 	if *layer == "uniform" {
 		return uniformCampaign(*bench, *n, *seed, *hard, *workers, *storeDir, !*earlyStop, !*decodeCache)
 	}
+	if *layer == "soft" {
+		return softCampaign(*bench, *n, *seed, *hard, *workers, *storeDir, !*earlyStop, *static)
+	}
 	if *layer != "micro" {
-		return fmt.Errorf("campaign: unknown -layer %q (micro or uniform)", *layer)
+		return fmt.Errorf("campaign: unknown -layer %q (micro, uniform, or soft)", *layer)
 	}
 	cfg, err := micro.ConfigByName(*cfgName)
 	if err != nil {
@@ -322,11 +369,57 @@ func uniformCampaign(bench string, n int, seed int64, hard bool, workers int, st
 	return nil
 }
 
+// softCampaign runs a software-level (LLFI-style) uniform campaign,
+// optionally with the bit-precise static resolution pass: faults the
+// demanded-bits analysis proves masked are classified without running,
+// with tallies bit-identical to the uninstrumented dynamic baseline.
+func softCampaign(bench string, n int, seed int64, hard bool, workers int, storeDir string, noEarlyStop, static bool) error {
+	sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: seed, Harden: hard}, isa.VSA64)
+	if err != nil {
+		return err
+	}
+	sys.Workers = workers
+	sys.NoEarlyStop = noEarlyStop
+	sys.Static = static
+	stored := 0
+	if storeDir != "" {
+		store, err := results.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		sys.Store = store
+		if m, ok, err := store.Manifest(sys.SoftKey(seed)); err != nil {
+			return err
+		} else if ok {
+			stored = m.N
+		}
+	}
+	start := time.Now()
+	sp, err := sys.SVF(n, seed)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s (harden=%v), %d software-level IR injections (static=%v)\n", bench, hard, n, static)
+	fmt.Printf("  SDC      %6.2f%%\n", 100*sp.SDC)
+	fmt.Printf("  Crash    %6.2f%%\n", 100*sp.Crash)
+	fmt.Printf("  Detected %6.2f%%\n", 100*sp.Detected)
+	fmt.Printf("  SVF %.2f%%  (±%.2f%% at 99%%)\n", 100*sp.Total(), 100*vulnstackMargin(n))
+	if sys.Store != nil {
+		reused := min(stored, n)
+		fmt.Printf("  store: reused %d records, ran %d new (id %s)\n",
+			reused, n-reused, sys.SoftKey(seed).ID())
+	}
+	fmt.Printf("  %d injections in %v (%.1f/s)\n", n, elapsed.Round(time.Millisecond),
+		float64(n)/elapsed.Seconds())
+	return nil
+}
+
 // stratCampaign runs one adaptive two-level stratified campaign at the
 // requested layer and prints the unbiased reweighted estimate with the
 // per-stratum breakdown and the provenance stamp (plan parameters +
 // partition fingerprint) that identifies the record stream in a store.
-func stratCampaign(layer, bench, cfgName, stName, fpmName string, seed int64, hard bool, workers int, storeDir string, opt vulnstack.StratOptions) error {
+func stratCampaign(layer, bench, cfgName, stName, fpmName string, seed int64, hard bool, workers int, storeDir string, static bool, opt vulnstack.StratOptions) error {
 	cfg, err := micro.ConfigByName(cfgName)
 	if err != nil {
 		return err
@@ -341,6 +434,7 @@ func stratCampaign(layer, bench, cfgName, stName, fpmName string, seed int64, ha
 		return err
 	}
 	sys.Workers = workers
+	sys.Static = static
 	if storeDir != "" {
 		store, err := results.OpenStore(storeDir)
 		if err != nil {
@@ -393,11 +487,19 @@ func stratCampaign(layer, bench, cfgName, stName, fpmName string, seed int64, ha
 	fmt.Printf("  injections %d (%d fresh) from a %d-site pool; uniform worst case %d (%.1fx %s)\n",
 		res.N, res.Fresh, res.Pool, nUniform,
 		max(float64(nUniform)/float64(res.N), float64(res.N)/float64(nUniform)), ratio)
+	if res.Resolved > 0 {
+		fmt.Printf("  statically resolved %d of %d pool sites (%.1f%%): zero-injection certain mass\n",
+			res.Resolved, res.Pool, 100*float64(res.Resolved)/float64(res.Pool))
+	}
 	fmt.Printf("  %-28s %7s %6s %7s %6s %6s %6s\n", "STRATUM", "SIZE", "N", "MASK", "SDC", "CRASH", "DET")
 	for _, sr := range res.Strata {
 		t := sr.Tally
-		fmt.Printf("  %-28s %7d %6d %7d %6d %6d %6d\n", sr.Label, sr.Size, t.N,
-			t.Outcomes[0], t.Outcomes[1], t.Outcomes[2], t.Outcomes[3])
+		mark := ""
+		if sr.Resolved {
+			mark = " *static"
+		}
+		fmt.Printf("  %-28s %7d %6d %7d %6d %6d %6d%s\n", sr.Label, sr.Size, t.N,
+			t.Outcomes[0], t.Outcomes[1], t.Outcomes[2], t.Outcomes[3], mark)
 	}
 	fmt.Printf("  provenance %s\n", res.Key)
 	if sys.Store != nil {

@@ -1,0 +1,146 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"vulnstack/internal/isa"
+)
+
+// fuzzISA maps a fuzz selector byte onto an ISA variant, so one corpus
+// exercises both encodings.
+func fuzzISA(sel byte) isa.ISA {
+	if sel&1 == 0 {
+		return isa.VSA32
+	}
+	return isa.VSA64
+}
+
+// tryEncode runs isa.Encode, converting its malformed-instruction panic
+// (a bug guard for the assembler, not an input error) into ok=false so
+// fuzz bodies can probe it on arbitrary parsed instructions.
+func tryEncode(in isa.Instr) (w uint32, ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return isa.Encode(in), true
+}
+
+// FuzzDecodeNeverPanics throws arbitrary 32-bit words at the decoder.
+// Decode and Disasm must never panic; every word the decoder accepts
+// must re-encode without panicking to a canonical word that decodes to
+// the identical instruction, and whose disassembly reassembles through
+// ParseInstr to that same canonical word. (Encode∘Decode is a fixpoint
+// rather than the identity: dead encoding space — ignored specifier
+// fields such as CSRW's rd — normalizes to zero on the first trip.)
+func FuzzDecodeNeverPanics(f *testing.F) {
+	for _, sel := range []byte{0, 1} {
+		is := fuzzISA(sel)
+		for op := isa.Op(0); op < isa.NumOps; op++ {
+			if cands := candidates(op, is); len(cands) > 0 {
+				f.Add(isa.Encode(cands[0]), sel)
+			}
+		}
+		// Junk, boundary patterns, and near-legal words (flipped bits
+		// land in funct/specifier fields).
+		for _, w := range []uint32{
+			0x00000000, 0xFFFFFFFF, 0x00000073, 0x00100073,
+			isa.Encode(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 0, Imm: 7}) ^ 1<<14,
+			isa.Encode(isa.Instr{Op: isa.SW, Rs1: 2, Rs2: 4, Imm: 16}) ^ 1<<27,
+			isa.Encode(isa.Instr{Op: isa.JAL, Rd: 1, Imm: 2048}) ^ 1<<7,
+		} {
+			f.Add(w, sel)
+		}
+	}
+	f.Fuzz(func(t *testing.T, w uint32, sel byte) {
+		is := fuzzISA(sel)
+		dec, ok := isa.Decode(w, is)
+		text := isa.Disasm(w, is)
+		if !ok {
+			if !strings.Contains(text, "illegal") {
+				t.Fatalf("undecodable word %#08x disassembles to %q", w, text)
+			}
+			return
+		}
+		dec.Raw = 0
+		cw, encOK := tryEncode(dec)
+		if !encOK {
+			t.Fatalf("%v: Encode panicked on decoded word %#08x (%+v)", is, w, dec)
+		}
+		dec2, ok2 := isa.Decode(cw, is)
+		if !ok2 {
+			t.Fatalf("%v: canonical word %#08x of %#08x does not decode", is, cw, w)
+		}
+		dec2.Raw = 0
+		if dec2 != dec {
+			t.Fatalf("%v: %#08x decodes to %+v but its canonical word %#08x to %+v", is, w, dec, cw, dec2)
+		}
+		if w2 := isa.Encode(dec2); w2 != cw {
+			t.Fatalf("%v: Encode∘Decode not a fixpoint: %#08x -> %#08x", is, cw, w2)
+		}
+		parsed, err := ParseInstr(text, is)
+		if err != nil {
+			t.Fatalf("%v: disassembly %q of legal word %#08x does not reassemble: %v", is, text, w, err)
+		}
+		if wp := isa.Encode(parsed); wp != cw {
+			t.Fatalf("%v: reassembling %q: got %#08x want %#08x", is, text, wp, cw)
+		}
+	})
+}
+
+// FuzzParseInstrRoundTrip throws arbitrary text at the assembler.
+// ParseInstr must never panic; whenever it accepts a string whose
+// instruction also encodes and decodes, the disassembly of that
+// encoding must re-parse to the identical word. ParseInstr itself does
+// not range-check immediates (that is Encode's panic guard), so
+// parse-ok/encode-panic is a legal outcome, as is parse-ok/decode-fail
+// (e.g. a 64-bit shift amount under VSA32).
+func FuzzParseInstrRoundTrip(f *testing.F) {
+	for _, sel := range []byte{0, 1} {
+		is := fuzzISA(sel)
+		for op := isa.Op(0); op < isa.NumOps; op++ {
+			for _, in := range candidates(op, is) {
+				if _, ok := isa.Decode(isa.Encode(in), is); ok {
+					f.Add(isa.Disasm(isa.Encode(in), is), sel)
+					break
+				}
+			}
+		}
+		for _, s := range []string{
+			"", "bogus", "addi r5", "addi r5, r6", "add r1 r2 r3",
+			"lw r1, (r2)", "lw r1, 4[r2]", "sw r99, 0(r1)",
+			"addi r1, r1, 99999999999999999999", "addi r1, r1, 0x7FF",
+			"beq r1, r2, 6", "jal r1, -4", "lui r3, 0xfffffffffffff000",
+			"csrw nosuchcsr, r1", "ecall r1", "slli r1, r2, 63",
+		} {
+			f.Add(s, sel)
+		}
+	}
+	f.Fuzz(func(t *testing.T, text string, sel byte) {
+		is := fuzzISA(sel)
+		in, err := ParseInstr(text, is)
+		if err != nil {
+			return
+		}
+		w, ok := tryEncode(in)
+		if !ok {
+			return // out-of-range immediate: parseable but not encodable
+		}
+		dec, ok := isa.Decode(w, is)
+		if !ok {
+			return // encodable form illegal on this variant
+		}
+		dec.Raw = 0
+		cw := isa.Encode(dec)
+		round := isa.Disasm(cw, is)
+		again, err := ParseInstr(round, is)
+		if err != nil {
+			t.Fatalf("%v: %q assembled to %#08x, but its disassembly %q does not re-parse: %v", is, text, cw, round, err)
+		}
+		if w2 := isa.Encode(again); w2 != cw {
+			t.Fatalf("%v: %q -> %#08x, disassembly %q -> %#08x", is, text, cw, round, w2)
+		}
+	})
+}

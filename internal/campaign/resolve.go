@@ -1,0 +1,75 @@
+package campaign
+
+// RunResolved is Run with a static-resolution pass in front: resolve
+// classifies a job from program text alone, with no injector state.
+// Jobs it resolves never reach run; when every job resolves, newState
+// is never called and no worker state (emulator arena, interpreter,
+// checkpoint restore) is ever prepared. The progress contract is
+// unchanged: emit fires exactly once per job, serialized, in strictly
+// increasing Index order, with resolved and injected results
+// interleaved exactly as a serial loop would have produced them.
+//
+// The injection layers each supply their own resolver:
+//
+//   - soft (llfi): the interprocedural demanded-bits verdict — faults
+//     flipping a bit the static analysis proves undemanded resolve to
+//     Masked.
+//   - micro (inject) and arch: no sound per-site verdict exists — the
+//     fault's architectural target is itself dynamic state (physical
+//     register renaming and cache indexing at the micro layer; the
+//     instruction a wrong-data fault lands on is found by stepping
+//     forward from the fault instant at the arch layer), so those
+//     layers pass a nil resolver and every job runs. Demanded-bits
+//     still reaches them as a stratification feature.
+//
+// A nil resolve degenerates to Run exactly.
+func RunResolved[S any, R any](jobs []Job, workers int,
+	resolve func(j Job) (R, bool),
+	newState func() S,
+	run func(state S, j Job) R,
+	emit func(i int, r R),
+) []R {
+	if resolve == nil {
+		return Run(jobs, workers, newState, run, emit)
+	}
+	n := len(jobs)
+	if n == 0 {
+		return nil
+	}
+	resolved := make([]R, n)
+	isResolved := make([]bool, n)
+	live := 0
+	for k, j := range jobs {
+		if r, ok := resolve(j); ok {
+			resolved[k], isResolved[k] = r, true
+		} else {
+			live++
+		}
+	}
+	if live == 0 {
+		// Fully resolved: no worker state, no injections; deliver in
+		// index order.
+		results := make([]R, n)
+		for k, j := range jobs {
+			results[j.Index] = resolved[k]
+		}
+		if emit != nil {
+			for i := 0; i < n; i++ {
+				emit(i, results[i])
+			}
+		}
+		return results
+	}
+	byIndex := make([]int, n) // job index -> position in jobs
+	for p, j := range jobs {
+		byIndex[j.Index] = p
+	}
+	return Run(jobs, workers, newState,
+		func(state S, j Job) R {
+			if p := byIndex[j.Index]; isResolved[p] {
+				return resolved[p]
+			}
+			return run(state, j)
+		},
+		emit)
+}

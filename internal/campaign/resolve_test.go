@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunResolvedNilResolverIsRun checks the degenerate contract: a nil
+// resolver must behave exactly like Run.
+func TestRunResolvedNilResolverIsRun(t *testing.T) {
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		jobs[i] = Job{Index: i}
+	}
+	var runs atomic.Int64
+	res := RunResolved[int, int](jobs, 3, nil,
+		func() int { return 0 },
+		func(_ int, j Job) int { runs.Add(1); return j.Index * 2 },
+		nil)
+	if got := runs.Load(); got != 50 {
+		t.Fatalf("%d runs, want 50", got)
+	}
+	for i, r := range res {
+		if r != i*2 {
+			t.Fatalf("res[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+}
+
+// TestRunResolvedShortCircuits checks that resolved jobs never reach the
+// injector, their results land at their indices, and the stream is
+// bit-identical for every worker count.
+func TestRunResolvedShortCircuits(t *testing.T) {
+	jobs := make([]Job, 101)
+	for i := range jobs {
+		jobs[i] = Job{Index: i, Group: i % 4}
+	}
+	resolve := func(j Job) (int, bool) {
+		if j.Index%3 == 0 {
+			return -j.Index, true
+		}
+		return 0, false
+	}
+	mk := func(workers int) ([]int, int64) {
+		var runs atomic.Int64
+		res := RunResolved(jobs, workers, resolve,
+			func() int { return 0 },
+			func(_ int, j Job) int {
+				runs.Add(1)
+				if j.Index%3 == 0 {
+					t.Errorf("resolved job %d reached the injector", j.Index)
+				}
+				return j.Index
+			},
+			nil)
+		return res, runs.Load()
+	}
+	want, wantRuns := mk(1)
+	if wantRuns != 67 { // 101 jobs minus the 34 multiples of 3
+		t.Fatalf("%d injections, want 67", wantRuns)
+	}
+	for i, r := range want {
+		if i%3 == 0 && r != -i {
+			t.Fatalf("resolved res[%d] = %d, want %d", i, r, -i)
+		}
+		if i%3 != 0 && r != i {
+			t.Fatalf("injected res[%d] = %d, want %d", i, r, i)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got, runs := mk(workers)
+		if runs != wantRuns {
+			t.Fatalf("workers=%d: %d injections, want %d", workers, runs, wantRuns)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d diverges at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunResolvedFullyResolvedSkipsState checks the headline property:
+// when every job resolves statically, no worker state (emulator arena,
+// interpreter, checkpoint restore) is ever prepared, and emit still
+// fires exactly once per job in strictly increasing index order.
+func TestRunResolvedFullyResolvedSkipsState(t *testing.T) {
+	jobs := make([]Job, 33)
+	for i := range jobs {
+		jobs[i] = Job{Index: i}
+	}
+	var states atomic.Int64
+	var seen []int
+	res := RunResolved(jobs, 4,
+		func(j Job) (int, bool) { return j.Index + 100, true },
+		func() int { states.Add(1); return 0 },
+		func(_ int, j Job) int { t.Errorf("job %d injected", j.Index); return 0 },
+		func(i int, _ int) { seen = append(seen, i) })
+	if n := states.Load(); n != 0 {
+		t.Fatalf("%d worker states prepared for a fully resolved batch", n)
+	}
+	for i, r := range res {
+		if r != i+100 {
+			t.Fatalf("res[%d] = %d, want %d", i, r, i+100)
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("emit called %d times, want %d", len(seen), len(jobs))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("emit order %v, want strictly increasing", seen)
+		}
+	}
+}
+
+// TestRunResolvedEmitInterleaved checks resolved and injected results
+// interleave in the emit stream exactly as a serial loop would have
+// produced them.
+func TestRunResolvedEmitInterleaved(t *testing.T) {
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		jobs[i] = Job{Index: i}
+	}
+	var seen []int
+	RunResolved(jobs, 4,
+		func(j Job) (int, bool) { return -j.Index, j.Index%2 == 0 },
+		func() int { return 0 },
+		func(_ int, j Job) int { return j.Index },
+		func(i int, r int) {
+			if i%2 == 0 && r != -i {
+				t.Errorf("emit(%d) = %d, want resolved %d", i, r, -i)
+			}
+			if i%2 == 1 && r != i {
+				t.Errorf("emit(%d) = %d, want injected %d", i, r, i)
+			}
+			seen = append(seen, i)
+		})
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("emit order %v, want strictly increasing", seen)
+		}
+	}
+}

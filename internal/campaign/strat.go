@@ -42,6 +42,12 @@ type StratPlan struct {
 	CI         float64 // target half-width
 	Confidence float64 // e.g. 0.99
 	MinRound   int     // smallest top-up round (DefaultMinRound if <= 0)
+	// Resolved marks strata classified exhaustively by static analysis
+	// (same order as Sizes; nil when no static pass ran): the plan
+	// allocates them zero pilot samples and zero round samples — their
+	// mass is already certain — and the estimator counts them as
+	// zero-variance strata.
+	Resolved []bool
 }
 
 func (p StratPlan) pilotN() int {
@@ -61,22 +67,37 @@ func (p StratPlan) minRound() int {
 // Strata pairs pool sizes with their tallies for the vuln estimators.
 // Callers must pass tallies in the same partition order as sizes.
 func Strata(sizes []int, tallies []results.Tally) []vuln.Stratum {
+	return StrataResolved(sizes, tallies, nil)
+}
+
+// StrataResolved is Strata with per-stratum static-resolution flags
+// (nil resolved degenerates to Strata): resolved strata become
+// zero-variance certain mass in the vuln estimators.
+func StrataResolved(sizes []int, tallies []results.Tally, resolved []bool) []vuln.Stratum {
 	strata := make([]vuln.Stratum, len(sizes))
 	for i, m := range sizes {
 		strata[i] = vuln.Stratum{Size: m}
 		if i < len(tallies) {
 			strata[i].Tally = tallies[i]
 		}
+		if i < len(resolved) {
+			strata[i].Resolved = resolved[i]
+		}
 	}
 	return strata
 }
 
 // Pilot is the first round: N0 samples per stratum, clamped to the
-// stratum's pool size (tiny strata are simply enumerated).
+// stratum's pool size (tiny strata are simply enumerated). Statically
+// resolved strata get zero pilot samples — their tally is already
+// exhaustive.
 func (p StratPlan) Pilot() []int {
 	n0 := p.pilotN()
 	counts := make([]int, len(p.Sizes))
 	for i, m := range p.Sizes {
+		if i < len(p.Resolved) && p.Resolved[i] {
+			continue
+		}
 		counts[i] = n0
 		if counts[i] > m {
 			counts[i] = m
@@ -105,7 +126,7 @@ func (p StratPlan) Pilot() []int {
 // with deterministic tie-breaking, clipped to each stratum's remaining
 // pool.
 func (p StratPlan) Next(tallies []results.Tally) []int {
-	strata := Strata(p.Sizes, tallies)
+	strata := StrataResolved(p.Sizes, tallies, p.Resolved)
 	if vuln.StratifiedHalfWidth(strata, p.Confidence) <= p.CI {
 		return nil
 	}
@@ -115,7 +136,7 @@ func (p StratPlan) Next(tallies []results.Tally) []int {
 		total += s.Tally.N
 		m += s.Size
 		remaining[i] = s.Size - s.Tally.N
-		if remaining[i] < 0 {
+		if remaining[i] < 0 || s.Resolved {
 			remaining[i] = 0
 		}
 	}

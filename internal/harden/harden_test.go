@@ -1,4 +1,4 @@
-package harden
+package harden_test
 
 import (
 	"bytes"
@@ -7,6 +7,7 @@ import (
 	"vulnstack/internal/codegen"
 	"vulnstack/internal/dev"
 	"vulnstack/internal/emu"
+	"vulnstack/internal/harden"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/ir"
 	"vulnstack/internal/isa"
@@ -46,7 +47,7 @@ func TestTransformPreservesSemantics(t *testing.T) {
 	for _, bench := range []string{"sha", "smooth", "crc32", "qsort"} {
 		m := compile(t, bench, 64)
 		want, baseSteps := runIR(t, m, 64)
-		h, err := Transform(m, DefaultOptions())
+		h, err := harden.Transform(m, harden.DefaultOptions())
 		if err != nil {
 			t.Fatalf("%s: %v", bench, err)
 		}
@@ -67,7 +68,7 @@ func TestTransformPreservesMachineSemantics(t *testing.T) {
 	// machine through the kernel, on both ISAs.
 	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
 		m := compile(t, "sha", is.XLen())
-		h, err := Transform(m, DefaultOptions())
+		h, err := harden.Transform(m, harden.DefaultOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestTransformPreservesMachineSemantics(t *testing.T) {
 
 func TestHardenedDetectsInjectedFaults(t *testing.T) {
 	m := compile(t, "sha", 64)
-	h, err := Transform(m, DefaultOptions())
+	h, err := harden.Transform(m, harden.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestHardenedDetectsInjectedFaults(t *testing.T) {
 
 func TestUnprotectedFunctionsUntouched(t *testing.T) {
 	m := compile(t, "crc32", 64)
-	h, err := Transform(m, DefaultOptions())
+	h, err := harden.Transform(m, harden.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestUnprotectedFunctionsUntouched(t *testing.T) {
 			t.Errorf("%s: library function was transformed (%d -> %d instrs)", name, o, hn)
 		}
 	}
-	if _, ok := h.Lookup(CheckFunc); !ok {
+	if _, ok := h.Lookup(harden.CheckFunc); !ok {
 		t.Fatal("check function missing")
 	}
 }

@@ -57,6 +57,15 @@ type Interp struct {
 	TrackUse bool
 	used     []uint64
 
+	// TrackSites records, for every dynamic definition, the global
+	// static id of its defining instruction (functions, blocks,
+	// instructions in module order — the enumeration the static
+	// demanded-bits analysis indexes by). Golden runs enable it so
+	// per-sequence faults map back to static sites. Set before Run.
+	TrackSites bool
+	sites      []int32
+	siteBase   map[*Func][]int32
+
 	mask uint64
 
 	// Reusable-arena support (EnableReset/Reset): init holds the
@@ -152,6 +161,7 @@ func (ip *Interp) Reset() {
 	ip.Exited, ip.ExitCode = false, 0
 	ip.Detected, ip.DetectCode = false, 0
 	ip.Steps, ip.DefSeq = 0, 0
+	ip.sites = ip.sites[:0]
 	ip.Hook = nil
 }
 
@@ -167,6 +177,30 @@ func (ip *Interp) DefUsed(seq uint64) bool {
 // by dynamic definition sequence number. The slice aliases interpreter
 // state; callers that outlive the interpreter should copy it.
 func (ip *Interp) UsedDefs() []uint64 { return ip.used }
+
+// DefSites returns the static-site tags of the last TrackSites run,
+// indexed by dynamic definition sequence number. The slice aliases
+// interpreter state; callers that outlive the interpreter should copy
+// it.
+func (ip *Interp) DefSites() []int32 { return ip.sites }
+
+// bases returns the per-block global static-instruction id table of f,
+// building the module-wide enumeration on first use.
+func (ip *Interp) bases(f *Func) []int32 {
+	if ip.siteBase == nil {
+		ip.siteBase = make(map[*Func][]int32, len(ip.M.Funcs))
+		id := int32(0)
+		for _, mf := range ip.M.Funcs {
+			bb := make([]int32, len(mf.Blocks))
+			for bi, b := range mf.Blocks {
+				bb[bi] = id
+				id += int32(len(b.Instrs))
+			}
+			ip.siteBase[mf] = bb
+		}
+	}
+	return ip.siteBase[f]
+}
 
 // markUse records that the definition currently held by virtual
 // register r (tagged in tags) has been read. tags is nil when def-use
@@ -334,6 +368,10 @@ func (ip *Interp) call(f *Func, args []int64) (int64, error) {
 		if hasDef {
 			if ip.Hook != nil {
 				def = ip.wrap(ip.Hook(ip.DefSeq, in, def))
+			}
+			if ip.TrackSites {
+				// ii was already advanced past this instruction.
+				ip.sites = append(ip.sites, ip.bases(f)[bi]+int32(ii-1))
 			}
 			if tags != nil && in.HasDst() {
 				// Definitions without a destination register need no tag:

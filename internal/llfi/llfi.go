@@ -16,6 +16,7 @@ import (
 	"vulnstack/internal/inject"
 	"vulnstack/internal/ir"
 	"vulnstack/internal/results"
+	"vulnstack/internal/static"
 )
 
 // Width is the only word width LLFI-style injection supports (the
@@ -50,6 +51,20 @@ type Campaign struct {
 	// usedDefs is the golden def-use bitset (ir.Interp.TrackUse), indexed
 	// by dynamic definition sequence number.
 	usedDefs []uint64
+
+	// Static enables the bit-precise static resolution pass: faults
+	// flipping a bit the interprocedural demanded-bits analysis proves
+	// can never influence an observable output (program bytes, exit
+	// code, detection, or a crash) are classified Masked without ever
+	// preparing an interpreter. Off by default; requires the golden run
+	// to have tracked definition sites (it does unless NoDeadDefFilter
+	// was set at Prepare time).
+	Static bool
+	// defSites maps each dynamic definition sequence number from the
+	// golden run to its static instruction site (ir.Interp.DefSites).
+	defSites []int32
+	// irb is the interprocedural demanded-bits result over cp.M.
+	irb *static.IRBits
 }
 
 // PrepareOptions configure the golden run.
@@ -72,6 +87,7 @@ func PrepareWith(m *ir.Module, memSize int, opts PrepareOptions) (*Campaign, err
 	ip := ir.NewInterp(m, Width, memSize)
 	ip.MaxSteps = 1 << 32
 	ip.TrackUse = !opts.NoDeadDefFilter
+	ip.TrackSites = ip.TrackUse
 	if err := ip.Run("_start"); err != nil {
 		return nil, fmt.Errorf("llfi: golden run: %w", err)
 	}
@@ -79,8 +95,12 @@ func PrepareWith(m *ir.Module, memSize int, opts PrepareOptions) (*Campaign, err
 		return nil, errors.New("llfi: golden run did not exit")
 	}
 	var used []uint64
+	var sites []int32
+	var irb *static.IRBits
 	if ip.TrackUse {
 		used = ip.UsedDefs()
+		sites = append([]int32(nil), ip.DefSites()...)
+		irb = static.AnalyzeIR(m, "_start", Width)
 	}
 	return &Campaign{
 		M:           m,
@@ -91,6 +111,8 @@ func PrepareWith(m *ir.Module, memSize int, opts PrepareOptions) (*Campaign, err
 		MemSize:     memSize,
 		Limit:       3*ip.Steps + 100000,
 		usedDefs:    used,
+		defSites:    sites,
+		irb:         irb,
 	}, nil
 }
 
@@ -125,11 +147,39 @@ func (cp *Campaign) deadDef(f Fault) bool {
 	return w >= len(cp.usedDefs) || cp.usedDefs[w]&(1<<(f.Seq&63)) == 0
 }
 
+// StaticMasked reports whether f is provably Masked by the static
+// demanded-bits analysis alone: either the fault targets a sequence
+// number past the end of the dynamic definition stream (the definition
+// never executes), or the flipped bit of the fault's static definition
+// site is statically undemanded — no chain of uses can carry it into
+// program output, the exit code, a branch, an address, or a syscall
+// operand, so the injected run is observably identical to golden.
+// Always false when the campaign was prepared without site tracking or
+// Static is off.
+func (cp *Campaign) StaticMasked(f Fault) bool {
+	if !cp.Static || cp.irb == nil {
+		return false
+	}
+	if f.Seq >= cp.GoldenDefs {
+		return true
+	}
+	if f.Seq >= uint64(len(cp.defSites)) {
+		return false
+	}
+	return cp.irb.Masked(int(cp.defSites[f.Seq]), f.Bit)
+}
+
+// IRBits exposes the interprocedural demanded-bits result computed at
+// Prepare time (nil when site tracking was disabled): the analyze
+// surface reports its resolved fraction, and stratified campaigns key
+// strata on its per-site verdicts.
+func (cp *Campaign) IRBits() *static.IRBits { return cp.irb }
+
 // Run performs one injection and classifies the outcome. It allocates
 // a fresh interpreter per call; campaigns use reusable per-worker
 // interpreter arenas in RunCampaign instead.
 func (cp *Campaign) Run(f Fault) inject.Outcome {
-	if cp.deadDef(f) {
+	if cp.StaticMasked(f) || cp.deadDef(f) {
 		return inject.Masked
 	}
 	return cp.runOn(ir.NewInterp(cp.M, Width, cp.MemSize), f)
@@ -233,7 +283,28 @@ func (cp *Campaign) RecordsAt(faults []Fault, base int, progress func(i int, r r
 	if progress != nil {
 		emit = func(i int, rec results.Record) { progress(base+i, rec) }
 	}
-	return campaign.Run(jobs, cp.Workers,
+	// The static demanded-bits verdict is the soft layer's resolver:
+	// when Static is on, provably-masked faults short-circuit before any
+	// interpreter exists. When every fault in the batch resolves, no
+	// arena is ever allocated.
+	var resolve func(j campaign.Job) results.Record
+	var resolveOK func(j campaign.Job) (results.Record, bool)
+	if cp.Static && cp.irb != nil {
+		resolve = func(j campaign.Job) results.Record {
+			f := faults[j.Index]
+			rec := record(f, inject.Masked)
+			rec.StaticResolved = true
+			rec.Index = base + j.Index
+			return rec
+		}
+		resolveOK = func(j campaign.Job) (results.Record, bool) {
+			if cp.StaticMasked(faults[j.Index]) {
+				return resolve(j), true
+			}
+			return results.Record{}, false
+		}
+	}
+	return campaign.RunResolved(jobs, cp.Workers, resolveOK,
 		func() *ir.Interp {
 			ip := ir.NewInterp(cp.M, Width, cp.MemSize)
 			ip.EnableReset()

@@ -44,6 +44,11 @@ const (
 	// probe with Block.Has and substitute "" (uniform sampling), so
 	// legacy segments stay readable without migration.
 	colStratum // dict
+	// colStatic (schema v3) marks records classified by the static
+	// demanded-bits analysis without an injector run. Same legacy
+	// story: absent in older blocks, probed with Block.Has, reads back
+	// false.
+	colStatic // bits
 )
 
 // BlockRows is the record batch size of one columnar block: large
@@ -69,6 +74,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 	live := make([]bool, n)
 	early := make([]bool, n)
 	stratum := make([]string, n)
+	static := make([]bool, n)
 	prev := int64(0)
 	for i, r := range recs {
 		if i == 0 {
@@ -90,6 +96,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 		live[i] = r.Live
 		early[i] = r.EarlyStop
 		stratum[i] = r.Stratum
+		static[i] = r.StaticResolved
 	}
 	b := colseg.NewBuilder(n)
 	b.Zigzag(colIndex, idx)
@@ -106,6 +113,7 @@ func appendColumnarBlock(dst []byte, recs []Record) []byte {
 	b.Bits(colLive, live)
 	b.Bits(colEarly, early)
 	b.Dict(colStratum, stratum)
+	b.Bits(colStatic, static)
 	return b.AppendTo(dst)
 }
 
@@ -186,6 +194,14 @@ func blockRecords(b *colseg.Block, dst []Record) ([]Record, error) {
 			return nil, err
 		}
 	}
+	// Pre-v3 blocks predate the static-resolution column: absent reads
+	// back as false (no record was statically resolved).
+	var static []bool
+	if b.Has(colStatic) {
+		if static, err = b.Bits(colStatic); err != nil {
+			return nil, err
+		}
+	}
 	prev := int64(0)
 	for i := 0; i < b.Rows(); i++ {
 		index := idx[i]
@@ -210,6 +226,9 @@ func blockRecords(b *colseg.Block, dst []Record) ([]Record, error) {
 		}
 		if stratum != nil {
 			rec.Stratum = stratum[i]
+		}
+		if static != nil {
+			rec.StaticResolved = static[i]
 		}
 		dst = append(dst, rec)
 	}

@@ -39,6 +39,12 @@ func randomRecords(n int, seed int64) []Record {
 			recs[i].FPM = micro.FPM(r.Intn(int(micro.NumFPM)))
 			recs[i].Contact = coord + uint64(r.Intn(100))
 		}
+		// Statically-resolved provenance (schema v3) rides the same
+		// round-trip assertions as every other column.
+		if r.Intn(5) == 0 {
+			recs[i].StaticResolved = true
+			recs[i].Outcome = Masked
+		}
 	}
 	return recs
 }
@@ -370,5 +376,87 @@ func TestParseOutcomeFPM(t *testing.T) {
 	}
 	if _, err := ParseFPM("bogus"); err == nil {
 		t.Fatal("bogus FPM must error")
+	}
+}
+
+// TestPreV3BlockReadsStaticFalse pins the legacy-read contract of the
+// schema v3 column: a block written by a pre-v3 encoder (no colStatic —
+// here also no colStratum, i.e. a v1 writer) must decode with
+// StaticResolved false and Stratum "" on every record, with no
+// migration step.
+func TestPreV3BlockReadsStaticFalse(t *testing.T) {
+	recs := randomRecords(300, 9)
+	n := len(recs)
+	idx := make([]int64, n)
+	layer := make([]uint8, n)
+	target := make([]string, n)
+	coord := make([]uint64, n)
+	entry := make([]int64, n)
+	bit := make([]int64, n)
+	slot := make([]int64, n)
+	outcome := make([]uint8, n)
+	visible := make([]bool, n)
+	fpm := make([]uint8, n)
+	contact := make([]uint64, n)
+	live := make([]bool, n)
+	early := make([]bool, n)
+	prev := int64(0)
+	for i, r := range recs {
+		if i == 0 {
+			idx[i] = int64(r.Index)
+		} else {
+			idx[i] = int64(r.Index) - prev - 1
+		}
+		prev = int64(r.Index)
+		layer[i] = uint8(r.Layer)
+		target[i] = r.Target
+		coord[i] = r.Coord
+		entry[i] = int64(r.Entry)
+		bit[i] = int64(r.Bit)
+		slot[i] = int64(r.Slot)
+		outcome[i] = uint8(r.Outcome)
+		visible[i] = r.Visible
+		fpm[i] = uint8(r.FPM)
+		contact[i] = r.Contact
+		live[i] = r.Live
+		early[i] = r.EarlyStop
+	}
+	b := colseg.NewBuilder(n)
+	b.Zigzag(colIndex, idx)
+	b.U8(colLayer, layer)
+	b.Dict(colTarget, target)
+	b.Uvarint(colCoord, coord)
+	b.Zigzag(colEntry, entry)
+	b.Zigzag(colBit, bit)
+	b.Zigzag(colSlot, slot)
+	b.U8(colOutcome, outcome)
+	b.Bits(colVisible, visible)
+	b.U8(colFPM, fpm)
+	b.Uvarint(colContact, contact)
+	b.Bits(colLive, live)
+	b.Bits(colEarly, early)
+	data := b.AppendTo(nil)
+
+	c := newCursor(bytes.NewReader(data), nil, "legacy", n, Filter{})
+	got, err := c.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("decoded %d of %d", len(got), n)
+	}
+	for i, r := range got {
+		if r.StaticResolved {
+			t.Fatalf("record %d from a pre-v3 block reads StaticResolved", i)
+		}
+		if r.Stratum != "" {
+			t.Fatalf("record %d from a pre-v2 block reads stratum %q", i, r.Stratum)
+		}
+		want := recs[i]
+		want.StaticResolved = false
+		want.Stratum = ""
+		if r != want {
+			t.Fatalf("record %d: %+v != %+v", i, r, want)
+		}
 	}
 }

@@ -84,6 +84,15 @@ type Record struct {
 	// column; segments written before schema v2 simply lack it and read
 	// back empty.
 	Stratum string `json:"st,omitempty"`
+	// StaticResolved marks a record classified by the static
+	// demanded-bits analysis alone: the flipped bit provably never
+	// influences an observable output, so the outcome is Masked without
+	// any injector run. Pure provenance like EarlyStop — tallies ignore
+	// it, and the outcome is provably the run-to-completion one (the
+	// soundness gate pins this across all benchmarks). Stored as a
+	// schema-v3 bitset column; older segments lack it and read back
+	// false.
+	StaticResolved bool `json:"sr,omitempty"`
 }
 
 // Tally is the aggregate of a record stream. It is a comparable value:

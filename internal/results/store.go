@@ -31,10 +31,11 @@ import (
 )
 
 // SchemaVersion is the on-disk record schema. v2 added the optional
-// per-record stratum column; v1 segments stay readable (the column is
-// absent and reads back empty). Loads of a newer or unknown version
-// fail loudly rather than silently misaggregating.
-const SchemaVersion = 2
+// per-record stratum column; v3 adds the static-resolution provenance
+// bitset. Older segments stay readable (absent columns read back as
+// zero values). Loads of a newer or unknown version fail loudly rather
+// than silently misaggregating.
+const SchemaVersion = 3
 
 // Storage formats a campaign's records may be in on disk. The columnar
 // segment is the native format; JSONL is interchange/debug, kept

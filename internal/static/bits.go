@@ -1,0 +1,595 @@
+package static
+
+import (
+	"math/bits"
+
+	"vulnstack/internal/isa"
+)
+
+// This file is the bit-precise half of the static analyzer: a forward
+// known-bits lattice (constant, zero- and sign-extension propagation
+// through the ISA's ALU, shift, and memory ops) combined with a backward
+// demanded-bits pass (which bits of each register can still influence an
+// output, branch, address, or syscall operand). Demanded-bits refines
+// register liveness bit by bit: demand(n, r) != 0 implies r is live-out
+// at n, so the dominance chain
+//
+//	demanded-bits ⊆ register liveness ⊆ dynamic ACE ⊆ injected PVF
+//
+// holds per node by construction (TestDemandWithinLiveness pins it).
+//
+// Soundness model. Backward demand is computed over the recovered CFG's
+// explicit edges; nodes with statically unresolvable successors (jalr,
+// ecall, eret, undecodable words, edges leaving the text) demand every
+// bit of every ReadRef register, exactly mirroring Liveness(). Store
+// data operands demand only the bits the store physically writes
+// (memory is untracked, so every stored bit is conservatively
+// observable); addresses, branch/compare operands, and CSR writes
+// demand all bits. The forward known-bits facts flow only along
+// explicit edges, so they assume indirect control transfers (returns,
+// traps) land on nodes with no static predecessor — true for this
+// code generator (returns target the word after a jal, the trap vector
+// has no static predecessor), but not enforced; known-bits facts are
+// therefore used to *shrink* demand (an AND with a known-zero mask bit
+// drops the demand) and as stratification features, never as
+// stand-alone per-site verdicts at the hardware layers.
+type BitFlow struct {
+	g     *CFG
+	nr    int
+	xlen  uint
+	wmask uint64
+
+	// knownIn[n*nr+r] is the forward known-bits fact for register r on
+	// entry to node n.
+	knownIn []known
+	// demandIn/demandOut[n*nr+r] are the backward demanded-bit masks
+	// for register r on entry to / exit from node n.
+	demandIn  []uint64
+	demandOut []uint64
+}
+
+// known is a forward bit fact: every bit set in mask is known to equal
+// the corresponding bit of val (val is always a subset of mask).
+type known struct{ mask, val uint64 }
+
+func meetKnown(a, b known) known {
+	m := a.mask & b.mask &^ (a.val ^ b.val)
+	return known{m, a.val & m}
+}
+
+// SolveBits runs both bit-level dataflows to fixpoint. Liveness() need
+// not have run; the passes are independent.
+func (g *CFG) SolveBits() *BitFlow {
+	bf := &BitFlow{
+		g:     g,
+		nr:    g.IS.NumRegs(),
+		xlen:  uint(g.IS.XLen()),
+		wmask: g.IS.Mask(),
+	}
+	bf.solveKnown()
+	bf.solveDemand()
+	return bf
+}
+
+func (bf *BitFlow) kAll(v uint64) known { return known{bf.wmask, v & bf.wmask} }
+
+// knownZero returns the bits of k known to be zero.
+func knownZero(k known) uint64 { return k.mask &^ k.val }
+
+// knownOne returns the bits of k known to be one.
+func knownOne(k known) uint64 { return k.mask & k.val }
+
+// addKnown models a + b: the low bits stay known while both inputs are
+// known (carries into the window come only from known bits below).
+func (bf *BitFlow) addKnown(a, b known, sub bool) known {
+	t := bits.TrailingZeros64(^(a.mask & b.mask))
+	if t == 0 {
+		return known{}
+	}
+	var m uint64
+	if t >= 64 {
+		m = ^uint64(0)
+	} else {
+		m = uint64(1)<<uint(t) - 1
+	}
+	m &= bf.wmask
+	v := a.val + b.val
+	if sub {
+		v = a.val - b.val
+	}
+	return known{m, v & m}
+}
+
+// shamtMask is the demand a shift places on its register shift amount:
+// the hardware reads only the low log2(XLen) bits.
+func (bf *BitFlow) shamtMask() uint64 { return uint64(bf.xlen - 1) }
+
+// transferKnown computes the known-bits fact for the value node n
+// writes to its destination register, given the entry facts.
+func (bf *BitFlow) transferKnown(n *node, in []known) known {
+	ins := n.in
+	// Operand fields an op does not read may hold arbitrary encoding
+	// bits; only pull facts for registers the op actually reads.
+	var a, b known
+	if ins.Op.ReadsRs1() && ins.Rs1 >= 0 && ins.Rs1 < bf.nr {
+		a = in[ins.Rs1]
+	}
+	if ins.Op.ReadsRs2() && ins.Rs2 >= 0 && ins.Rs2 < bf.nr {
+		b = in[ins.Rs2]
+	}
+	imm := bf.kAll(uint64(ins.Imm))
+	w := bf.wmask
+	switch ins.Op {
+	case isa.LUI:
+		return imm
+	case isa.ADD:
+		return bf.addKnown(a, b, false)
+	case isa.SUB:
+		return bf.addKnown(a, b, true)
+	case isa.ADDI:
+		return bf.addKnown(a, imm, false)
+	case isa.AND, isa.ANDI:
+		if ins.Op == isa.ANDI {
+			b = imm
+		}
+		m := a.mask&b.mask | knownZero(a) | knownZero(b)
+		return known{m, a.val & b.val & m}
+	case isa.OR, isa.ORI:
+		if ins.Op == isa.ORI {
+			b = imm
+		}
+		m := a.mask&b.mask | knownOne(a) | knownOne(b)
+		return known{m, (a.val | b.val) & m}
+	case isa.XOR, isa.XORI:
+		if ins.Op == isa.XORI {
+			b = imm
+		}
+		m := a.mask & b.mask
+		return known{m, (a.val ^ b.val) & m}
+	case isa.SLT, isa.SLTU, isa.SLTI, isa.SLTIU:
+		// Comparison results are exactly 0 or 1: all bits above bit 0
+		// are known zero.
+		return known{w &^ 1, 0}
+	case isa.SLLI:
+		return bf.shiftKnown(a, uint(ins.Imm), isa.SLLI)
+	case isa.SRLI:
+		return bf.shiftKnown(a, uint(ins.Imm), isa.SRLI)
+	case isa.SRAI:
+		return bf.shiftKnown(a, uint(ins.Imm), isa.SRAI)
+	case isa.SLL, isa.SRL, isa.SRA:
+		// A register shift with a fully known amount is an immediate
+		// shift of that amount.
+		if b.mask&bf.shamtMask() == bf.shamtMask() {
+			sh := uint(b.val & bf.shamtMask())
+			switch ins.Op {
+			case isa.SLL:
+				return bf.shiftKnown(a, sh, isa.SLLI)
+			case isa.SRL:
+				return bf.shiftKnown(a, sh, isa.SRLI)
+			default:
+				return bf.shiftKnown(a, sh, isa.SRAI)
+			}
+		}
+		return known{}
+	case isa.JAL, isa.JALR:
+		// The link value is the constant return address.
+		return bf.kAll(n.addr + 4)
+	case isa.LB, isa.LH, isa.LW, isa.LD, isa.LBU, isa.LHU, isa.LWU:
+		if ins.Op.MemUnsigned() {
+			// Zero-extension: every bit above the loaded width is
+			// known zero.
+			lw := uint(8 * ins.Op.MemBytes())
+			return known{w &^ (uint64(1)<<lw - 1), 0}
+		}
+		return known{}
+	default: // MUL/DIV/REM family, CSRR: nothing known
+		return known{}
+	}
+}
+
+// shiftKnown models the three immediate shifts on a known fact.
+func (bf *BitFlow) shiftKnown(a known, sh uint, op isa.Op) known {
+	w := bf.wmask
+	if sh == 0 {
+		return a
+	}
+	if sh >= bf.xlen {
+		return known{}
+	}
+	switch op {
+	case isa.SLLI:
+		low := uint64(1)<<sh - 1
+		m := (a.mask<<sh | low) & w
+		return known{m, (a.val << sh) & m}
+	case isa.SRLI:
+		high := w &^ (w >> sh) // vacated top bits: known zero
+		m := a.mask>>sh | high
+		return known{m, a.val >> sh & m}
+	default: // SRAI: vacated top bits known when the sign bit is known
+		m := a.mask >> sh
+		v := a.val >> sh
+		sign := uint64(1) << (bf.xlen - 1)
+		if a.mask&sign != 0 {
+			high := w &^ (w >> sh)
+			m |= high
+			if a.val&sign != 0 {
+				v |= high
+			}
+		}
+		return known{m, v & m}
+	}
+}
+
+// solveKnown runs the forward pass: ascending fixpoint from "nothing
+// known" (sound least fixpoint; loop-carried constants are not
+// recovered, straight-line and acyclic facts are).
+func (bf *BitFlow) solveKnown() {
+	g := bf.g
+	nn := len(g.Nodes)
+	bf.knownIn = make([]known, nn*bf.nr)
+	out := make([]known, nn*bf.nr)
+	// r0 is hardwired zero everywhere.
+	z := bf.kAll(0)
+	for n := 0; n < nn; n++ {
+		bf.knownIn[n*bf.nr] = z
+		out[n*bf.nr] = z
+	}
+
+	work := make([]int, 0, nn)
+	inWork := make([]bool, nn)
+	for i := 0; i < nn; i++ {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	tmp := make([]known, bf.nr)
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		n := &g.Nodes[i]
+
+		in := bf.knownIn[i*bf.nr : (i+1)*bf.nr]
+		if len(n.preds) > 0 {
+			copy(tmp, out[n.preds[0]*bf.nr:n.preds[0]*bf.nr+bf.nr])
+			for _, p := range n.preds[1:] {
+				po := out[p*bf.nr : p*bf.nr+bf.nr]
+				for r := 0; r < bf.nr; r++ {
+					tmp[r] = meetKnown(tmp[r], po[r])
+				}
+			}
+			for r := 1; r < bf.nr; r++ {
+				// Meet can only move along the computed ascending
+				// chain; take it directly.
+				in[r] = tmp[r]
+			}
+		}
+
+		o := out[i*bf.nr : (i+1)*bf.nr]
+		changed := false
+		for r := 1; r < bf.nr; r++ {
+			k := in[r]
+			if n.ok && n.in.Op.WritesRd() && n.in.Rd == r {
+				k = bf.transferKnown(n, in)
+			}
+			if k != o[r] {
+				o[r] = k
+				changed = true
+			}
+		}
+		if changed {
+			for _, s := range n.succ {
+				if !inWork[s] {
+					work = append(work, s)
+					inWork[s] = true
+				}
+			}
+		}
+	}
+}
+
+// lowExt extends a demand mask downward: operations whose result bit i
+// depends on source bits <= i (add, sub, mul, left shift by an unknown
+// amount) demand every bit up to the highest demanded result bit.
+func lowExt(d uint64) uint64 {
+	if d == 0 {
+		return 0
+	}
+	n := bits.Len64(d)
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// highExt extends a demand mask upward: right shifts by an unknown
+// amount map result bit i to source bits >= i.
+func highExt(d, wmask uint64) uint64 {
+	if d == 0 {
+		return 0
+	}
+	return wmask &^ (uint64(1)<<uint(bits.TrailingZeros64(d)) - 1)
+}
+
+// solveDemand runs the backward pass to fixpoint.
+func (bf *BitFlow) solveDemand() {
+	g := bf.g
+	nn := len(g.Nodes)
+	bf.demandIn = make([]uint64, nn*bf.nr)
+	bf.demandOut = make([]uint64, nn*bf.nr)
+
+	work := make([]int, 0, nn)
+	inWork := make([]bool, nn)
+	for i := nn - 1; i >= 0; i-- {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	tmp := make([]uint64, bf.nr)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[i] = false
+		n := &g.Nodes[i]
+
+		for r := range tmp {
+			tmp[r] = 0
+		}
+		if n.unknown {
+			// Mirror Liveness: anything any instruction somewhere can
+			// read may be fully demanded past an unresolvable edge.
+			for r := 1; r < bf.nr; r++ {
+				if g.ReadRef&regBit(r) != 0 {
+					tmp[r] = bf.wmask
+				}
+			}
+		}
+		for _, s := range n.succ {
+			si := bf.demandIn[s*bf.nr : s*bf.nr+bf.nr]
+			for r := 1; r < bf.nr; r++ {
+				tmp[r] |= si[r]
+			}
+		}
+
+		out := bf.demandOut[i*bf.nr : (i+1)*bf.nr]
+		changed := false
+		for r := 1; r < bf.nr; r++ {
+			if tmp[r]&^out[r] != 0 {
+				out[r] |= tmp[r]
+				changed = true
+			}
+		}
+
+		copy(tmp, out)
+		bf.transferDemand(i, tmp)
+		in := bf.demandIn[i*bf.nr : (i+1)*bf.nr]
+		inChanged := false
+		for r := 1; r < bf.nr; r++ {
+			if tmp[r] != in[r] {
+				in[r] = tmp[r]
+				inChanged = true
+			}
+		}
+		if changed || inChanged {
+			for _, p := range n.preds {
+				if !inWork[p] {
+					work = append(work, p)
+					inWork[p] = true
+				}
+			}
+		}
+	}
+}
+
+// transferDemand rewrites d (the demand-out vector of node i) into the
+// demand-in vector in place.
+func (bf *BitFlow) transferDemand(i int, d []uint64) {
+	n := &bf.g.Nodes[i]
+	if !n.ok {
+		return
+	}
+	ins := n.in
+	w := bf.wmask
+	kin := bf.knownIn[i*bf.nr : (i+1)*bf.nr]
+
+	// Kill the defined register and capture its outgoing demand.
+	var D uint64
+	if ins.Op.WritesRd() && ins.Rd != 0 {
+		D = d[ins.Rd]
+		d[ins.Rd] = 0
+	}
+	dm := func(r int, m uint64) {
+		if r != 0 && m != 0 {
+			d[r] |= m & w
+		}
+	}
+
+	switch {
+	case ins.Op.IsBranch():
+		// Branch comparisons read every bit; a flipped bit may change
+		// the direction.
+		dm(ins.Rs1, w)
+		dm(ins.Rs2, w)
+	case ins.Op.IsStore():
+		// Memory is untracked: every bit the store physically writes is
+		// conservatively observable, but only those bits.
+		dm(ins.Rs2, uint64(1)<<uint(8*ins.Op.MemBytes())-1)
+		dm(ins.Rs1, w) // address: bad or misaligned values trap
+	case ins.Op.IsLoad():
+		dm(ins.Rs1, w) // address
+	default:
+		switch ins.Op {
+		case isa.ADD, isa.SUB, isa.MUL:
+			dm(ins.Rs1, lowExt(D))
+			dm(ins.Rs2, lowExt(D))
+		case isa.ADDI:
+			dm(ins.Rs1, lowExt(D))
+		case isa.AND:
+			dm(ins.Rs1, D&^knownZero(kin[ins.Rs2]))
+			dm(ins.Rs2, D&^knownZero(kin[ins.Rs1]))
+		case isa.ANDI:
+			dm(ins.Rs1, D&uint64(ins.Imm))
+		case isa.OR:
+			dm(ins.Rs1, D&^knownOne(kin[ins.Rs2]))
+			dm(ins.Rs2, D&^knownOne(kin[ins.Rs1]))
+		case isa.ORI:
+			dm(ins.Rs1, D&^uint64(ins.Imm))
+		case isa.XOR:
+			dm(ins.Rs1, D)
+			dm(ins.Rs2, D)
+		case isa.XORI:
+			dm(ins.Rs1, D)
+		case isa.SLLI:
+			dm(ins.Rs1, D>>uint(ins.Imm))
+		case isa.SRLI:
+			dm(ins.Rs1, D<<uint(ins.Imm))
+		case isa.SRAI:
+			bf.demandShiftRight(dm, ins.Rs1, D, uint(ins.Imm), true)
+		case isa.SLL, isa.SRL, isa.SRA:
+			if D != 0 {
+				dm(ins.Rs2, bf.shamtMask())
+			}
+			if k := kin[ins.Rs2]; k.mask&bf.shamtMask() == bf.shamtMask() {
+				sh := uint(k.val & bf.shamtMask())
+				switch ins.Op {
+				case isa.SLL:
+					dm(ins.Rs1, D>>sh)
+				case isa.SRL:
+					dm(ins.Rs1, D<<sh)
+				default:
+					bf.demandShiftRight(dm, ins.Rs1, D, sh, true)
+				}
+			} else {
+				switch ins.Op {
+				case isa.SLL:
+					dm(ins.Rs1, lowExt(D))
+				default: // SRL, SRA: result bit i <- source bits >= i
+					dm(ins.Rs1, highExt(D, w))
+				}
+			}
+		case isa.SLT, isa.SLTU:
+			// The result is 0/1: only a demand on bit 0 reaches the
+			// inputs, and then every input bit matters.
+			if D&1 != 0 {
+				dm(ins.Rs1, w)
+				dm(ins.Rs2, w)
+			}
+		case isa.SLTI, isa.SLTIU:
+			if D&1 != 0 {
+				dm(ins.Rs1, w)
+			}
+		case isa.DIV, isa.DIVU, isa.REM, isa.REMU:
+			// Division never traps (RISC defined semantics) but every
+			// input bit can reach every output bit.
+			if D != 0 {
+				dm(ins.Rs1, w)
+				dm(ins.Rs2, w)
+			}
+		case isa.JALR:
+			dm(ins.Rs1, w) // computed target
+		case isa.CSRW:
+			dm(ins.Rs1, w)
+		}
+		// LUI, JAL, ECALL, ERET, CSRR read no register sources.
+	}
+}
+
+// demandShiftRight adds the source demand of an arithmetic right shift
+// by a known amount: bits below xlen-sh come from source bit i+sh; bits
+// at or above it replicate the sign bit.
+func (bf *BitFlow) demandShiftRight(dm func(int, uint64), r int, D uint64, sh uint, arith bool) {
+	if sh >= bf.xlen {
+		sh = bf.xlen - 1
+	}
+	m := (D << sh) & bf.wmask
+	if arith && sh > 0 {
+		top := bf.wmask &^ (bf.wmask >> sh)
+		if D&top != 0 {
+			m |= uint64(1) << (bf.xlen - 1)
+		}
+	}
+	dm(r, m)
+}
+
+// DemandedOut returns the demanded-bit mask of register r on exit from
+// node i.
+func (bf *BitFlow) DemandedOut(i, r int) uint64 {
+	if i < 0 || i >= len(bf.g.Nodes) || r < 0 || r >= bf.nr {
+		return bf.wmask
+	}
+	return bf.demandOut[i*bf.nr+r]
+}
+
+// DemandedUnionAt returns the union of the demanded-bit masks over all
+// registers on exit from the instruction at addr — the stratification
+// feature hardware layers bucket fault bit positions with. ok is false
+// outside the analyzed text (callers fall back to full demand).
+func (bf *BitFlow) DemandedUnionAt(addr uint64) (uint64, bool) {
+	i := bf.g.NodeAt(addr)
+	if i < 0 {
+		return bf.wmask, false
+	}
+	var u uint64
+	for r := 1; r < bf.nr; r++ {
+		u |= bf.demandOut[i*bf.nr+r]
+	}
+	return u, true
+}
+
+// KnownIn returns the forward known-bits fact for register r on entry
+// to node i (exposed for tests).
+func (bf *BitFlow) KnownIn(i, r int) (mask, val uint64) {
+	k := bf.knownIn[i*bf.nr+r]
+	return k.mask, k.val
+}
+
+// BitStats summarizes the bit-level analysis for reporting: of all
+// (node, register, bit) triples where the register is live-out, how
+// many are demanded. Requires Liveness() to have run on the CFG.
+type BitStats struct {
+	Instrs       int
+	LiveBits     int64 // live-out register bits summed over nodes
+	DemandedBits int64 // of those, bits the backward pass demands
+}
+
+// ResolvedFrac is the fraction of live register bits the analysis
+// proves undemanded: faults there are invisible at that program point.
+func (s BitStats) ResolvedFrac() float64 {
+	if s.LiveBits == 0 {
+		return 0
+	}
+	return 1 - float64(s.DemandedBits)/float64(s.LiveBits)
+}
+
+// Stats computes the bit-level summary.
+func (bf *BitFlow) Stats() BitStats {
+	var st BitStats
+	for i := range bf.g.Nodes {
+		n := &bf.g.Nodes[i]
+		if !n.ok {
+			continue
+		}
+		st.Instrs++
+		for r := 1; r < bf.nr; r++ {
+			if n.liveOut&regBit(r) == 0 {
+				continue
+			}
+			st.LiveBits += int64(bf.xlen)
+			st.DemandedBits += int64(bits.OnesCount64(bf.demandOut[i*bf.nr+r]))
+		}
+	}
+	return st
+}
+
+// DemandWithinLiveness verifies the dominance-chain containment
+// demanded-bits ⊆ register liveness: any register with nonzero demand
+// on exit from a node must be live-out there. Requires Liveness().
+func (bf *BitFlow) DemandWithinLiveness() bool {
+	for i := range bf.g.Nodes {
+		n := &bf.g.Nodes[i]
+		for r := 1; r < bf.nr; r++ {
+			if bf.demandOut[i*bf.nr+r] != 0 && n.liveOut&regBit(r) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

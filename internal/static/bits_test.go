@@ -1,0 +1,159 @@
+package static_test
+
+import (
+	"testing"
+
+	"vulnstack/internal/isa"
+	"vulnstack/internal/static"
+)
+
+// TestBitFlowHandBuilt pins the transfer functions on a hand-built
+// straight-line segment where every fact is computable by hand:
+//
+//	0x1000: addi r5, r0, 7     ; r5 known = 7
+//	0x1004: addi r6, r0, 0xF0  ; r6 known = 0xF0
+//	0x1008: and  r7, r5, r6    ; known zeros shrink both demands
+//	0x100c: sb   r7, 0(r8)     ; demands only the low byte of r7
+//	0x1010: jal  r0, 0         ; self-loop: no unresolvable exit edge
+func TestBitFlowHandBuilt(t *testing.T) {
+	is := isa.VSA64
+	enc := func(in isa.Instr) []byte {
+		w := isa.Encode(in)
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	}
+	var text []byte
+	text = append(text, enc(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 0, Imm: 7})...)
+	text = append(text, enc(isa.Instr{Op: isa.ADDI, Rd: 6, Rs1: 0, Imm: 0xF0})...)
+	text = append(text, enc(isa.Instr{Op: isa.AND, Rd: 7, Rs1: 5, Rs2: 6})...)
+	text = append(text, enc(isa.Instr{Op: isa.SB, Rs1: 8, Rs2: 7, Imm: 0})...)
+	text = append(text, enc(isa.Instr{Op: isa.JAL, Rd: 0, Imm: 0})...)
+
+	g := static.BuildCFG(is, []static.Seg{{Base: 0x1000, Text: text}})
+	g.Liveness()
+	bf := g.SolveBits()
+	wmask := is.Mask()
+
+	nAnd := g.NodeAt(0x1008)
+	nStore := g.NodeAt(0x100c)
+	if nAnd < 0 || nStore < 0 {
+		t.Fatalf("NodeAt failed: and=%d store=%d", nAnd, nStore)
+	}
+
+	// Forward known bits: both AND inputs are fully known constants, so
+	// the result entering the store is fully known too (7 & 0xF0 = 0).
+	if m, v := bf.KnownIn(nAnd, 5); m != wmask || v != 7 {
+		t.Errorf("KnownIn(and, r5) = %#x/%#x, want %#x/7", m, v, wmask)
+	}
+	if m, v := bf.KnownIn(nAnd, 6); m != wmask || v != 0xF0 {
+		t.Errorf("KnownIn(and, r6) = %#x/%#x, want %#x/0xF0", m, v, wmask)
+	}
+	if m, v := bf.KnownIn(nStore, 7); m != wmask || v != 0 {
+		t.Errorf("KnownIn(sb, r7) = %#x/%#x, want %#x/0", m, v, wmask)
+	}
+
+	// Backward demand: the byte store demands only the low 8 bits of its
+	// data register and every bit of its address register.
+	if d := bf.DemandedOut(nAnd, 7); d != 0xFF {
+		t.Errorf("DemandedOut(and, r7) = %#x, want 0xFF", d)
+	}
+	if d := bf.DemandedOut(nAnd, 8); d != wmask {
+		t.Errorf("DemandedOut(and, r8) = %#x, want full address demand", d)
+	}
+	// r5 is dead after the AND consumes it.
+	if d := bf.DemandedOut(nAnd, 5); d != 0 {
+		t.Errorf("DemandedOut(and, r5) = %#x, want 0 (dead)", d)
+	}
+	// Through the AND, the known-zero mask of each side shrinks the other
+	// side's demand: r5 keeps only the bits 0xF0 can pass, r6 only the
+	// bits 7 can pass.
+	nAddi2 := g.NodeAt(0x1004)
+	if d := bf.DemandedOut(nAddi2, 5); d != 0xF0 {
+		t.Errorf("DemandedOut(addi r6, r5) = %#x, want 0xF0", d)
+	}
+	nAddi1 := g.NodeAt(0x1000)
+	if d := bf.DemandedOut(nAddi1, 6); d != 0 {
+		t.Errorf("DemandedOut(addi r5, r6) = %#x, want 0 (not yet defined)", d)
+	}
+
+	// The union feature hardware layers stratify on.
+	if u, ok := bf.DemandedUnionAt(0x1008); !ok || u != wmask {
+		t.Errorf("DemandedUnionAt(0x1008) = %#x/%v, want %#x/true", u, ok, wmask)
+	}
+	if _, ok := bf.DemandedUnionAt(0x9000); ok {
+		t.Error("DemandedUnionAt outside the text claimed ok")
+	}
+}
+
+// TestBitFlowShifts pins the shift transfer functions: an immediate
+// right shift moves known bits down and fills the top with known zeros;
+// demand through a left shift moves down toward the source.
+func TestBitFlowShifts(t *testing.T) {
+	is := isa.VSA64
+	enc := func(in isa.Instr) []byte {
+		w := isa.Encode(in)
+		return []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+	}
+	var text []byte
+	// 0x1000: addi r5, r0, 0xF0 ; r5 known = 0xF0
+	// 0x1004: srli r6, r5, 4    ; r6 known = 0x0F, top 4 bits known zero
+	// 0x1008: slli r7, r6, 8    ; demand on r7 maps >>8 onto r6
+	// 0x100c: sb   r7, 0(r8)
+	// 0x1010: jal  r0, 0
+	text = append(text, enc(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 0, Imm: 0xF0})...)
+	text = append(text, enc(isa.Instr{Op: isa.SRLI, Rd: 6, Rs1: 5, Imm: 4})...)
+	text = append(text, enc(isa.Instr{Op: isa.SLLI, Rd: 7, Rs1: 6, Imm: 8})...)
+	text = append(text, enc(isa.Instr{Op: isa.SB, Rs1: 8, Rs2: 7, Imm: 0})...)
+	text = append(text, enc(isa.Instr{Op: isa.JAL, Rd: 0, Imm: 0})...)
+
+	g := static.BuildCFG(is, []static.Seg{{Base: 0x1000, Text: text}})
+	g.Liveness()
+	bf := g.SolveBits()
+	wmask := is.Mask()
+
+	nSlli := g.NodeAt(0x1008)
+	if m, v := bf.KnownIn(nSlli, 6); m != wmask || v != 0x0F {
+		t.Errorf("KnownIn(slli, r6) = %#x/%#x, want %#x/0x0F", m, v, wmask)
+	}
+	// The store demands the low byte of r7; through the slli-by-8 that
+	// demand lands entirely in bits shifted in from below — nothing of
+	// r6 is demanded.
+	if d := bf.DemandedOut(nSlli, 7); d != 0xFF {
+		t.Errorf("DemandedOut(slli, r7) = %#x, want 0xFF", d)
+	}
+	nSrli := g.NodeAt(0x1004)
+	if d := bf.DemandedOut(nSrli, 6); d != 0 {
+		t.Errorf("DemandedOut(srli, r6) = %#x, want 0 (slli by 8 consumes no low-byte source)", d)
+	}
+}
+
+// TestBitStatsAndDominance runs the bit-level dataflow over real
+// generated text on both ISAs and pins the structural invariants: the
+// analysis covers every decoded instruction, demanded bits never exceed
+// live bits (demanded-bits refines liveness bit by bit), and the
+// dominance-chain containment DemandWithinLiveness holds everywhere.
+func TestBitStatsAndDominance(t *testing.T) {
+	for _, is := range []isa.ISA{isa.VSA32, isa.VSA64} {
+		for _, bench := range []string{"crc32", "sha", "qsort"} {
+			img := buildImage(t, bench, is)
+			g := static.BuildCFG(is, static.ImageSegs(img))
+			g.Liveness()
+			bf := g.SolveBits()
+			if !bf.DemandWithinLiveness() {
+				t.Errorf("%s/%s: a register with nonzero demand is not live-out", bench, is)
+			}
+			st := bf.Stats()
+			if st.Instrs == 0 {
+				t.Fatalf("%s/%s: no instructions analyzed", bench, is)
+			}
+			if st.DemandedBits < 0 || st.DemandedBits > st.LiveBits {
+				t.Errorf("%s/%s: demanded bits %d outside [0, live %d]",
+					bench, is, st.DemandedBits, st.LiveBits)
+			}
+			if f := st.ResolvedFrac(); f < 0 || f > 1 {
+				t.Errorf("%s/%s: resolved fraction %.4f out of range", bench, is, f)
+			}
+			t.Logf("%s/%s: instrs=%d live=%d demanded=%d resolved=%.4f",
+				bench, is, st.Instrs, st.LiveBits, st.DemandedBits, st.ResolvedFrac())
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package static
+
+import (
+	"math/bits"
+
+	"vulnstack/internal/ir"
+)
+
+// IRBits is the software-layer analogue of BitFlow: an interprocedural
+// backward demanded-bits analysis over ir.Module def-use chains, with a
+// block-local forward constant lattice refining bitwise operations.
+// Demanded[site] is the set of result bits of the static instruction
+// with global id site that can ever influence an observable output:
+// program bytes written, the exit code, a detector, a branch decision,
+// a memory address, or a syscall operand. A dynamic fault that flips an
+// undemanded bit of that instruction's destination value is provably
+// Masked — execution from the fault instant onward can differ only in
+// bits that never reach an observable sink, and control flow (hence
+// step counts and the watchdog) is unchanged because branch operands
+// demand every bit.
+//
+// Soundness inventory of the sinks (mirroring ir.Interp):
+//
+//   - OpCondBr operands, load/store addresses, and syscall operands
+//     demand all bits (these are also the only crash sources: bad or
+//     misaligned addresses, stack overflow from call depth — which a
+//     masked fault cannot alter — and the watchdog).
+//   - Store data demands exactly the 8*Size bits the store writes:
+//     memory is untracked, so every stored bit is conservatively
+//     observable through later loads.
+//   - Ret operands demand the union of every call site's result demand;
+//     the entry function's return additionally feeds the exit code, so
+//     its demand is all bits.
+//   - Division is defined at the IR level (x/0 = -1, x%0 = x): no trap
+//     path, so an unused division result demands nothing.
+//
+// The analysis requires the 64-bit word width (the only width the
+// LLFI-style injector runs): at 64 bits the interpreter's wrap() is the
+// identity, so value bits and fault bits coincide exactly.
+type IRBits struct {
+	Width int
+	wmask uint64
+
+	// Demanded[site] is the demanded-bit mask of the value defined by
+	// the static instruction with global id site (0 for instructions
+	// that define no value — they are never fault targets).
+	Demanded []uint64
+	// Defs is the number of value-defining static instructions.
+	Defs int
+}
+
+// AnalyzeIR runs the interprocedural demanded-bits fixpoint. entry is
+// the program entry function ("_start" for the injector): its return
+// value feeds the exit code, so it is fully demanded. width must be 64.
+func AnalyzeIR(m *ir.Module, entry string, width int) *IRBits {
+	a := &irSolver{
+		m:      m,
+		wmask:  ^uint64(0),
+		shmask: uint64(width - 1),
+		argDem: make([][]uint64, len(m.Funcs)),
+		retDem: make([]uint64, len(m.Funcs)),
+		fidx:   make(map[string]int, len(m.Funcs)),
+	}
+	for i, f := range m.Funcs {
+		a.argDem[i] = make([]uint64, f.NumArgs)
+		a.fidx[f.Name] = i
+		if f.Name == entry {
+			a.retDem[i] = a.wmask
+		}
+	}
+	a.solve()
+	return a.collect(width)
+}
+
+type irSolver struct {
+	m      *ir.Module
+	wmask  uint64
+	shmask uint64
+
+	// Function summaries, monotonically increasing across rounds:
+	// argDem[f][i] is the demand the body of function f places on its
+	// i-th argument; retDem[f] the demand call sites (and the exit
+	// code, for the entry) place on its return value.
+	argDem  [][]uint64
+	retDem  []uint64
+	fidx    map[string]int
+	changed bool
+}
+
+// blockConsts holds the forward block-local constant facts for the two
+// register operands of each instruction (zero fact = not a constant).
+type blockConsts struct{ a, b []known }
+
+// consts computes per-instruction operand constant facts with a forward
+// scan: OpConst introduces a constant, OpCopy propagates it, any other
+// definition kills it. Facts start empty at block entry (sound without
+// cross-block reasoning).
+func (s *irSolver) consts(b *ir.Block, nvreg int) blockConsts {
+	c := make([]known, nvreg)
+	bc := blockConsts{a: make([]known, len(b.Instrs)), b: make([]known, len(b.Instrs))}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		if in.A >= 0 && in.A < nvreg {
+			bc.a[i] = c[in.A]
+		}
+		if in.B >= 0 && in.B < nvreg {
+			bc.b[i] = c[in.B]
+		}
+		if in.HasDst() {
+			switch in.Op {
+			case ir.OpConst:
+				c[in.Dst] = known{s.wmask, uint64(in.Imm) & s.wmask}
+			case ir.OpCopy:
+				c[in.Dst] = c[in.A]
+			default:
+				c[in.Dst] = known{}
+			}
+		}
+	}
+	return bc
+}
+
+// solve iterates per-function backward fixpoints until no function
+// summary changes.
+func (s *irSolver) solve() {
+	for round := 0; ; round++ {
+		s.changed = false
+		for fi := range s.m.Funcs {
+			s.solveFunc(fi, nil)
+		}
+		if !s.changed {
+			return
+		}
+	}
+}
+
+// solveFunc runs the backward block dataflow of one function to
+// fixpoint. When record is non-nil it additionally receives the
+// demanded mask of every defining instruction: record(bi, ii, D).
+func (s *irSolver) solveFunc(fi int, record func(bi, ii int, D uint64)) {
+	f := s.m.Funcs[fi]
+	nb := len(f.Blocks)
+	in := make([][]uint64, nb)
+	for b := 0; b < nb; b++ {
+		in[b] = make([]uint64, f.NumVReg)
+	}
+	bcs := make([]blockConsts, nb)
+	for b := 0; b < nb; b++ {
+		bcs[b] = s.consts(f.Blocks[b], f.NumVReg)
+	}
+	succs := func(b *ir.Block) []int {
+		t := &b.Instrs[len(b.Instrs)-1]
+		switch t.Op {
+		case ir.OpBr:
+			return []int{t.Target}
+		case ir.OpCondBr:
+			return []int{t.Target, t.Else}
+		}
+		return nil
+	}
+
+	work := make([]int, 0, nb)
+	inWork := make([]bool, nb)
+	for b := nb - 1; b >= 0; b-- {
+		work = append(work, b)
+		inWork[b] = true
+	}
+	d := make([]uint64, f.NumVReg)
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[bi] = false
+		blk := f.Blocks[bi]
+
+		for r := range d {
+			d[r] = 0
+		}
+		for _, sb := range succs(blk) {
+			for r, m := range in[sb] {
+				d[r] |= m
+			}
+		}
+		for ii := len(blk.Instrs) - 1; ii >= 0; ii-- {
+			s.transfer(fi, &blk.Instrs[ii], bcs[bi].a[ii], bcs[bi].b[ii], d, nil)
+		}
+		changed := false
+		for r, m := range d {
+			if m&^in[bi][r] != 0 {
+				in[bi][r] |= m
+				changed = true
+			}
+		}
+		if changed {
+			// Predecessors are any blocks branching here; without a
+			// precomputed pred list, requeue everything still cheap at
+			// IR scale.
+			for b := 0; b < nb; b++ {
+				for _, sb := range succs(f.Blocks[b]) {
+					if sb == bi && !inWork[b] {
+						work = append(work, b)
+						inWork[b] = true
+					}
+				}
+			}
+		}
+	}
+
+	// Publish the argument-demand summary.
+	for i := 0; i < f.NumArgs; i++ {
+		if in[0][i]&^s.argDem[fi][i] != 0 {
+			s.argDem[fi][i] |= in[0][i]
+			s.changed = true
+		}
+	}
+
+	if record != nil {
+		for bi := nb - 1; bi >= 0; bi-- {
+			blk := f.Blocks[bi]
+			for r := range d {
+				d[r] = 0
+			}
+			for _, sb := range succs(blk) {
+				for r, m := range in[sb] {
+					d[r] |= m
+				}
+			}
+			for ii := len(blk.Instrs) - 1; ii >= 0; ii-- {
+				s.transfer(fi, &blk.Instrs[ii], bcs[bi].a[ii], bcs[bi].b[ii], d, func(D uint64) {
+					record(bi, ii, D)
+				})
+			}
+		}
+	}
+}
+
+// transfer rewrites the demand vector d backward across one
+// instruction. ka/kb are the block-local constant facts of the A and B
+// operands. When def is non-nil it receives the demanded mask of the
+// value the instruction defines, captured before the kill.
+func (s *irSolver) transfer(fi int, in *ir.Instr, ka, kb known, d []uint64, def func(uint64)) {
+	w := s.wmask
+	var D uint64
+	if in.HasDst() {
+		D = d[in.Dst]
+		d[in.Dst] = 0
+	}
+	if def != nil && in.HasDst() {
+		def(D)
+	}
+	dm := func(r int, m uint64) {
+		if r >= 0 && m != 0 {
+			d[r] |= m & w
+		}
+	}
+
+	switch in.Op {
+	case ir.OpConst, ir.OpGlobal, ir.OpFrame, ir.OpBr:
+		// no register uses
+	case ir.OpCopy:
+		dm(in.A, D)
+	case ir.OpBin:
+		s.transferBin(in.Bin, in.A, in.B, ka, kb, D, dm)
+	case ir.OpLoad:
+		dm(in.A, w) // address: crash and value sink
+	case ir.OpStore:
+		dm(in.A, w)
+		dm(in.B, uint64(1)<<uint(8*in.Size)-1)
+	case ir.OpCall:
+		ci, ok := s.fidx[in.Sym]
+		if !ok {
+			for _, a := range in.Args {
+				dm(a, w)
+			}
+			break
+		}
+		if in.HasDst() && D&^s.retDem[ci] != 0 {
+			s.retDem[ci] |= D
+			s.changed = true
+		}
+		for j, a := range in.Args {
+			if j < len(s.argDem[ci]) {
+				dm(a, s.argDem[ci][j])
+			} else {
+				dm(a, w)
+			}
+		}
+	case ir.OpSyscall:
+		dm(in.A, w)
+		for _, a := range in.Args {
+			dm(a, w)
+		}
+	case ir.OpRet:
+		dm(in.A, s.retDem[fi])
+	case ir.OpCondBr:
+		dm(in.A, w)
+	}
+}
+
+func (s *irSolver) transferBin(k ir.BinKind, a, b int, ka, kb known, D uint64, dm func(int, uint64)) {
+	w := s.wmask
+	if k.IsCompare() {
+		// Comparisons produce exactly 0 or 1: result bits above bit 0
+		// are constant, so only a demand on bit 0 reaches the inputs.
+		if D&1 != 0 {
+			dm(a, w)
+			dm(b, w)
+		}
+		return
+	}
+	switch k {
+	case ir.Add, ir.Sub, ir.Mul:
+		dm(a, lowExt(D))
+		dm(b, lowExt(D))
+	case ir.Div, ir.Rem:
+		// Defined at every input (x/0 = -1, x%0 = x): no trap path, so
+		// an unused result demands nothing.
+		if D != 0 {
+			dm(a, w)
+			dm(b, w)
+		}
+	case ir.And:
+		dm(a, D&^knownZero(kb))
+		dm(b, D&^knownZero(ka))
+	case ir.Or:
+		dm(a, D&^knownOne(kb))
+		dm(b, D&^knownOne(ka))
+	case ir.Xor:
+		dm(a, D)
+		dm(b, D)
+	case ir.Shl, ir.LShr, ir.AShr:
+		if D != 0 {
+			dm(b, s.shmask)
+		}
+		if kb.mask&s.shmask == s.shmask {
+			sh := uint(kb.val & s.shmask)
+			switch k {
+			case ir.Shl:
+				dm(a, D>>sh)
+			case ir.LShr:
+				dm(a, (D<<sh)&w)
+			default: // AShr
+				m := (D << sh) & w
+				if sh > 0 {
+					top := w &^ (w >> sh)
+					if D&top != 0 {
+						m |= uint64(1) << 63
+					}
+				}
+				dm(a, m)
+			}
+			return
+		}
+		switch k {
+		case ir.Shl:
+			dm(a, lowExt(D))
+		default: // LShr, AShr: result bit i <- source bits >= i
+			dm(a, highExt(D, w))
+		}
+	}
+}
+
+// collect runs one final recording pass per function and assembles the
+// per-site demanded masks in global site order (functions, blocks,
+// instructions in module order — the same enumeration ir.Interp tags
+// dynamic definitions with).
+func (s *irSolver) collect(width int) *IRBits {
+	ib := &IRBits{Width: width, wmask: s.wmask, Demanded: make([]uint64, s.m.NumInstrs())}
+	base := 0
+	for fi, f := range s.m.Funcs {
+		blockBase := make([]int, len(f.Blocks))
+		off := 0
+		for bi, b := range f.Blocks {
+			blockBase[bi] = base + off
+			off += len(b.Instrs)
+		}
+		s.solveFunc(fi, func(bi, ii int, D uint64) {
+			ib.Demanded[blockBase[bi]+ii] = D
+		})
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				if b.Instrs[i].HasDst() {
+					ib.Defs++
+				}
+			}
+		}
+		base += off
+	}
+	return ib
+}
+
+// DemandedAt returns the demanded-bit mask of static instruction site.
+// Out-of-range sites report full demand (never resolve).
+func (ib *IRBits) DemandedAt(site int) uint64 {
+	if site < 0 || site >= len(ib.Demanded) {
+		return ib.wmask
+	}
+	return ib.Demanded[site]
+}
+
+// Masked reports whether flipping bit of the value defined at site is
+// provably invisible.
+func (ib *IRBits) Masked(site int, bit uint) bool {
+	if bit >= 64 {
+		return false
+	}
+	return ib.DemandedAt(site)&(uint64(1)<<bit) == 0
+}
+
+// ResolvedFrac is the fraction of (defining instruction, bit) pairs
+// proven undemanded — the statically resolved share of the software
+// fault space at uniform site weighting.
+func (ib *IRBits) ResolvedFrac() float64 {
+	if ib.Defs == 0 {
+		return 0
+	}
+	var demanded int64
+	for _, m := range ib.Demanded {
+		demanded += int64(bits.OnesCount64(m))
+	}
+	total := int64(ib.Defs) * int64(ib.Width)
+	return 1 - float64(demanded)/float64(total)
+}

@@ -1,0 +1,121 @@
+package static_test
+
+import (
+	"testing"
+
+	"vulnstack/internal/ir"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/static"
+	"vulnstack/internal/workload"
+)
+
+func compileIR(t *testing.T, bench string) *ir.Module {
+	t.Helper()
+	spec, err := workload.Get(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := minic.Compile(spec.Gen(2021, 1), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestAnalyzeIRStructure pins the structural contract of the
+// interprocedural demanded-bits result on real modules: one mask per
+// static instruction in module order, demand only on value-defining
+// instructions, and a resolved fraction strictly inside (0, 1) — real
+// programs always have both demanded and undemanded definition bits.
+func TestAnalyzeIRStructure(t *testing.T) {
+	for _, bench := range []string{"sha", "crc32", "qsort"} {
+		m := compileIR(t, bench)
+		ib := static.AnalyzeIR(m, "_start", 64)
+		if ib.Width != 64 {
+			t.Fatalf("%s: width %d", bench, ib.Width)
+		}
+		if len(ib.Demanded) != m.NumInstrs() {
+			t.Fatalf("%s: %d masks for %d instructions", bench, len(ib.Demanded), m.NumInstrs())
+		}
+
+		// Enumerate global sites exactly as collect() does — functions,
+		// blocks, instructions in module order — and check demand lands
+		// only on defining instructions.
+		site, defs := 0, 0
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for i := range b.Instrs {
+					if b.Instrs[i].HasDst() {
+						defs++
+					} else if ib.Demanded[site] != 0 {
+						t.Errorf("%s: non-defining site %d has demand %#x", bench, site, ib.Demanded[site])
+					}
+					site++
+				}
+			}
+		}
+		if defs != ib.Defs {
+			t.Errorf("%s: Defs = %d, want %d", bench, ib.Defs, defs)
+		}
+		if f := ib.ResolvedFrac(); f <= 0 || f >= 1 {
+			t.Errorf("%s: resolved fraction %.4f not in (0, 1)", bench, f)
+		}
+		t.Logf("%s: defs=%d resolved=%.4f", bench, ib.Defs, ib.ResolvedFrac())
+	}
+}
+
+// TestAnalyzeIRConservativeEdges pins the never-resolve fallbacks: sites
+// outside the analyzed module and bits outside the word never resolve.
+func TestAnalyzeIRConservativeEdges(t *testing.T) {
+	m := compileIR(t, "crc32")
+	ib := static.AnalyzeIR(m, "_start", 64)
+	if d := ib.DemandedAt(-1); d != ^uint64(0) {
+		t.Errorf("DemandedAt(-1) = %#x, want full demand", d)
+	}
+	if d := ib.DemandedAt(m.NumInstrs()); d != ^uint64(0) {
+		t.Errorf("DemandedAt(out of range) = %#x, want full demand", d)
+	}
+	if ib.Masked(-1, 3) {
+		t.Error("out-of-range site resolved")
+	}
+	if ib.Masked(0, 64) {
+		t.Error("out-of-range bit resolved")
+	}
+}
+
+// TestDefSitesAlignWithAnalysis pins the contract the soft-layer
+// resolver rests on: the interpreter's per-definition site ids
+// (ir.Interp.DefSites) index into the same module-order enumeration the
+// analysis fills Demanded with, and every recorded site is a defining
+// instruction.
+func TestDefSitesAlignWithAnalysis(t *testing.T) {
+	m := compileIR(t, "sha")
+	hasDst := make([]bool, 0, m.NumInstrs())
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				hasDst = append(hasDst, b.Instrs[i].HasDst())
+			}
+		}
+	}
+
+	ip := ir.NewInterp(m, 64, 1<<21)
+	ip.MaxSteps = 1 << 28
+	ip.TrackUse = true
+	ip.TrackSites = true
+	if err := ip.Run("_start"); err != nil {
+		t.Fatal(err)
+	}
+	sites := ip.DefSites()
+	if uint64(len(sites)) != ip.DefSeq {
+		t.Fatalf("%d sites for %d dynamic definitions", len(sites), ip.DefSeq)
+	}
+	for seq, s := range sites {
+		if s < 0 || int(s) >= len(hasDst) {
+			t.Fatalf("def %d: site %d out of range [0, %d)", seq, s, len(hasDst))
+		}
+		if !hasDst[s] {
+			t.Fatalf("def %d: site %d is not a defining instruction", seq, s)
+		}
+	}
+}

@@ -34,13 +34,40 @@ type Key struct {
 	// Live is the static liveness bucket at the fault's governing
 	// program point (LiveBucket), or -1 where liveness does not apply.
 	Live int
+	// Dem is the demanded-bits bucket from the bit-precise static
+	// analysis: DemResolved for sites the analysis proves Masked,
+	// DemDemanded for sites whose flipped bit is statically demanded,
+	// and DemNone (the zero value) for partitions built without the
+	// static pass — those keys keep their pre-static labels, so adding
+	// the field never perturbs existing partitions or store keys.
+	Dem int
 }
+
+// Demanded-bits bucket values for Key.Dem.
+const (
+	// DemNone marks a partition keyed without the static demanded-bits
+	// feature (the zero value, label-invisible).
+	DemNone = 0
+	// DemResolved marks sites whose flipped bit is provably masked.
+	DemResolved = 1
+	// DemDemanded marks sites whose flipped bit is statically demanded
+	// (or unresolvable).
+	DemDemanded = 2
+	// DemUndemanded marks sites whose flipped bit is statically
+	// undemanded at the governing program point — a variance proxy at
+	// the hardware layers, never a verdict (the architectural target of
+	// a hardware fault is itself dynamic state there).
+	DemUndemanded = 3
+)
 
 // String is the key's stable record-provenance label (stored per record
 // in the results plane, so stored campaigns re-aggregate per stratum
 // without re-deriving the partition).
 func (k Key) String() string {
-	return fmt.Sprintf("%s/b%d/l%d", k.Class, k.Bit, k.Live)
+	if k.Dem == DemNone {
+		return fmt.Sprintf("%s/b%d/l%d", k.Class, k.Bit, k.Live)
+	}
+	return fmt.Sprintf("%s/b%d/l%d/d%d", k.Class, k.Bit, k.Live, k.Dem)
 }
 
 func keyLess(a, b Key) bool {
@@ -50,7 +77,10 @@ func keyLess(a, b Key) bool {
 	if a.Bit != b.Bit {
 		return a.Bit < b.Bit
 	}
-	return a.Live < b.Live
+	if a.Live != b.Live {
+		return a.Live < b.Live
+	}
+	return a.Dem < b.Dem
 }
 
 // BitBucket buckets a bit position into low byte (0), low word (1) and

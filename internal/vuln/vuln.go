@@ -90,6 +90,7 @@ func FPMDist(tallies []results.Tally, bits []int) map[micro.FPM]float64 {
 		}
 	}
 	if total > 0 {
+		//lint:ordered per-key normalization; each entry is divided independently, no cross-iteration accumulation
 		for m := range weighted {
 			weighted[m] /= total
 		}
@@ -198,6 +199,13 @@ func SamplesFor(e, confidence float64) int {
 type Stratum struct {
 	Size  int
 	Tally results.Tally
+	// Resolved marks a stratum classified exhaustively by the static
+	// demanded-bits analysis: every one of its Size sites is provably
+	// Masked, its tally covers the whole stratum with zero injections,
+	// and it carries exactly zero sampling variance — the estimator
+	// treats it as certain mass and the Neyman allocator never assigns
+	// it another sample.
+	Resolved bool
 }
 
 // stratWeights returns W_h = Size_h / M (each stratum's share of the
@@ -241,6 +249,9 @@ func StratifiedSplit(strata []Stratum) Split {
 // population correction (1 - n/M) — a fully enumerated stratum has no
 // sampling error left. An unsampled stratum reports the worst case.
 func stratumVar(s Stratum, o results.Outcome) float64 {
+	if s.Resolved {
+		return 0
+	}
 	n := float64(s.Tally.N)
 	if s.Tally.N <= 0 {
 		if s.Size == 0 {
@@ -265,6 +276,9 @@ func stratumVar(s Stratum, o results.Outcome) float64 {
 // outcome classes (the binding class for the max-based half-width). An
 // unsampled stratum reports the worst case 0.5.
 func StratumDev(s Stratum) float64 {
+	if s.Resolved {
+		return 0
+	}
 	if s.Tally.N <= 0 {
 		return 0.5
 	}

@@ -106,8 +106,13 @@ type StratumReport struct {
 	// Size is the stratum's pool site count (the reweighting weight
 	// numerator).
 	Size int
-	// Tally aggregates the injections performed inside the stratum.
+	// Tally aggregates the injections performed inside the stratum —
+	// or, for a Resolved stratum, the synthesized exhaustive tally.
 	Tally results.Tally
+	// Resolved marks a stratum classified entirely by the static
+	// demanded-bits analysis: all Size sites are provably Masked and
+	// zero injections were performed in it.
+	Resolved bool
 }
 
 // StratResult is the outcome of a stratified campaign.
@@ -122,6 +127,9 @@ type StratResult struct {
 	// is how many this call executed.
 	N     int
 	Fresh int
+	// Resolved is the number of pool sites classified statically
+	// (zero-injection certain mass in the estimate).
+	Resolved int
 	// Pool is the fault-site pool size.
 	Pool int
 	// Strata reports the per-stratum sizes and tallies in stable
@@ -156,6 +164,36 @@ func (s *System) liveBucketAt(g *static.CFG, pc uint64) int {
 	return strata.LiveBucket(bits.OnesCount32(mask), s.ISA.NumRegs())
 }
 
+// bitFlow returns the image's bit-precise known/demanded-bits solution,
+// built once per system on top of the liveness-solved CFG.
+func (s *System) bitFlow() *static.BitFlow {
+	g := s.liveCFG()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.staticB == nil {
+		s.staticB = g.SolveBits()
+	}
+	return s.staticB
+}
+
+// demBucketAt is the hardware layers' demanded-bits stratification
+// feature: whether the fault's bit position is inside the union of
+// statically demanded register bits at the governing program point.
+// A proxy only — the architectural target of a hardware fault is
+// dynamic state (physical registers, forward-walked instants), so
+// undemanded here never means resolved, just a colder stratum.
+// Misclassification costs efficiency, never bias.
+func (s *System) demBucketAt(bf *static.BitFlow, pc uint64, bit int) int {
+	d, ok := bf.DemandedUnionAt(pc)
+	if !ok {
+		return strata.DemDemanded
+	}
+	if d&(1<<uint(bit%s.ISA.XLen())) == 0 {
+		return strata.DemUndemanded
+	}
+	return strata.DemDemanded
+}
+
 // StratMicro measures one structure's AVF with stratified sampling:
 // pool sites are partitioned by (structure, bit bucket, liveness bucket
 // at the governing checkpoint's fetch PC) and the allocator samples
@@ -171,17 +209,26 @@ func (s *System) StratMicro(cfg micro.Config, st micro.Structure, opt StratOptio
 	pool := cp.Pool(st, opt.pool(), seed)
 	pcs := cp.CheckpointPCs()
 	g := s.liveCFG()
+	var bf *static.BitFlow
+	if s.Static {
+		bf = s.bitFlow()
+	}
 	part := strata.New(len(pool), func(i int) strata.Key {
 		f := pool[i]
-		return strata.Key{
+		pc := pcs[cp.CkptFor(f.Cycle)]
+		key := strata.Key{
 			Class: st.String(),
 			Bit:   strata.BitBucket(f.Bit),
-			Live:  s.liveBucketAt(g, pcs[cp.CkptFor(f.Cycle)]),
+			Live:  s.liveBucketAt(g, pc),
 		}
+		if bf != nil {
+			key.Dem = s.demBucketAt(bf, pc, f.Bit)
+		}
+		return key
 	})
 	k := s.MicroKey(cfg, st, seed)
 	k.Mode = opt.mode(part)
-	return s.runStratified(k, part, opt, func(sites []int, base int) []results.Record {
+	return s.runStratified(k, part, nil, opt, func(sites []int, base int) []results.Record {
 		faults := make([]inject.Fault, len(sites))
 		for i, site := range sites {
 			faults[i] = pool[site]
@@ -205,6 +252,10 @@ func (s *System) StratPVF(fpm micro.FPM, opt StratOptions, seed int64) (StratRes
 	pool := cp.Pool(fpm, opt.pool(), seed)
 	pcs := cp.CheckpointPCs()
 	g := s.liveCFG()
+	var bf *static.BitFlow
+	if s.Static {
+		bf = s.bitFlow()
+	}
 	part := strata.New(len(pool), func(i int) strata.Key {
 		f := pool[i]
 		pc := pcs[cp.CkptFor(f.K)]
@@ -216,15 +267,19 @@ func (s *System) StratPVF(fpm micro.FPM, opt StratOptions, seed int64) (StratRes
 				class = "nofetch"
 			}
 		}
-		return strata.Key{
+		key := strata.Key{
 			Class: class,
 			Bit:   strata.BitBucket(f.Bit),
 			Live:  s.liveBucketAt(g, pc),
 		}
+		if bf != nil {
+			key.Dem = s.demBucketAt(bf, pc, f.Bit)
+		}
+		return key
 	})
 	k := s.ArchKey(fpm, seed)
 	k.Mode = opt.mode(part)
-	return s.runStratified(k, part, opt, func(sites []int, base int) []results.Record {
+	return s.runStratified(k, part, nil, opt, func(sites []int, base int) []results.Record {
 		faults := make([]arch.Fault, len(sites))
 		for i, site := range sites {
 			faults[i] = pool[site]
@@ -246,17 +301,35 @@ func (s *System) StratSVF(opt StratOptions, seed int64) (StratResult, error) {
 		return StratResult{}, err
 	}
 	pool := cp.Pool(opt.pool(), seed)
+	useStatic := s.Static && cp.IRBits() != nil
 	part := strata.New(len(pool), func(i int) strata.Key {
 		f := pool[i]
 		class := "dead"
 		if cp.UsedDef(f.Seq) {
 			class = "live"
 		}
-		return strata.Key{Class: class, Bit: strata.BitBucket(int(f.Bit)), Live: -1}
+		key := strata.Key{Class: class, Bit: strata.BitBucket(int(f.Bit)), Live: -1}
+		if useStatic {
+			// The soft layer has a sound per-site verdict: a
+			// DemResolved stratum holds only provably-Masked faults, so
+			// the driver counts its whole mass without injecting.
+			key.Dem = strata.DemDemanded
+			if cp.StaticMasked(f) {
+				key.Dem = strata.DemResolved
+			}
+		}
+		return key
 	})
+	var resolved []bool
+	if useStatic {
+		resolved = make([]bool, part.NumStrata())
+		for h := range resolved {
+			resolved[h] = part.Key(h).Dem == strata.DemResolved
+		}
+	}
 	k := s.SoftKey(seed)
 	k.Mode = opt.mode(part)
-	return s.runStratified(k, part, opt, func(sites []int, base int) []results.Record {
+	return s.runStratified(k, part, resolved, opt, func(sites []int, base int) []results.Record {
 		faults := make([]llfi.Fault, len(sites))
 		for i, site := range sites {
 			faults[i] = pool[site]
@@ -272,14 +345,20 @@ func (s *System) StratSVF(opt StratOptions, seed int64) (StratResult, error) {
 // re-injecting it. Stored records are verified against the planned
 // stream (index and stratum label) — the partition fingerprint in the
 // key makes a mismatch unreachable short of store corruption.
-func (s *System) runStratified(k results.Key, part *strata.Partition, opt StratOptions, injectAt func(sites []int, base int) []results.Record) (StratResult, error) {
+//
+// resolved (nil when no static pass ran) marks strata whose every site
+// is provably Masked by static analysis: the driver synthesizes their
+// exhaustive all-Masked tallies up front, the planner allocates them
+// zero samples, and no record for them ever enters the stream — their
+// mass reaches the estimate as zero-variance certainty.
+func (s *System) runStratified(k results.Key, part *strata.Partition, resolved []bool, opt StratOptions, injectAt func(sites []int, base int) []results.Record) (StratResult, error) {
 	sizes := part.Sizes()
 	labels := part.Labels()
 	byStratum := make([][]int, part.NumStrata())
 	for h := range byStratum {
 		byStratum[h] = part.Sites(h)
 	}
-	plan := campaign.StratPlan{Sizes: sizes, N0: opt.n0(), CI: opt.ci(), Confidence: opt.conf()}
+	plan := campaign.StratPlan{Sizes: sizes, N0: opt.n0(), CI: opt.ci(), Confidence: opt.conf(), Resolved: resolved}
 
 	var stored []results.Record
 	haveStored := false
@@ -293,6 +372,17 @@ func (s *System) runStratified(k results.Key, part *strata.Partition, opt StratO
 
 	sampled := make([]int, len(sizes))
 	tallies := make([]results.Tally, len(sizes))
+	nResolved := 0
+	for h := range resolved {
+		if !resolved[h] {
+			continue
+		}
+		// Synthesized exhaustive tally: every site Masked, no records.
+		tallies[h].N = sizes[h]
+		tallies[h].Outcomes[results.Masked] = sizes[h]
+		sampled[h] = sizes[h]
+		nResolved += sizes[h]
+	}
 	storedPos, total, fresh := 0, 0, 0
 
 	for counts := plan.Pilot(); counts != nil; counts = plan.Next(tallies) {
@@ -360,18 +450,20 @@ func (s *System) runStratified(k results.Key, part *strata.Partition, opt StratO
 	for _, m := range sizes {
 		poolSize += m
 	}
-	strataState := campaign.Strata(sizes, tallies)
+	strataState := campaign.StrataResolved(sizes, tallies, resolved)
 	res := StratResult{
 		Split:     vuln.StratifiedSplit(strataState),
 		HalfWidth: vuln.StratifiedHalfWidth(strataState, opt.conf()),
 		N:         total,
 		Fresh:     fresh,
+		Resolved:  nResolved,
 		Pool:      poolSize,
 		Strata:    make([]StratumReport, len(sizes)),
 		Key:       k,
 	}
 	for h := range sizes {
-		res.Strata[h] = StratumReport{Label: labels[h], Size: sizes[h], Tally: tallies[h]}
+		res.Strata[h] = StratumReport{Label: labels[h], Size: sizes[h], Tally: tallies[h],
+			Resolved: h < len(resolved) && resolved[h]}
 	}
 	return res, nil
 }

@@ -68,6 +68,10 @@ type System struct {
 	// staticG caches the liveness-solved static CFG of the image
 	// (stratified sampling's liveness-bucket feature; see strat.go).
 	staticG *static.CFG
+	// staticB caches the bit-precise known-bits/demanded-bits solution
+	// over staticG (the demanded-bits stratification feature and the
+	// analyze -bits tables).
+	staticB *static.BitFlow
 	// Snapshots controls golden-run snapshot counts for campaign
 	// acceleration.
 	Snapshots int
@@ -85,6 +89,13 @@ type System struct {
 	// result-neutral, off-switch for measurement only. Set before the
 	// first campaign use — the flag is baked into campaign snapshots.
 	NoDecodeCache bool
+	// Static enables the bit-precise static resolution pass: at the soft
+	// layer, faults the interprocedural demanded-bits analysis proves
+	// Masked are classified without running (provenance-flagged records,
+	// tallies bit-identical to the dynamic baseline — the EarlyStop
+	// contract); at every layer, stratified campaigns gain the
+	// demanded-bits stratum key level. Set before the first campaign use.
+	Static bool
 	// Store, when set, persists per-injection records on disk and
 	// serves repeat measurements from them: a fully stored campaign is
 	// answered without preparing the injector (no golden run, no
@@ -267,6 +278,7 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 		}
 		cp.Workers = s.Workers
 		cp.NoEarlyStop = s.NoEarlyStop
+		cp.Static = s.Static
 		s.llfiC = cp
 	}
 	return s.llfiC, nil

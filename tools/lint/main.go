@@ -17,6 +17,12 @@
 //     stream's identity (pilot and round allocations are emitted in
 //     partition order), so stratum maps must be walked through the
 //     Partition's stable ordering, never through map iteration
+//   - float accumulation inside a map-range body (`sum += x`, or
+//     `sum = sum + x`, with a float-typed accumulator), which the
+//     annotation can NOT suppress either: float addition is not
+//     associative, so even a loop whose logical effect is order-free
+//     produces run-to-run bit differences when the iteration order
+//     feeds a float sum — sort the keys instead
 //
 // Test files are exempt. The linter is stdlib-only: it typechecks the
 // audited packages from source (go/parser + go/types), resolving
@@ -63,6 +69,8 @@ var defaultPackages = []string{
 	module + "/internal/dev",
 	module + "/internal/campaign",
 	module + "/internal/strata",
+	module + "/internal/vuln",
+	module + "/internal/report",
 }
 
 // clockFuncs are the time package's wall-clock reads. Duration
@@ -267,6 +275,13 @@ func (l *loader) lint(path string) ([]string, error) {
 					bad = append(bad, l.violation(n.Pos(), "range over a stratum map (strata.Key); walk the Partition's stable order instead — //lint:ordered does not apply"))
 					return true
 				}
+				if pos, ok := floatAccum(n.Body, info); ok {
+					// Unsuppressable: float addition is not associative,
+					// so map order reaches the sum's bits even when the
+					// contribution set is order-free.
+					bad = append(bad, l.violation(pos, "float accumulation inside a map-range body is order-sensitive (float addition is not associative); sort the keys — //lint:ordered does not apply"))
+					return true
+				}
 				line := l.fset.Position(n.Pos()).Line
 				if ordered[line] || ordered[line-1] {
 					return true
@@ -277,6 +292,60 @@ func (l *loader) lint(path string) ([]string, error) {
 		})
 	}
 	return bad, nil
+}
+
+// floatAccum reports the first float accumulation in a range body: a
+// `sum += x` / `sum -= x` compound assign, or a `sum = sum + x` /
+// `sum = x + sum` self-referencing assign, whose accumulator is a plain
+// float-typed variable (index expressions are per-key updates, not
+// cross-iteration accumulation, and stay with the general map-range
+// rule).
+func floatAccum(body *ast.BlockStmt, info *types.Info) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || !floatVar(id, info) {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			pos, found = as.Pos(), true
+		case token.ASSIGN:
+			bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				if sid, ok := side.(*ast.Ident); ok && info.Uses[sid] == obj {
+					pos, found = as.Pos(), true
+				}
+			}
+		}
+		return true
+	})
+	return pos, found
+}
+
+// floatVar reports whether an identifier names a float-typed variable.
+func floatVar(id *ast.Ident, info *types.Info) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
 }
 
 // stratumKeyed reports whether a map's key type is strata.Key — the
