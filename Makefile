@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint vet-analyzers race check cover bench bench-short bench-agg bench-strat bench-strat-short gobench
+.PHONY: all build test vet lint vet-analyzers race check cover bench bench-short bench-agg bench-strat bench-strat-short bench-tb bench-tb-short gobench
 
 all: check
 
@@ -52,11 +52,11 @@ check:
 # delta-walk, chain memory vs 12 full snapshots — tallies asserted
 # bit-identical across all paths). gobench keeps the raw Go testing
 # benchmarks.
-bench: bench-strat
+bench: bench-strat bench-tb
 	$(GO) run ./cmd/vulnstack bench -ckpt -bench all
 
-bench-short: bench-strat-short
-	$(GO) run ./cmd/vulnstack bench -short -ckpt -bench all -out BENCH_short.json
+bench-short: bench-strat-short bench-tb-short
+	$(GO) run ./cmd/vulnstack bench -short -ckpt -bench all -out BENCH_short.json -force
 
 # bench-strat compares injections-to-target-CI for the stratified
 # campaign mode against uniform worst-case sampling on every benchmark
@@ -65,16 +65,27 @@ bench-short: bench-strat-short
 # small short variant, where the per-stratum pilot dominates), and every
 # stratified estimate must land inside the uniform run's 99% CI.
 bench-strat:
-	$(GO) run ./cmd/vulnstack bench -strat -out BENCH_strat.json
+	$(GO) run ./cmd/vulnstack bench -strat -out BENCH_strat.json -force
 
 bench-strat-short:
-	$(GO) run ./cmd/vulnstack bench -strat -short -out BENCH_strat_short.json
+	$(GO) run ./cmd/vulnstack bench -strat -short -out BENCH_strat_short.json -force
+
+# bench-tb measures per-injection cost with the translation-block
+# engines on vs off (arch superblock dispatch, soft compiled IR) on
+# every benchmark, asserting bit-identical tallies on every attempt and
+# speedup floors on the medians (2x arch, 1.5x soft). bench-tb-short is
+# the three-benchmark small-n CI variant.
+bench-tb:
+	$(GO) run ./cmd/vulnstack bench -tb -out BENCH_tb.json -force
+
+bench-tb-short:
+	$(GO) run ./cmd/vulnstack bench -tb -short -out BENCH_tb_short.json -force
 
 # bench-agg measures record re-aggregation throughput (JSONL re-parse
 # vs the streaming columnar cursor) on a small synthetic campaign,
 # asserting bit-identical tallies and a speedup floor.
 bench-agg:
-	$(GO) run ./cmd/vulnstack bench -agg -aggrows 150000 -out BENCH_agg.json
+	$(GO) run ./cmd/vulnstack bench -agg -aggrows 150000 -out BENCH_agg.json -force
 
 gobench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -163,6 +163,38 @@ type StaticBench struct {
 	MedianReduction float64 `json:"median_reduction"`
 }
 
+// TBRow is one benchmark's translation-block engine comparison: the
+// per-injection cost of the arch layer (predecoded superblock dispatch
+// vs instruction-at-a-time stepping) and the soft layer (compiled
+// direct-threaded IR vs the hooked interpreter), tb-on tallies asserted
+// bit-identical to tb-off.
+type TBRow struct {
+	Bench string `json:"bench"`
+	// NsArchTB / NsArchStep are arch-layer per-injection costs with the
+	// superblock engine on and off.
+	NsArchTB    int64   `json:"ns_arch_tb"`
+	NsArchStep  int64   `json:"ns_arch_step"`
+	ArchSpeedup float64 `json:"arch_speedup"`
+	// NsSoftTB / NsSoftStep are soft-layer per-injection costs with the
+	// compiled IR engine on and off.
+	NsSoftTB    int64   `json:"ns_soft_tb"`
+	NsSoftStep  int64   `json:"ns_soft_step"`
+	SoftSpeedup float64 `json:"soft_speedup"`
+}
+
+// TBBench is the translation-block benchmark section (the schema of
+// BENCH_tb.json): per-benchmark rows plus the median gates.
+type TBBench struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+	// ArchFloor / SoftFloor are the asserted median-speedup gates.
+	ArchFloor         float64 `json:"arch_floor"`
+	SoftFloor         float64 `json:"soft_floor"`
+	Rows              []TBRow `json:"rows"`
+	MedianArchSpeedup float64 `json:"median_arch_speedup"`
+	MedianSoftSpeedup float64 `json:"median_soft_speedup"`
+}
+
 // BenchReport is the schema of BENCH_<date>.json.
 type BenchReport struct {
 	Date       string                           `json:"date"`
@@ -182,6 +214,8 @@ type BenchReport struct {
 	Stratified *StratBench `json:"stratified,omitempty"`
 	// Static is present when the run included -static.
 	Static *StaticBench `json:"static,omitempty"`
+	// TB is present when the run included -tb.
+	TB *TBBench `json:"tb,omitempty"`
 }
 
 // cmdBench measures per-injection cost per layer per benchmark, with
@@ -201,8 +235,12 @@ func cmdBench(args []string) error {
 	ckpt := fs.Bool("ckpt", false, "run the delta-checkpoint benchmark (cold vs warm Prepare, full-restore vs delta-walk); alone, skips the per-layer benches")
 	stratB := fs.Bool("strat", false, "run the stratified-sampling benchmark (injections to target CI, stratified vs uniform, every benchmark); alone, skips the per-layer benches")
 	staticB := fs.Bool("static", false, "run the static-resolution benchmark (soft-layer stratified live injections to target CI, demanded-bits on vs off, every benchmark) -> BENCH_static.json; alone, skips the per-layer benches")
+	tbB := fs.Bool("tb", false, "run the translation-block engine benchmark (arch superblock dispatch and soft compiled IR, per-injection cost vs the step engines, every benchmark, tallies asserted bit-identical) -> BENCH_tb.json; alone, skips the per-layer benches")
 	stratCI := fs.Float64("stratci", 0, "target CI half-width for -strat/-static (0 = the paper's 2.88% margin, or 9% in -short)")
-	out := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	var out string
+	fs.StringVar(&out, "out", "", "output file (default BENCH_<date>.json)")
+	fs.StringVar(&out, "o", "", "alias for -out")
+	force := fs.Bool("force", false, "overwrite an existing output file instead of refusing")
 	fs.Parse(args)
 
 	cfg, err := micro.ConfigByName(*cfgName)
@@ -218,9 +256,9 @@ func cmdBench(args []string) error {
 	case *benches == "all":
 	case *benches != "":
 		names = strings.Split(*benches, ",")
-	case *agg, *ckpt, *stratB, *staticB:
-		// -agg/-ckpt/-strat/-static with no explicit benchmark list
-		// measure only their own subject (-strat and -static iterate
+	case *agg, *ckpt, *stratB, *staticB, *tbB:
+		// -agg/-ckpt/-strat/-static/-tb with no explicit benchmark list
+		// measure only their own subject (-strat, -static and -tb iterate
 		// benchmarks on their own).
 		names = nil
 	}
@@ -242,11 +280,21 @@ func cmdBench(args []string) error {
 			*aggRows = 150_000
 		}
 	}
-	file := *out
+	file := out
 	if file == "" {
 		file = "BENCH_" + time.Now().Format("2006-01-02") + ".json"
-		if *staticB && len(names) == 0 && !*agg && !*ckpt && !*stratB {
+		if *staticB && len(names) == 0 && !*agg && !*ckpt && !*stratB && !*tbB {
 			file = "BENCH_static.json"
+		}
+		if *tbB && len(names) == 0 && !*agg && !*ckpt && !*stratB && !*staticB {
+			file = "BENCH_tb.json"
+		}
+	}
+	if !*force {
+		// Refuse to clobber an existing report: a dated default collides
+		// with a same-day run, a fixed -out with any earlier one.
+		if _, err := os.Stat(file); err == nil {
+			return fmt.Errorf("bench: output file %s already exists (pass -force to overwrite, or -o FILE for a different name)", file)
 		}
 	}
 
@@ -316,6 +364,16 @@ func cmdBench(args []string) error {
 		rep.Static = sb
 		fmt.Printf("static resolution (±%.2f%% at %.0f%%): %d/%d benchmarks strictly fewer live injections than the stratified baseline (median %.2fx)\n",
 			100*sb.CI, 100*sb.Confidence, sb.FewerCount, len(sb.Rows), sb.MedianReduction)
+	}
+
+	if *tbB {
+		tb, err := benchTB(stratNames, *n, *seed)
+		if err != nil {
+			return fmt.Errorf("bench tb: %w", err)
+		}
+		rep.TB = tb
+		fmt.Printf("translation blocks: median arch speedup %.2fx (floor %.1fx), median soft speedup %.2fx (floor %.1fx) across %d benchmarks\n",
+			tb.MedianArchSpeedup, tb.ArchFloor, tb.MedianSoftSpeedup, tb.SoftFloor, len(tb.Rows))
 	}
 
 	blob, err := json.MarshalIndent(&rep, "", "  ")
@@ -729,6 +787,120 @@ func benchStatic(names []string, ci float64, seed int64, short bool) (*StaticBen
 			sb.FewerCount, len(sb.Rows), sb.MedianReduction)
 	}
 	return sb, nil
+}
+
+// benchTB measures what the translation-block engines buy per
+// injection on every benchmark: the arch layer with predecoded
+// superblock dispatch against instruction-at-a-time stepping, and the
+// soft layer with the compiled direct-threaded IR against the hooked
+// interpreter. Both sides keep the default accelerations (early-stop,
+// decode cache) on, so the ratio isolates the engine itself against
+// the best previous configuration. Two gates are asserted: tb-on and
+// tb-off tallies must be bit-identical on every benchmark and layer
+// (the equivalence gate), and the median speedups must clear the
+// floors. Per-mode times keep the minimum of three runs — the two
+// modes share every other cost, so one descheduled slice would
+// otherwise flip the ratio.
+func benchTB(names []string, n int, seed int64) (*TBBench, error) {
+	tbb := &TBBench{N: n, Seed: seed, ArchFloor: 2.0, SoftFloor: 1.5}
+	mk := func(noTB bool) func(bench string) (*vulnstack.System, error) {
+		return func(bench string) (*vulnstack.System, error) {
+			sys, err := vulnstack.Build(vulnstack.Target{Bench: bench, Seed: 1}, isa.VSA64)
+			if err != nil {
+				return nil, err
+			}
+			sys.Workers = 1 // single-threaded: stable per-injection cost
+			sys.NoTB = noTB
+			return sys, nil
+		}
+	}
+	const attempts = 3
+	var archSp, softSp []float64
+	for _, bench := range names {
+		on, err := mk(false)(bench)
+		if err != nil {
+			return nil, err
+		}
+		off, err := mk(true)(bench)
+		if err != nil {
+			return nil, err
+		}
+		row := TBRow{Bench: bench}
+
+		measure := func(layer string, run func(sys *vulnstack.System) ([]results.Record, error)) (int64, int64, error) {
+			var nsOn, nsOff int64
+			for try := 0; try < attempts; try++ {
+				start := time.Now()
+				fast, err := run(on)
+				if err != nil {
+					return 0, 0, err
+				}
+				fNs := time.Since(start).Nanoseconds()
+				start = time.Now()
+				slow, err := run(off)
+				if err != nil {
+					return 0, 0, err
+				}
+				sNs := time.Since(start).Nanoseconds()
+				if results.TallyOf(fast) != results.TallyOf(slow) {
+					return 0, 0, fmt.Errorf("%s %s layer: tb-on tally differs from tb-off — equivalence violated", bench, layer)
+				}
+				if nsOn == 0 || fNs < nsOn {
+					nsOn = fNs
+				}
+				if nsOff == 0 || sNs < nsOff {
+					nsOff = sNs
+				}
+			}
+			return nsOn, nsOff, nil
+		}
+
+		nsOn, nsOff, err := measure("arch", func(sys *vulnstack.System) ([]results.Record, error) {
+			cp, err := sys.ArchCampaign()
+			if err != nil {
+				return nil, err
+			}
+			return cp.Records(micro.FPMWD, n, 0, seed, nil), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.NsArchTB, row.NsArchStep = nsOn/int64(n), nsOff/int64(n)
+		if nsOn > 0 {
+			row.ArchSpeedup = float64(nsOff) / float64(nsOn)
+		}
+
+		nsOn, nsOff, err = measure("soft", func(sys *vulnstack.System) ([]results.Record, error) {
+			cp, err := sys.LLFICampaign()
+			if err != nil {
+				return nil, err
+			}
+			return cp.Records(n, 0, seed, nil), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.NsSoftTB, row.NsSoftStep = nsOn/int64(n), nsOff/int64(n)
+		if nsOn > 0 {
+			row.SoftSpeedup = float64(nsOff) / float64(nsOn)
+		}
+
+		archSp = append(archSp, row.ArchSpeedup)
+		softSp = append(softSp, row.SoftSpeedup)
+		tbb.Rows = append(tbb.Rows, row)
+		fmt.Printf("tb %-10s arch %7.2fus -> %7.2fus (%4.2fx)  soft %7.2fus -> %7.2fus (%4.2fx)\n",
+			bench, float64(row.NsArchStep)/1e3, float64(row.NsArchTB)/1e3, row.ArchSpeedup,
+			float64(row.NsSoftStep)/1e3, float64(row.NsSoftTB)/1e3, row.SoftSpeedup)
+	}
+	tbb.MedianArchSpeedup = median(archSp)
+	tbb.MedianSoftSpeedup = median(softSp)
+	if len(tbb.Rows) > 0 && tbb.MedianArchSpeedup < tbb.ArchFloor {
+		return nil, fmt.Errorf("median arch-layer speedup %.2fx is below the %.1fx floor", tbb.MedianArchSpeedup, tbb.ArchFloor)
+	}
+	if len(tbb.Rows) > 0 && tbb.MedianSoftSpeedup < tbb.SoftFloor {
+		return nil, fmt.Errorf("median soft-layer speedup %.2fx is below the %.1fx floor", tbb.MedianSoftSpeedup, tbb.SoftFloor)
+	}
+	return tbb, nil
 }
 
 // syntheticRecords draws a deterministic mixed campaign shaped like a

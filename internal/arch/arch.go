@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"vulnstack/internal/campaign"
 	"vulnstack/internal/ckpt"
@@ -25,6 +26,7 @@ import (
 	"vulnstack/internal/mem"
 	"vulnstack/internal/micro"
 	"vulnstack/internal/results"
+	"vulnstack/internal/tb"
 )
 
 // Engine is this injector's name in persisted checkpoint chains.
@@ -57,6 +59,15 @@ type Campaign struct {
 	// NoDecodeCache disables the emulator's predecoded fetch cache on
 	// CPUs this campaign creates (also provably result-neutral).
 	NoDecodeCache bool
+	// NoTB disables the translation-block engine (internal/tb) on the
+	// faulty-run path; the zero value keeps it on. Tallies are
+	// bit-identical either way (the equivalence gate asserts it).
+	NoTB bool
+	// TBParanoid, when non-nil, runs translation-block workers in
+	// paranoid validation mode: every predecoded op's instruction word
+	// is refetched and compared before executing (counted here), and a
+	// stale op panics. Test instrumentation only.
+	TBParanoid *atomic.Uint64
 	// Resumed reports the campaign was prepared from a persisted chain:
 	// zero golden-run instructions were executed by Prepare.
 	Resumed bool
@@ -174,12 +185,33 @@ func decodeGolden(b []byte, cp *Campaign) error {
 	return nil
 }
 
-// Prepare runs the golden execution and captures the delta checkpoint
-// chain (boot state only when nsnaps <= 1).
+// PrepareOptions configure the golden run.
+type PrepareOptions struct {
+	// NoTB runs the golden execution step-by-step instead of through
+	// the translation-block engine. The captured chain is bit-identical
+	// either way; campaigns pass their own NoTB so an engine bug could
+	// never corrupt both sides of the tb-on/tb-off equivalence gate.
+	NoTB bool
+}
+
+// Prepare runs the golden execution with default options and captures
+// the delta checkpoint chain (boot state only when nsnaps <= 1).
 func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
+	return PrepareWith(img, nsnaps, PrepareOptions{})
+}
+
+// PrepareWith runs the golden execution and captures the delta
+// checkpoint chain (boot state only when nsnaps <= 1).
+func PrepareWith(img *kernel.Image, nsnaps int, opts PrepareOptions) (*Campaign, error) {
+	run := func(c *emu.CPU) func(uint64) bool {
+		if opts.NoTB {
+			return c.Run
+		}
+		return tb.New(c).Run
+	}
 	bus := dev.NewBus(img.NewMemory())
 	c := emu.New(img.ISA, bus, img.Entry)
-	if !c.Run(1 << 30) {
+	if !run(c)(1 << 30) {
 		return nil, fmt.Errorf("arch: golden run did not finish")
 	}
 	if bus.Halt != dev.HaltClean {
@@ -206,13 +238,10 @@ func Prepare(img *kernel.Image, nsnaps int) (*Campaign, error) {
 		}
 		bus2 := dev.NewBus(img.NewMemory())
 		c2 := emu.New(img.ISA, bus2, img.Entry)
+		run2 := run(c2)
 		var sbuf []byte
 		for next := uint64(0); next < cp.GoldenInstr; next += step {
-			for c2.Instret < next {
-				if !c2.Step() {
-					break
-				}
-			}
+			run2(next)
 			if n := cp.chain.Len(); n > 0 && c2.Instret <= cp.chain.Coord(n-1) {
 				continue
 			}
@@ -265,7 +294,8 @@ type worker struct {
 	cpu *emu.CPU
 	bus *dev.Bus
 	m   *mem.Memory
-	src int // checkpoint index the arena was last restored from
+	eng *tb.Engine // nil when the campaign runs step-by-step (NoTB)
+	src int        // checkpoint index the arena was last restored from
 	// stateBuf holds the materialized state blob of checkpoint src;
 	// cmpBuf is the convergence-test encode scratch.
 	stateBuf []byte
@@ -283,6 +313,10 @@ func (cp *Campaign) cpuFor(w *worker, k uint64, g int) (*emu.CPU, *dev.Bus) {
 		w.bus = dev.NewBus(w.m)
 		w.cpu = emu.New(cp.Img.ISA, w.bus, cp.Img.Entry)
 		w.cpu.NoDecodeCache = cp.NoDecodeCache
+		if !cp.NoTB {
+			w.eng = tb.New(w.cpu)
+			w.eng.Paranoid = cp.TBParanoid
+		}
 		w.src = -1
 	} else {
 		w.bus.Reset()
@@ -298,9 +332,15 @@ func (cp *Campaign) cpuFor(w *worker, k uint64, g int) (*emu.CPU, *dev.Bus) {
 	cp.chain.RestoreRAM(w.m, w.src, g)
 	w.src = g
 	w.cpu.Restore(s)
-	for w.cpu.Instret < k {
-		if !w.cpu.Step() {
-			break
+	// Advance to the fault instant — an exact committed-instruction
+	// boundary either way.
+	if w.eng != nil {
+		w.eng.Run(k)
+	} else {
+		for w.cpu.Instret < k {
+			if !w.cpu.Step() {
+				break
+			}
 		}
 	}
 	return w.cpu, w.bus
@@ -410,6 +450,22 @@ func (cp *Campaign) classify(c *emu.CPU, bus *dev.Bus, g int, w *worker, apply f
 // runFaulty executes the faulty machine, pausing at every golden
 // checkpoint boundary past g to test for convergence.
 func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int, w *worker) (halted, converged bool) {
+	// run executes to the given instruction boundary (or halt) and
+	// reports halt — translation-block dispatch when the worker carries
+	// an engine, instruction-at-a-time stepping otherwise. Both land on
+	// exact committed-instruction boundaries, so convergence tests see
+	// identical states.
+	run := func(limit uint64) bool {
+		if w.eng != nil {
+			return w.eng.Run(limit)
+		}
+		for c.Instret < limit {
+			if !c.Step() {
+				return true
+			}
+		}
+		return bus.Halted()
+	}
 	if !cp.NoEarlyStop && bus.Mem.Tracking() {
 		for j := g + 1; j < cp.chain.Len(); j++ {
 			target := cp.chain.Coord(j)
@@ -418,20 +474,19 @@ func (cp *Campaign) runFaulty(c *emu.CPU, bus *dev.Bus, g int, w *worker) (halte
 			if target < c.Instret {
 				continue
 			}
-			for c.Instret < target && c.Instret < cp.Limit {
-				if !c.Step() {
-					return true, false
-				}
+			if target > cp.Limit {
+				target = cp.Limit
+			}
+			if run(target) {
+				return true, false
 			}
 			if cp.convergedAt(c, bus, g, j, w) {
 				return false, true
 			}
 		}
 	}
-	for c.Instret < cp.Limit {
-		if !c.Step() {
-			return true, false
-		}
+	if run(cp.Limit) {
+		return true, false
 	}
 	return bus.Halted(), false
 }

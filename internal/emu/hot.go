@@ -1,0 +1,39 @@
+package emu
+
+// This file exports the CPU's trap/memory/division primitives for the
+// translation-block engine (internal/tb), which replays Exec's per-op
+// semantics over predecoded superblocks and must match them bit-exactly
+// — including trap causes, MMIO routing, and division edge cases.
+
+// Trap transfers control to the kernel trap vector with the given cause
+// and trap value, exactly as a faulting instruction would. The caller
+// must have set PC to the faulting instruction's address first (SEPC is
+// captured from it).
+func (c *CPU) Trap(cause, tval uint64) { c.trap(cause, tval) }
+
+// LoadMem performs a data load with full Step semantics (MMIO routing,
+// alignment and bounds traps, sign extension). On failure the trap has
+// already been taken and the returned value must be discarded.
+func (c *CPU) LoadMem(addr uint64, n int, unsigned bool) (uint64, bool) {
+	return c.load(addr, n, unsigned)
+}
+
+// StoreMem performs a data store with full Step semantics (MMIO
+// routing, alignment and bounds traps). On failure the trap has already
+// been taken.
+func (c *CPU) StoreMem(addr uint64, n int, val uint64) bool {
+	return c.store(addr, n, val)
+}
+
+// DivS exposes signed division with the ISA's edge semantics
+// (x/0 = -1, MinInt/-1 = MinInt) on sign-extended operands.
+func DivS(a, b uint64) uint64 { return divS(a, b) }
+
+// DivU exposes unsigned division (x/0 = all-ones under mask).
+func DivU(a, b, mask uint64) uint64 { return divU(a, b, mask) }
+
+// RemS exposes signed remainder (x%0 = x, MinInt%-1 = 0).
+func RemS(a, b uint64) uint64 { return remS(a, b) }
+
+// RemU exposes unsigned remainder (x%0 = x).
+func RemU(a, b uint64) uint64 { return remU(a, b) }

@@ -512,14 +512,21 @@ func (ip *Interp) syscall(num int64, argRegs []int, regs []int64) (int64, error)
 		}
 		return 0
 	}
+	return ip.syscallV(num, arg(0), arg(1))
+}
+
+// syscallV is the value-based core of syscall: no defined syscall reads
+// more than two arguments (Verify enforces the arity), and missing
+// argument registers read as 0.
+func (ip *Interp) syscallV(num, a0, a1 int64) (int64, error) {
 	switch num {
 	case 1: // exit
 		ip.Exited = true
-		ip.ExitCode = arg(0)
+		ip.ExitCode = a0
 		return 0, nil
 	case 2: // write(buf, len)
-		buf := uint64(arg(0)) & ip.mask
-		n := arg(1)
+		buf := uint64(a0) & ip.mask
+		n := a1
 		if n < 0 || n > 1<<20 {
 			return -1, nil
 		}
@@ -532,7 +539,7 @@ func (ip *Interp) syscall(num int64, argRegs []int, regs []int64) (int64, error)
 		return 0, nil
 	case 4: // detect
 		ip.Detected = true
-		ip.DetectCode = arg(0)
+		ip.DetectCode = a0
 		return 0, nil
 	case 5: // brk
 		return ip.heapEnd, nil

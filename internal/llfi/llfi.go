@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"vulnstack/internal/campaign"
 	"vulnstack/internal/inject"
 	"vulnstack/internal/ir"
 	"vulnstack/internal/results"
 	"vulnstack/internal/static"
+	"vulnstack/internal/tb"
 )
 
 // Width is the only word width LLFI-style injection supports (the
@@ -65,6 +67,16 @@ type Campaign struct {
 	defSites []int32
 	// irb is the interprocedural demanded-bits result over cp.M.
 	irb *static.IRBits
+
+	// NoTB disables the compiled direct-threaded engine for faulty runs
+	// (the zero value keeps it on): the module is then interpreted
+	// instruction-by-instruction with the fault applied via DefHook.
+	// Outcomes are bit-identical either way (the equivalence gate
+	// asserts it); golden runs always use the plain interpreter, which
+	// the def-use and site tracking requires.
+	NoTB     bool
+	progOnce sync.Once
+	prog     *tb.Prog
 }
 
 // PrepareOptions configure the golden run.
@@ -182,7 +194,53 @@ func (cp *Campaign) Run(f Fault) inject.Outcome {
 	if cp.StaticMasked(f) || cp.deadDef(f) {
 		return inject.Masked
 	}
-	return cp.runOn(ir.NewInterp(cp.M, Width, cp.MemSize), f)
+	return cp.inject(ir.NewInterp(cp.M, Width, cp.MemSize), f)
+}
+
+// compiled returns the direct-threaded compiled form of cp.M, building
+// it once per campaign, or nil when the campaign runs interpreted
+// (NoTB, or a module the compiler cannot handle — execution then falls
+// back to the interpreter with identical outcomes).
+func (cp *Campaign) compiled() *tb.Prog {
+	if cp.NoTB {
+		return nil
+	}
+	cp.progOnce.Do(func() {
+		// The throwaway interpreter only supplies the global address
+		// layout, which is identical for every interpreter over the
+		// same module and memory size.
+		if p, err := tb.CompileIR(cp.M, ir.NewInterp(cp.M, Width, cp.MemSize)); err == nil {
+			cp.prog = p
+		}
+	})
+	return cp.prog
+}
+
+// inject runs one fault on a ready (fresh or Reset) interpreter
+// through the active engine.
+func (cp *Campaign) inject(ip *ir.Interp, f Fault) inject.Outcome {
+	if p := cp.compiled(); p != nil {
+		return cp.runTB(p, ip, f)
+	}
+	return cp.runOn(ip, f)
+}
+
+// runTB performs one injection via the compiled engine: same
+// classification as runOn, with the flip-at-sequence fault inlined in
+// the compiled dispatch instead of a per-definition hook closure.
+func (cp *Campaign) runTB(p *tb.Prog, ip *ir.Interp, f Fault) inject.Outcome {
+	ip.MaxSteps = cp.Limit
+	err := p.RunFault(ip, f.Seq, f.Bit)
+	switch {
+	case err != nil:
+		return inject.Crash // bad address, stack overflow, watchdog
+	case ip.Detected:
+		return inject.Detected
+	case ip.Exited && ip.ExitCode == cp.GoldenExit && bytes.Equal(ip.Out, cp.GoldenOut):
+		return inject.Masked
+	default:
+		return inject.SDC
+	}
 }
 
 // runOn performs one injection on a ready (fresh or Reset) interpreter.
@@ -318,7 +376,7 @@ func (cp *Campaign) RecordsAt(faults []Fault, base int, progress func(i int, r r
 				rec.EarlyStop = true
 			} else {
 				ip.Reset()
-				rec = record(f, cp.runOn(ip, f))
+				rec = record(f, cp.inject(ip, f))
 			}
 			rec.Index = base + j.Index
 			return rec

@@ -37,6 +37,14 @@ const (
 	PageSize  = 1 << PageShift
 )
 
+// Granularity of content versioning (see EnableCodeVersions): one
+// counter per 256 bytes, fine enough that data stores rarely alias the
+// code granules they sit beside on a shared page.
+const (
+	VerShift   = 8
+	VerGranule = 1 << VerShift
+)
+
 // Memory is a flat byte-addressable RAM image, little-endian.
 type Memory struct {
 	data []byte
@@ -47,6 +55,17 @@ type Memory struct {
 	track      bool
 	dirtyBit   []uint64
 	dirtyPages []uint32
+
+	// codeVer, when enabled, holds one version counter per VerGranule
+	// bytes, bumped by every content mutation (stores, bit flips,
+	// page/image restores). The translation-block engine keys cached
+	// blocks on the versions of the granules they decode from, so any
+	// write that could invalidate predecoded code — self-modifying
+	// stores, injected instruction-bit flips, checkpoint restores —
+	// forces a re-decode. A spurious bump only costs a rebuild, never
+	// correctness. The granule is finer than a page so data stores
+	// sharing a page with hot code do not keep invalidating its blocks.
+	codeVer []uint32
 }
 
 // New creates a RAM of the given size in bytes (0 selects DefaultSize).
@@ -85,6 +104,65 @@ func (m *Memory) EnableTracking() {
 	m.track = true
 	pages := (len(m.data) + PageSize - 1) >> PageShift
 	m.dirtyBit = make([]uint64, (pages+63)/64)
+}
+
+// EnableCodeVersions turns on per-granule content versioning (see
+// codeVer). Idempotent; versioning does not survive Clone.
+func (m *Memory) EnableCodeVersions() {
+	if m.codeVer == nil {
+		m.codeVer = make([]uint32, (len(m.data)+VerGranule-1)>>VerShift)
+	}
+}
+
+// ChunkVersion returns version granule c's content counter (0 until
+// versioning is enabled or for out-of-range granules). Two reads of the
+// same granule returning the same version bracket unmodified bytes.
+func (m *Memory) ChunkVersion(c uint32) uint32 {
+	if m.codeVer == nil || int(c) >= len(m.codeVer) {
+		return 0
+	}
+	return m.codeVer[c]
+}
+
+// bumpVer advances the version of every granule overlapping a validated
+// write [addr, addr+n).
+func (m *Memory) bumpVer(addr uint64, n int) {
+	last := (addr + uint64(n) - 1) >> VerShift
+	for c := addr >> VerShift; c <= last; c++ {
+		m.codeVer[c]++
+	}
+}
+
+// bumpAllVer advances every granule version (whole-image mutations).
+func (m *Memory) bumpAllVer() {
+	for c := range m.codeVer {
+		m.codeVer[c]++
+	}
+}
+
+// bumpChangedChunks advances the version of every granule in [lo, hi)
+// whose current bytes differ from src (src is indexed relative to lo;
+// bytes past len(src) are about to be left unchanged). Restore paths
+// use it instead of a blind bump: a page restore rewrites whole pages,
+// but the code granules on them are almost always byte-identical across
+// restores, and skipping their bump keeps predecoded blocks valid.
+func (m *Memory) bumpChangedChunks(lo, hi int, src []byte) {
+	for off := lo; off < hi; off += VerGranule {
+		slo := off - lo
+		if slo >= len(src) {
+			return
+		}
+		send := slo + VerGranule
+		if send > len(src) {
+			send = len(src)
+		}
+		if hi-off < send-slo {
+			send = slo + (hi - off)
+		}
+		if !bytes.Equal(m.data[off:off+(send-slo)], src[slo:send]) {
+			m.codeVer[off>>VerShift]++
+		}
+	}
 }
 
 // mark records the pages of a validated write [addr, addr+n).
@@ -164,6 +242,9 @@ func (m *Memory) SetPage(p uint32, data []byte) {
 	if hi > len(m.data) {
 		hi = len(m.data)
 	}
+	if m.codeVer != nil {
+		m.bumpChangedChunks(lo, hi, data)
+	}
 	copy(m.data[lo:hi], data)
 }
 
@@ -211,6 +292,9 @@ func (m *Memory) RestoreDirty(src *Memory) {
 		if hi > len(m.data) {
 			hi = len(m.data)
 		}
+		if m.codeVer != nil {
+			m.bumpChangedChunks(lo, hi, src.data[lo:hi])
+		}
 		copy(m.data[lo:hi], src.data[lo:hi])
 	}
 	m.clearDirty()
@@ -236,6 +320,9 @@ func (m *Memory) Write(addr uint64, n int, val uint64) bool {
 	if m.track {
 		m.mark(addr, n)
 	}
+	if m.codeVer != nil {
+		m.bumpVer(addr, n)
+	}
 	for i := 0; i < n; i++ {
 		m.data[addr+uint64(i)] = byte(val >> (8 * i))
 	}
@@ -259,6 +346,9 @@ func (m *Memory) WriteBytes(addr uint64, src []byte) bool {
 	if m.track && len(src) > 0 {
 		m.mark(addr, len(src))
 	}
+	if m.codeVer != nil && len(src) > 0 {
+		m.bumpVer(addr, len(src))
+	}
 	copy(m.data[addr:], src)
 	return true
 }
@@ -279,6 +369,9 @@ func (m *Memory) FlipBit(addr uint64, bit uint) bool {
 	}
 	if m.track {
 		m.mark(addr, 1)
+	}
+	if m.codeVer != nil {
+		m.bumpVer(addr, 1)
 	}
 	m.data[addr] ^= 1 << bit
 	return true
@@ -301,6 +394,9 @@ func (m *Memory) CopyFrom(src *Memory) {
 	copy(m.data, src.data)
 	if m.track {
 		m.clearDirty()
+	}
+	if m.codeVer != nil {
+		m.bumpAllVer()
 	}
 }
 

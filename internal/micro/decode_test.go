@@ -104,6 +104,60 @@ func TestMicroDecodeCacheSelfModifying(t *testing.T) {
 	}
 }
 
+// TestDecodeMemoCollisionEviction pins the direct-mapped geometry of
+// the memo: PCs 4<<decodeBits bytes apart index the same slot, so
+// alternating between two such PCs evicts and re-tags the slot on
+// every probe — each probe must still return the fresh isa.Decode of
+// its own word, the aliasing pair must occupy exactly one slot between
+// them, and a cached illegal-word result must never leak into a later
+// legal probe of the same slot.
+func TestDecodeMemoCollisionEviction(t *testing.T) {
+	img := smcImage(t)
+	c := New(ConfigA72(), img.NewMemory(), img.Entry)
+
+	pcA := uint64(mem.UserBase)
+	pcB := pcA + 4<<decodeBits
+	idx := func(pc uint64) uint64 { return (pc >> 2) & (1<<decodeBits - 1) }
+	if idx(pcA) != idx(pcB) {
+		t.Fatal("test PCs do not alias one memo slot")
+	}
+	wa := isa.Encode(isa.Instr{Op: isa.ADDI, Rd: 5, Rs1: 6, Imm: 42})
+	wb := isa.Encode(isa.Instr{Op: isa.XOR, Rd: 7, Rs1: 8, Rs2: 9})
+
+	check := func(pc uint64, w uint32) {
+		t.Helper()
+		in, ok := c.decode(pc, w)
+		win, wok := isa.Decode(w, c.IS)
+		if ok != wok || in != win {
+			t.Fatalf("decode(%#x, %#x) = %+v/%v, fresh isa.Decode = %+v/%v",
+				pc, w, in, ok, win, wok)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		check(pcA, wa)
+		check(pcB, wb)
+	}
+	used := 0
+	for i := range c.decodeMemo {
+		if c.decodeMemo[i].state != 0 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Fatalf("aliasing pair occupies %d memo slots, want 1 (eviction, not accumulation)", used)
+	}
+	if got := c.decodeMemo[idx(pcB)].word; got != wb {
+		t.Fatalf("slot tag %#x after eviction, want last probed word %#x", got, wb)
+	}
+
+	const illegal = uint32(0xFFFFFFFF)
+	if _, ok := isa.Decode(illegal, c.IS); ok {
+		t.Fatalf("%#x unexpectedly decodes; pick a different illegal word", illegal)
+	}
+	check(pcA, illegal) // caches the negative result
+	check(pcA, wa)      // same slot, legal word: must evict, not report illegal
+}
+
 // TestDecodeCacheLockstepOnWorkload: cached and uncached cores run a
 // real benchmark in lockstep to the same output.
 func TestDecodeCacheLockstepOnWorkload(t *testing.T) {

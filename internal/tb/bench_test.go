@@ -1,0 +1,55 @@
+package tb
+
+import (
+	"testing"
+
+	"vulnstack/internal/codegen"
+	"vulnstack/internal/dev"
+	"vulnstack/internal/emu"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/kernel"
+	"vulnstack/internal/minic"
+	"vulnstack/internal/workload"
+)
+
+func buildImage(b testing.TB, bench string) *kernel.Image {
+	spec, err := workload.Get(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := minic.Compile(spec.Gen(1, 1), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := codegen.Build(m, isa.VSA64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := kernel.BuildImage(prog, 1<<21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return img
+}
+
+func BenchmarkGoldenStep(b *testing.B) {
+	img := buildImage(b, "sha")
+	for i := 0; i < b.N; i++ {
+		bus := dev.NewBus(img.NewMemory())
+		c := emu.New(img.ISA, bus, img.Entry)
+		if !c.Run(1 << 30) {
+			b.Fatal("did not halt")
+		}
+	}
+}
+
+func BenchmarkGoldenTB(b *testing.B) {
+	img := buildImage(b, "sha")
+	for i := 0; i < b.N; i++ {
+		bus := dev.NewBus(img.NewMemory())
+		c := emu.New(img.ISA, bus, img.Entry)
+		if !New(c).Run(1 << 30) {
+			b.Fatal("did not halt")
+		}
+	}
+}

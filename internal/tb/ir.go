@@ -1,0 +1,404 @@
+package tb
+
+import (
+	"fmt"
+
+	"vulnstack/internal/ir"
+)
+
+// The soft-layer analogue of the superblock engine: an ir.Module is
+// compiled once per campaign into flat per-function op arrays — branch
+// targets resolved to op indices, call targets to function indices,
+// global symbols to addresses, binop kinds and destination presence
+// folded into opcodes — and faulty runs execute the compiled form with
+// the single-bit-flip-at-sequence fault inlined as a compare, instead
+// of the interpreter's per-definition hook closure. Golden runs (which
+// need def-use and site tracking) stay on the plain interpreter.
+//
+// The compiled engine is specialized to the 64-bit word width (the only
+// width LLFI-style injection supports), where the interpreter's wrap
+// step is the identity.
+
+// Compiled opcodes.
+const (
+	cConst = iota
+	cCopy
+	cBin
+	cGlobal
+	cFrame
+	cLoad  // sign-extending, size in size
+	cLoadU // zero-extending
+	cStore
+	cCall
+	cSyscall
+	cRet
+	cBr
+	cCondBr
+)
+
+// cop is one compiled IR instruction. imm carries the constant value
+// (cConst), the resolved global address (cGlobal), the frame-slot index
+// (cFrame), the callee function index (cCall), or the branch-target op
+// index (cBr/cCondBr, with the else index in b).
+type cop struct {
+	code uint8
+	bin  uint8
+	size uint8
+	dst  int32 // -1: no destination register
+	a, b int32
+	imm  int64
+	args []int32
+}
+
+// cfunc is one compiled function.
+type cfunc struct {
+	numVReg int
+	slots   []ir.FrameSlot
+	ops     []cop
+}
+
+// Prog is a compiled module: immutable after CompileIR, shared
+// read-only across worker goroutines.
+type Prog struct {
+	funcs []cfunc
+	entry int
+}
+
+// CompileIR compiles m for the 64-bit width. ip supplies the global
+// address layout (identical for every interpreter over the same module
+// and memory size); it is not otherwise touched. An unresolvable
+// symbol or a non-64-bit interpreter returns an error and the caller
+// falls back to the plain interpreter.
+func CompileIR(m *ir.Module, ip *ir.Interp) (*Prog, error) {
+	if ip.Width != 64 {
+		return nil, fmt.Errorf("tb: compiled IR engine supports only width 64, got %d", ip.Width)
+	}
+	fidx := make(map[string]int, len(m.Funcs))
+	for i, f := range m.Funcs {
+		fidx[f.Name] = i
+	}
+	entry, ok := fidx["_start"]
+	if !ok {
+		return nil, fmt.Errorf("tb: no _start in module")
+	}
+	p := &Prog{funcs: make([]cfunc, len(m.Funcs)), entry: entry}
+	for i, f := range m.Funcs {
+		cf, err := compileFunc(f, fidx, ip)
+		if err != nil {
+			return nil, err
+		}
+		p.funcs[i] = cf
+	}
+	return p, nil
+}
+
+func compileFunc(f *ir.Func, fidx map[string]int, ip *ir.Interp) (cfunc, error) {
+	cf := cfunc{numVReg: f.NumVReg, slots: f.Slots}
+	// Block starts in the flattened op array.
+	starts := make([]int32, len(f.Blocks))
+	n := 0
+	for bi, b := range f.Blocks {
+		starts[bi] = int32(n)
+		n += len(b.Instrs)
+	}
+	cf.ops = make([]cop, 0, n)
+	for _, b := range f.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			op := cop{dst: int32(in.Dst), a: int32(in.A), b: int32(in.B)}
+			switch in.Op {
+			case ir.OpConst:
+				op.code, op.imm = cConst, in.Imm
+			case ir.OpCopy:
+				op.code = cCopy
+			case ir.OpBin:
+				op.code, op.bin = cBin, uint8(in.Bin)
+			case ir.OpGlobal:
+				addr, ok := ip.GlobalAddr(in.Sym)
+				if !ok {
+					return cfunc{}, fmt.Errorf("tb: unknown global %q", in.Sym)
+				}
+				op.code, op.imm = cGlobal, addr
+			case ir.OpFrame:
+				op.code, op.imm = cFrame, int64(in.Slot)
+			case ir.OpLoad:
+				op.code, op.size = cLoad, uint8(in.Size)
+				if in.Unsigned {
+					op.code = cLoadU
+				}
+			case ir.OpStore:
+				op.code, op.size = cStore, uint8(in.Size)
+			case ir.OpCall:
+				ci, ok := fidx[in.Sym]
+				if !ok {
+					return cfunc{}, fmt.Errorf("tb: unknown callee %q", in.Sym)
+				}
+				op.code, op.imm = cCall, int64(ci)
+				op.args = compileArgs(in.Args)
+			case ir.OpSyscall:
+				op.code = cSyscall
+				op.args = compileArgs(in.Args)
+			case ir.OpRet:
+				op.code = cRet
+			case ir.OpBr:
+				op.code, op.imm = cBr, int64(starts[in.Target])
+			case ir.OpCondBr:
+				op.code = cCondBr
+				op.imm, op.b = int64(starts[in.Target]), starts[in.Else]
+			default:
+				return cfunc{}, fmt.Errorf("tb: unhandled IR op %v", in.Op)
+			}
+			cf.ops = append(cf.ops, op)
+		}
+	}
+	return cf, nil
+}
+
+func compileArgs(args []int) []int32 {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]int32, len(args))
+	for i, a := range args {
+		out[i] = int32(a)
+	}
+	return out
+}
+
+// irRun is the per-run state of one compiled execution.
+type irRun struct {
+	p        *Prog
+	ip       *ir.Interp
+	faultSeq uint64
+	faultBit int64 // XOR mask
+	steps    uint64
+	maxSteps uint64
+	defSeq   uint64
+}
+
+// RunFault executes the compiled program on a ready (fresh or Reset)
+// interpreter with a single-bit flip injected into dynamic definition
+// faultSeq — the compiled equivalent of runOn's DefHook. Exit/output
+// state lands in ip exactly as ip.Run would have left it.
+func (p *Prog) RunFault(ip *ir.Interp, faultSeq uint64, faultBit uint) error {
+	r := irRun{
+		p:        p,
+		ip:       ip,
+		faultSeq: faultSeq,
+		faultBit: int64(uint64(1) << faultBit),
+		maxSteps: ip.MaxSteps,
+	}
+	ret, err := r.call(p.entry, nil)
+	ip.Steps, ip.DefSeq = r.steps, r.defSeq
+	if err != nil {
+		return err
+	}
+	if !ip.Exited && !ip.Detected {
+		ip.Exited = true
+		ip.ExitCode = ret
+	}
+	return nil
+}
+
+func (r *irRun) call(fi int, args []int64) (int64, error) {
+	f := &r.p.funcs[fi]
+	regs := make([]int64, f.numVReg)
+	copy(regs, args)
+	ip := r.ip
+
+	// Frame slots on the descending stack, interp.call layout exactly.
+	savedSP := ip.SP()
+	defer ip.SetSP(savedSP)
+	var slotAddr []int64
+	if len(f.slots) > 0 {
+		slotAddr = make([]int64, len(f.slots))
+		sp := savedSP
+		for i := range f.slots {
+			s := &f.slots[i]
+			a := int64(8)
+			if s.Align > 8 {
+				a = int64(s.Align)
+			}
+			sp = (sp - int64(s.Size)) &^ (a - 1)
+			slotAddr[i] = sp
+		}
+		ip.SetSP(sp)
+	}
+	if ip.SP() < ip.HeapEnd() {
+		return 0, ir.ErrStackOverflow
+	}
+
+	ops := f.ops
+	pc := 0
+	for {
+		if r.steps >= r.maxSteps {
+			return 0, ir.ErrWatchdog
+		}
+		op := &ops[pc]
+		r.steps++
+		pc++
+		var def int64
+
+		switch op.code {
+		case cConst:
+			def = op.imm
+		case cCopy:
+			def = regs[op.a]
+		case cBin:
+			def = binop64(op.bin, regs[op.a], regs[op.b])
+		case cGlobal:
+			def = op.imm
+		case cFrame:
+			def = slotAddr[op.imm]
+		case cLoad:
+			v, err := ip.MemLoad(regs[op.a], int(op.size), false)
+			if err != nil {
+				return 0, err
+			}
+			def = v
+		case cLoadU:
+			v, err := ip.MemLoad(regs[op.a], int(op.size), true)
+			if err != nil {
+				return 0, err
+			}
+			def = v
+		case cStore:
+			if err := ip.MemStore(regs[op.a], int(op.size), regs[op.b]); err != nil {
+				return 0, err
+			}
+			continue
+		case cCall:
+			var cargs []int64
+			if len(op.args) > 0 {
+				cargs = make([]int64, len(op.args))
+				for i, a := range op.args {
+					cargs[i] = regs[a]
+				}
+			}
+			v, err := r.call(int(op.imm), cargs)
+			if err != nil {
+				return 0, err
+			}
+			if ip.Exited || ip.Detected {
+				return 0, nil
+			}
+			if op.dst < 0 {
+				continue
+			}
+			def = v
+		case cSyscall:
+			var a0, a1 int64
+			if len(op.args) > 0 {
+				a0 = regs[op.args[0]]
+			}
+			if len(op.args) > 1 {
+				a1 = regs[op.args[1]]
+			}
+			v, err := ip.SyscallV(regs[op.a], a0, a1)
+			if err != nil {
+				return 0, err
+			}
+			// An exiting/detecting syscall returns before its definition
+			// is sequenced (interp.call order).
+			if ip.Exited || ip.Detected {
+				return 0, nil
+			}
+			def = v
+		case cRet:
+			if op.a >= 0 {
+				return regs[op.a], nil
+			}
+			return 0, nil
+		case cBr:
+			pc = int(op.imm)
+			continue
+		case cCondBr:
+			if regs[op.a] != 0 {
+				pc = int(op.imm)
+			} else {
+				pc = int(op.b)
+			}
+			continue
+		}
+
+		// Definition sequencing with the fault inlined: at width 64 the
+		// interpreter's wrap of the hooked value is the identity.
+		if r.defSeq == r.faultSeq {
+			def ^= r.faultBit
+		}
+		r.defSeq++
+		if op.dst >= 0 {
+			regs[op.dst] = def
+		}
+	}
+}
+
+// binop64 is ir.Interp.binop specialized to Width 64 (wrap is the
+// identity, the shift mask is 63, the unsigned-compare mask all-ones);
+// kept bit-exact with the interpreter, which the equivalence gate
+// asserts across every benchmark.
+func binop64(k uint8, a, b int64) int64 {
+	sh := uint64(b) & 63
+	switch ir.BinKind(k) {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	case ir.Div:
+		switch {
+		case b == 0:
+			return -1
+		case a == -1<<63 && b == -1:
+			return a
+		default:
+			return a / b
+		}
+	case ir.Rem:
+		switch {
+		case b == 0:
+			return a
+		case a == -1<<63 && b == -1:
+			return 0
+		default:
+			return a % b
+		}
+	case ir.And:
+		return a & b
+	case ir.Or:
+		return a | b
+	case ir.Xor:
+		return a ^ b
+	case ir.Shl:
+		return int64(uint64(a) << sh)
+	case ir.LShr:
+		return int64(uint64(a) >> sh)
+	case ir.AShr:
+		return a >> sh
+	case ir.Eq:
+		return b2i(a == b)
+	case ir.Ne:
+		return b2i(a != b)
+	case ir.Lt:
+		return b2i(a < b)
+	case ir.Le:
+		return b2i(a <= b)
+	case ir.Gt:
+		return b2i(a > b)
+	case ir.Ge:
+		return b2i(a >= b)
+	case ir.LtU:
+		return b2i(uint64(a) < uint64(b))
+	case ir.GeU:
+		return b2i(uint64(a) >= uint64(b))
+	}
+	return 0
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

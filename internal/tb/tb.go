@@ -1,0 +1,549 @@
+// Package tb is the translation-block execution plane: straight-line
+// superblocks of guest code are discovered once, predecoded into flat
+// buffers of resolved micro-ops, and executed block-at-a-time through a
+// direct-threaded dispatch loop — removing the per-instruction fetch,
+// decode-memo probe, and operand-extraction cost that dominates
+// per-injection time at the arch and soft layers.
+//
+// Soundness under fault injection is the design constraint:
+//
+//   - Code corruption. Blocks are keyed by (entry PC, content version
+//     of every covered 256-byte granule). mem.Memory bumps a
+//     per-granule version on every content mutation — data stores,
+//     injected bit flips, checkpoint restores — so a WI/WOI flip into
+//     text or a self-modifying store forces a re-decode at the next
+//     block lookup; a store issued from *inside* a block re-checks the
+//     block's own granule versions before running the next op. A stale
+//     predecoded op is therefore never executed.
+//   - Fault landing. The engine stops at exact committed-instruction
+//     boundaries (Run's limit clips the in-block op budget), so
+//     register/state faults land mid-block exactly where the
+//     step-by-step engine would have landed them.
+//   - Precise traps. A potentially-trapping op materializes its own
+//     architectural PC before faulting, so SEPC/STVAL are bit-exact;
+//     a trapping op does not commit, matching emu.Exec.
+package tb
+
+import (
+	"sync/atomic"
+
+	"vulnstack/internal/emu"
+	"vulnstack/internal/isa"
+	"vulnstack/internal/mem"
+)
+
+// Micro-op handler indices. ALU ops whose destination is r0 are folded
+// to uNOP at predecode (they have no architectural effect), so ALU
+// handlers write their destination register unconditionally.
+const (
+	uNOP = iota
+	uADD
+	uSUB
+	uSLL
+	uSLT
+	uSLTU
+	uXOR
+	uSRL
+	uSRA
+	uOR
+	uAND
+	uMUL
+	uDIV
+	uDIVU
+	uREM
+	uREMU
+	uADDI
+	uSLLI
+	uSLTI
+	uSLTIU
+	uXORI
+	uSRLI
+	uSRAI
+	uORI
+	uANDI
+	uLUI
+	uLOAD  // sign-extending load, size in n
+	uLOADU // zero-extending load, size in n
+	uSTORE // size in n
+	uBEQ
+	uBNE
+	uBLT
+	uBGE
+	uBLTU
+	uBGEU
+	uJAL
+	uJALR
+	uECALL
+	uERET
+	uCSRW
+	uCSRR
+)
+
+// uop is one predecoded micro-op: operands pre-extracted, handler
+// pre-selected. imm carries the sign-extended immediate (or the CSR
+// index for uCSRW/uCSRR).
+type uop struct {
+	code uint8
+	rd   uint8
+	rs1  uint8
+	rs2  uint8
+	n    uint8 // memory access size in bytes
+	imm  int64
+}
+
+// block is one cached superblock: the predecoded straight-line run
+// from entry up to and including the first control-flow instruction
+// (or a size/span/decode boundary). chunks/vers record the content
+// version of every 256-byte granule the block was decoded from; a
+// mismatch at lookup (or after an in-block store) invalidates the
+// block.
+type block struct {
+	entry   uint64
+	ops     []uop
+	words   []uint32 // raw instruction words, kept only under Paranoid
+	nchunks int
+	chunks  [5]uint32
+	vers    [5]uint32
+}
+
+const (
+	// cacheBits sizes the direct-mapped block cache: 1<<cacheBits slots
+	// index 4*2^cacheBits bytes of text without aliasing. 16 covers
+	// 256 KiB — larger than any study image's text — so two hot blocks
+	// never thrash one slot; the pointer array costs 512 KiB per worker.
+	cacheBits = 16
+	maxOps    = 256 // ops per block; with 4-byte ops a block spans at most 5 version granules
+)
+
+// Engine drives one emu.CPU block-at-a-time. It is single-goroutine,
+// like the CPU itself; campaigns hold one engine per worker arena.
+type Engine struct {
+	cpu *emu.CPU
+	m   *mem.Memory
+
+	blocks []*block
+
+	mask uint64 // ISA value mask
+	xsh  uint64 // 64 - XLen: shift pair for sign extension
+	shm  uint64 // XLen - 1: shift-amount mask for register shifts
+
+	// Paranoid, when non-nil, makes the dispatch loop refetch every
+	// op's instruction word from memory and compare it against the
+	// predecoded copy, counting each check; executing a stale op panics.
+	// A pure validation mode for the SMC-invalidation tests.
+	Paranoid *atomic.Uint64
+}
+
+// New builds an engine over c, enabling per-granule content versioning
+// on its memory. The CPU remains fully usable step-by-step; the engine
+// only batches execution between architectural boundaries.
+func New(c *emu.CPU) *Engine {
+	m := c.Bus.Mem
+	m.EnableCodeVersions()
+	xlen := uint64(c.ISA.XLen())
+	return &Engine{
+		cpu:    c,
+		m:      m,
+		blocks: make([]*block, 1<<cacheBits),
+		mask:   c.ISA.Mask(),
+		xsh:    64 - xlen,
+		shm:    xlen - 1,
+	}
+}
+
+// CPU returns the engine's CPU.
+func (e *Engine) CPU() *emu.CPU { return e.cpu }
+
+// Run executes until halt or until the committed-instruction count
+// reaches limit — an exact architectural boundary, so callers can land
+// faults or compare convergence probes mid-block. Like emu.CPU.Run it
+// returns true when the machine halted and false on limit expiry.
+// A CPU with an OnCommit observer falls back to step-by-step execution
+// (the observer contract is per-instruction).
+func (e *Engine) Run(limit uint64) bool {
+	c := e.cpu
+	if c.OnCommit != nil {
+		return c.Run(limit)
+	}
+	for c.Instret < limit {
+		if c.Bus.Halted() {
+			return true
+		}
+		b := e.lookup(c.PC)
+		if b == nil {
+			// Misaligned/unmapped/illegal entry: one step traps it.
+			if !c.Step() {
+				return true
+			}
+			continue
+		}
+		e.exec(b, limit)
+	}
+	return c.Bus.Halted()
+}
+
+// lookup returns a fresh block starting at pc, building and caching one
+// on miss. nil means no block can start here (misaligned PC, fetch
+// fault, or undecodable first word) and the caller must fall back to
+// Step, which takes the architectural trap.
+func (e *Engine) lookup(pc uint64) *block {
+	if pc%4 != 0 {
+		return nil
+	}
+	slot := (pc >> 2) & (1<<cacheBits - 1)
+	if b := e.blocks[slot]; b != nil && b.entry == pc && e.fresh(b) {
+		return b
+	}
+	b := e.build(pc)
+	if b == nil {
+		return nil
+	}
+	e.blocks[slot] = b
+	return b
+}
+
+// fresh reports whether every granule the block was decoded from still
+// has the content version captured at build time.
+func (e *Engine) fresh(b *block) bool {
+	for i := 0; i < b.nchunks; i++ {
+		if e.m.ChunkVersion(b.chunks[i]) != b.vers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addChunk registers the version granule covering pc, capturing its
+// current content version. It reports false when the block already
+// spans the maximum number of granules and pc starts another (the
+// block ends before pc). Decode walks pc sequentially, so comparing
+// against the last registered granule suffices.
+func (b *block) addChunk(m *mem.Memory, pc uint64) bool {
+	c := uint32(pc >> mem.VerShift)
+	if b.nchunks > 0 && b.chunks[b.nchunks-1] == c {
+		return true
+	}
+	if b.nchunks == len(b.chunks) {
+		return false
+	}
+	b.chunks[b.nchunks] = c
+	b.vers[b.nchunks] = m.ChunkVersion(c)
+	b.nchunks++
+	return true
+}
+
+// build predecodes the superblock starting at pc: sequential decode up
+// to and including the first control-flow instruction, stopping early
+// at a fetch fault, an undecodable word, the op cap, or the granule
+// cap.
+func (e *Engine) build(pc uint64) *block {
+	b := &block{entry: pc}
+	is := e.cpu.ISA
+	for len(b.ops) < maxOps {
+		if !b.addChunk(e.m, pc) {
+			break
+		}
+		w, ok := e.m.Word32(pc)
+		if !ok {
+			break
+		}
+		in, ok := isa.Decode(w, is)
+		if !ok {
+			break
+		}
+		u, term := encode(in)
+		b.ops = append(b.ops, u)
+		if e.Paranoid != nil {
+			b.words = append(b.words, w)
+		}
+		if term {
+			break
+		}
+		pc += 4
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	return b
+}
+
+// encode maps a decoded instruction to its micro-op, reporting whether
+// it terminates the block (control flow or privilege transfer).
+func encode(in isa.Instr) (uop, bool) {
+	u := uop{rd: uint8(in.Rd), rs1: uint8(in.Rs1), rs2: uint8(in.Rs2), imm: in.Imm}
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.SLL, isa.SLT, isa.SLTU, isa.XOR, isa.SRL,
+		isa.SRA, isa.OR, isa.AND, isa.MUL, isa.DIV, isa.DIVU, isa.REM, isa.REMU:
+		if in.Rd == 0 {
+			return uop{code: uNOP}, false
+		}
+		u.code = uADD + uint8(in.Op-isa.ADD)
+	case isa.ADDI, isa.SLLI, isa.SLTI, isa.SLTIU, isa.XORI, isa.SRLI,
+		isa.SRAI, isa.ORI, isa.ANDI:
+		if in.Rd == 0 {
+			return uop{code: uNOP}, false
+		}
+		u.code = uADDI + uint8(in.Op-isa.ADDI)
+	case isa.LUI:
+		if in.Rd == 0 {
+			return uop{code: uNOP}, false
+		}
+		u.code = uLUI
+	case isa.LB, isa.LH, isa.LW, isa.LD, isa.LBU, isa.LHU, isa.LWU:
+		u.code = uLOAD
+		if in.Op.MemUnsigned() {
+			u.code = uLOADU
+		}
+		u.n = uint8(in.Op.MemBytes())
+	case isa.SB, isa.SH, isa.SW, isa.SD:
+		u.code, u.n = uSTORE, uint8(in.Op.MemBytes())
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.BLTU, isa.BGEU:
+		u.code = uBEQ + uint8(in.Op-isa.BEQ)
+		return u, true
+	case isa.JAL:
+		u.code = uJAL
+		return u, true
+	case isa.JALR:
+		u.code = uJALR
+		return u, true
+	case isa.ECALL:
+		u.code = uECALL
+		return u, true
+	case isa.ERET:
+		u.code = uERET
+		return u, true
+	case isa.CSRW:
+		u.code = uCSRW
+	case isa.CSRR:
+		u.code = uCSRR
+	}
+	return u, false
+}
+
+// flush commits n ops' worth of instruction counters in one batch. The
+// privilege mode is constant within a block (any mode change terminates
+// it), so the kernel-committed count batches too.
+func (e *Engine) flush(kern bool, n int) {
+	c := e.cpu
+	c.Instret += uint64(n)
+	if kern {
+		c.KernelInstret += uint64(n)
+	}
+}
+
+// exec runs b's ops from the top, committing at most limit-Instret of
+// them. On return the CPU is at an exact architectural boundary:
+// counters flushed, PC pointing at the next instruction (or the trap
+// vector).
+func (e *Engine) exec(b *block, limit uint64) {
+	c := e.cpu
+	n := len(b.ops)
+	if budget := limit - c.Instret; uint64(n) > budget {
+		n = int(budget)
+	}
+	ops := b.ops
+	regs := &c.Regs
+	mask, xsh, shm := e.mask, e.xsh, e.shm
+	entry := b.entry
+	kern := c.Mode == isa.Kernel
+
+	for i := 0; i < n; i++ {
+		u := &ops[i]
+		if e.Paranoid != nil {
+			e.check(b, i)
+		}
+		switch u.code {
+		case uNOP:
+		case uADD:
+			regs[u.rd] = (regs[u.rs1] + regs[u.rs2]) & mask
+		case uSUB:
+			regs[u.rd] = (regs[u.rs1] - regs[u.rs2]) & mask
+		case uSLL:
+			regs[u.rd] = (regs[u.rs1] << (regs[u.rs2] & shm)) & mask
+		case uSLT:
+			regs[u.rd] = boolTo(int64(regs[u.rs1]<<xsh)>>xsh < int64(regs[u.rs2]<<xsh)>>xsh)
+		case uSLTU:
+			regs[u.rd] = boolTo(regs[u.rs1] < regs[u.rs2])
+		case uXOR:
+			regs[u.rd] = (regs[u.rs1] ^ regs[u.rs2]) & mask
+		case uSRL:
+			regs[u.rd] = (regs[u.rs1] >> (regs[u.rs2] & shm)) & mask
+		case uSRA:
+			regs[u.rd] = uint64(int64(regs[u.rs1]<<xsh)>>xsh>>(regs[u.rs2]&shm)) & mask
+		case uOR:
+			regs[u.rd] = (regs[u.rs1] | regs[u.rs2]) & mask
+		case uAND:
+			regs[u.rd] = (regs[u.rs1] & regs[u.rs2]) & mask
+		case uMUL:
+			regs[u.rd] = (regs[u.rs1] * regs[u.rs2]) & mask
+		case uDIV:
+			regs[u.rd] = emu.DivS(sx(regs[u.rs1], xsh), sx(regs[u.rs2], xsh)) & mask
+		case uDIVU:
+			regs[u.rd] = emu.DivU(regs[u.rs1], regs[u.rs2], mask) & mask
+		case uREM:
+			regs[u.rd] = emu.RemS(sx(regs[u.rs1], xsh), sx(regs[u.rs2], xsh)) & mask
+		case uREMU:
+			regs[u.rd] = emu.RemU(regs[u.rs1], regs[u.rs2]) & mask
+		case uADDI:
+			regs[u.rd] = (regs[u.rs1] + uint64(u.imm)) & mask
+		case uSLLI:
+			regs[u.rd] = (regs[u.rs1] << uint64(u.imm)) & mask
+		case uSLTI:
+			regs[u.rd] = boolTo(int64(regs[u.rs1]<<xsh)>>xsh < u.imm)
+		case uSLTIU:
+			regs[u.rd] = boolTo(regs[u.rs1] < uint64(u.imm)&mask)
+		case uXORI:
+			regs[u.rd] = (regs[u.rs1] ^ uint64(u.imm)) & mask
+		case uSRLI:
+			regs[u.rd] = (regs[u.rs1] >> uint64(u.imm)) & mask
+		case uSRAI:
+			regs[u.rd] = uint64(int64(regs[u.rs1]<<xsh)>>xsh>>uint64(u.imm)) & mask
+		case uORI:
+			regs[u.rd] = (regs[u.rs1] | uint64(u.imm)) & mask
+		case uANDI:
+			regs[u.rd] = (regs[u.rs1] & uint64(u.imm)) & mask
+		case uLUI:
+			regs[u.rd] = uint64(u.imm) & mask
+
+		case uLOAD, uLOADU:
+			addr := (regs[u.rs1] + uint64(u.imm)) & mask
+			c.PC = entry + 4*uint64(i)
+			v, ok := c.LoadMem(addr, int(u.n), u.code == uLOADU)
+			if !ok {
+				e.flush(kern, i)
+				return
+			}
+			if u.rd != 0 {
+				regs[u.rd] = v & mask
+			}
+
+		case uSTORE:
+			addr := (regs[u.rs1] + uint64(u.imm)) & mask
+			c.PC = entry + 4*uint64(i)
+			if !c.StoreMem(addr, int(u.n), regs[u.rs2]) {
+				e.flush(kern, i)
+				return
+			}
+			// The store committed. It may have halted the machine (MMIO
+			// halt ports) or overwritten this very block's code granules
+			// (self-modifying store, exactly the decode-memo SMC case):
+			// either way the remaining predecoded ops must not run.
+			if c.Bus.Halted() || !e.fresh(b) {
+				e.flush(kern, i+1)
+				c.PC = entry + 4*uint64(i+1)
+				return
+			}
+
+		case uBEQ, uBNE, uBLT, uBGE, uBLTU, uBGEU:
+			pc := entry + 4*uint64(i)
+			a := sx(regs[u.rs1], xsh)
+			bv := sx(regs[u.rs2], xsh)
+			var taken bool
+			switch u.code {
+			case uBEQ:
+				taken = a == bv
+			case uBNE:
+				taken = a != bv
+			case uBLT:
+				taken = int64(a) < int64(bv)
+			case uBGE:
+				taken = int64(a) >= int64(bv)
+			case uBLTU:
+				taken = a < bv
+			case uBGEU:
+				taken = a >= bv
+			}
+			if taken {
+				c.PC = (pc + uint64(u.imm)) & mask
+			} else {
+				c.PC = pc + 4
+			}
+			e.flush(kern, i+1)
+			return
+
+		case uJAL:
+			pc := entry + 4*uint64(i)
+			if u.rd != 0 {
+				regs[u.rd] = (pc + 4) & mask
+			}
+			c.PC = (pc + uint64(u.imm)) & mask
+			e.flush(kern, i+1)
+			return
+
+		case uJALR:
+			pc := entry + 4*uint64(i)
+			t := (regs[u.rs1] + uint64(u.imm)) & mask
+			if u.rd != 0 {
+				regs[u.rd] = (pc + 4) & mask
+			}
+			c.PC = t
+			e.flush(kern, i+1)
+			return
+
+		case uECALL:
+			// ECALL commits, then traps (emu.Exec order).
+			c.PC = entry + 4*uint64(i)
+			e.flush(kern, i+1)
+			c.Trap(isa.CauseSyscall, 0)
+			return
+
+		case uERET:
+			c.PC = entry + 4*uint64(i)
+			if !kern {
+				e.flush(kern, i)
+				c.Trap(isa.CausePrivilege, 0)
+				return
+			}
+			e.flush(kern, i+1)
+			c.Mode = isa.User
+			c.PC = c.CSR[isa.CsrSEPC]
+			return
+
+		case uCSRW:
+			if !kern {
+				c.PC = entry + 4*uint64(i)
+				e.flush(kern, i)
+				c.Trap(isa.CausePrivilege, 0)
+				return
+			}
+			c.CSR[u.imm] = regs[u.rs1]
+
+		case uCSRR:
+			if !kern {
+				c.PC = entry + 4*uint64(i)
+				e.flush(kern, i)
+				c.Trap(isa.CausePrivilege, 0)
+				return
+			}
+			if u.rd != 0 {
+				regs[u.rd] = c.CSR[u.imm] & mask
+			}
+		}
+	}
+
+	// Ran off the executed window (block end or op budget): the next
+	// instruction is the straight-line successor.
+	e.flush(kern, n)
+	c.PC = entry + 4*uint64(n)
+}
+
+// check refetches op i's instruction word and panics if it no longer
+// matches the predecoded copy — a stale block executing would be a
+// soundness violation of the code-version invalidation contract.
+func (e *Engine) check(b *block, i int) {
+	e.Paranoid.Add(1)
+	w, ok := e.m.Word32(b.entry + 4*uint64(i))
+	if !ok || w != b.words[i] {
+		panic("tb: stale predecoded op executed (code-version invalidation failed)")
+	}
+}
+
+// sx sign-extends a masked value to 64 bits (xsh = 64 - XLen).
+func sx(v, xsh uint64) uint64 { return uint64(int64(v<<xsh) >> xsh) }
+
+func boolTo(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -278,7 +278,7 @@ func (s *System) StratPVF(fpm micro.FPM, opt StratOptions, seed int64) (StratRes
 		return key
 	})
 	k := s.ArchKey(fpm, seed)
-	k.Mode = opt.mode(part)
+	k.Mode = s.tbMode(opt.mode(part))
 	return s.runStratified(k, part, nil, opt, func(sites []int, base int) []results.Record {
 		faults := make([]arch.Fault, len(sites))
 		for i, site := range sites {
@@ -328,7 +328,7 @@ func (s *System) StratSVF(opt StratOptions, seed int64) (StratResult, error) {
 		}
 	}
 	k := s.SoftKey(seed)
-	k.Mode = opt.mode(part)
+	k.Mode = s.tbMode(opt.mode(part))
 	return s.runStratified(k, part, resolved, opt, func(sites []int, base int) []results.Record {
 		faults := make([]llfi.Fault, len(sites))
 		for i, site := range sites {

@@ -89,6 +89,15 @@ type System struct {
 	// result-neutral, off-switch for measurement only. Set before the
 	// first campaign use — the flag is baked into campaign snapshots.
 	NoDecodeCache bool
+	// NoTB disables the translation-block execution engines: the arch
+	// layer's predecoded superblock dispatch and the soft layer's
+	// compiled direct-threaded IR. Same contract as NoEarlyStop:
+	// provably result-neutral (the equivalence gate asserts bit-identical
+	// tallies), off-switch for measurement and verification only. Set
+	// before the first campaign use — the engine choice is stamped into
+	// store keys and chain fingerprints, so tb-on and tb-off runs never
+	// share persisted state.
+	NoTB bool
 	// Static enables the bit-precise static resolution pass: at the soft
 	// layer, faults the interprocedural demanded-bits analysis proves
 	// Masked are classified without running (provenance-flagged records,
@@ -167,6 +176,7 @@ func (s *System) chainFingerprint(engine, config string) string {
 		fmt.Sprintf("ram=%d", RAMSize),
 		fmt.Sprintf("earlystop=%v", !s.NoEarlyStop),
 		fmt.Sprintf("decodecache=%v", !s.NoDecodeCache),
+		fmt.Sprintf("tb=%v", !s.NoTB),
 	)
 }
 
@@ -248,7 +258,7 @@ func (s *System) ArchCampaign() (*arch.Campaign, error) {
 			cp, _ = arch.PrepareFromChain(s.Image, ch)
 		}
 		if cp == nil {
-			if cp, err = arch.Prepare(s.Image, s.Snapshots); err != nil {
+			if cp, err = arch.PrepareWith(s.Image, s.Snapshots, arch.PrepareOptions{NoTB: s.NoTB}); err != nil {
 				return nil, err
 			}
 			s.saveChain(fp, cp.Chain())
@@ -256,6 +266,7 @@ func (s *System) ArchCampaign() (*arch.Campaign, error) {
 		cp.Workers = s.Workers
 		cp.NoEarlyStop = s.NoEarlyStop
 		cp.NoDecodeCache = s.NoDecodeCache
+		cp.NoTB = s.NoTB
 		s.archC = cp
 	}
 	return s.archC, nil
@@ -279,6 +290,7 @@ func (s *System) LLFICampaign() (*llfi.Campaign, error) {
 		cp.Workers = s.Workers
 		cp.NoEarlyStop = s.NoEarlyStop
 		cp.Static = s.Static
+		cp.NoTB = s.NoTB
 		s.llfiC = cp
 	}
 	return s.llfiC, nil
@@ -312,21 +324,37 @@ func (s *System) MicroKey(cfg micro.Config, st micro.Structure, seed int64) resu
 		Config: cfg.Name, Struct: st.String(), Seed: seed}
 }
 
+// tbMode stamps the execution-engine provenance into a store key Mode:
+// records produced under the translation-block engine are never mixed
+// with step-engine records in a warm store — even though the tallies
+// are provably identical, reuse across engines would make the
+// equivalence gate vacuous for anything already persisted.
+func (s *System) tbMode(base string) string {
+	if s.NoTB {
+		return base
+	}
+	if base == "" {
+		return "tb"
+	}
+	return base + ",tb"
+}
+
 // ArchKey is the store key of one architecture-level (PVF) campaign.
 func (s *System) ArchKey(fpm micro.FPM, seed int64) results.Key {
 	return results.Key{Layer: results.LayerArch.String(), Target: s.targetKey(),
-		Struct: fpm.String(), Seed: seed}
+		Struct: fpm.String(), Seed: seed, Mode: s.tbMode("")}
 }
 
 // UniformKey is the store key of the register-uniform PVF campaign.
 func (s *System) UniformKey(seed int64) results.Key {
 	return results.Key{Layer: results.LayerArch.String(), Target: s.targetKey(),
-		Struct: arch.UniformTarget, Seed: seed}
+		Struct: arch.UniformTarget, Seed: seed, Mode: s.tbMode("")}
 }
 
 // SoftKey is the store key of the software-level (SVF) campaign.
 func (s *System) SoftKey(seed int64) results.Key {
-	return results.Key{Layer: results.LayerSoft.String(), Target: s.targetKey(), Seed: seed}
+	return results.Key{Layer: results.LayerSoft.String(), Target: s.targetKey(),
+		Seed: seed, Mode: s.tbMode("")}
 }
 
 // storeTally returns the n-injection tally for campaign key k, serving

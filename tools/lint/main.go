@@ -64,6 +64,7 @@ var defaultPackages = []string{
 	module + "/internal/colseg",
 	module + "/internal/micro",
 	module + "/internal/emu",
+	module + "/internal/tb",
 	module + "/internal/ir",
 	module + "/internal/mem",
 	module + "/internal/dev",
